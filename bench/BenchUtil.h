@@ -1,0 +1,113 @@
+//===- bench/BenchUtil.h - Shared harness helpers --------------*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Timing and execution helpers shared by the table/figure harnesses.
+/// Each harness regenerates one table or figure of the paper's evaluation
+/// (see DESIGN.md, per-experiment index).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_BENCH_BENCHUTIL_H
+#define HALO_BENCH_BENCHUTIL_H
+
+#include "suite/Suite.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace halo {
+namespace benchutil {
+
+inline double nowSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+/// One benchmark's timing under a given thread count and analyzer options.
+struct BenchTiming {
+  double SeqSeconds = 0;       ///< All loops, sequential interpretation.
+  double ParSeconds = 0;       ///< All loops under their plans.
+  double TestOverheadSec = 0;  ///< Predicate + CIV + bounds + exact time.
+  bool AnyTLS = false;
+};
+
+/// Analyzes every loop of \p B once and executes the whole benchmark
+/// (all measured loops, in order) sequentially and under the plans.
+/// Scale sizes the synthetic datasets so loop granularities are large
+/// enough to amortize thread spawning (the paper makes the same point
+/// about PERFECT-CLUB's outdated small datasets in Sec. 6.2).
+inline BenchTiming timeBenchmark(suite::Benchmark &B, unsigned Threads,
+                                 int64_t Scale,
+                                 bool RuntimeTests = true,
+                                 int Repeats = 3) {
+  BenchTiming Out;
+
+  // Plans are compiled once (the paper's static phase).
+  std::vector<analysis::LoopPlan> Plans;
+  {
+    rt::Memory M;
+    sym::Bindings Bd;
+    B.Setup(M, Bd, Scale);
+    for (const suite::LoopSpec &LS : B.Loops) {
+      analysis::AnalyzerOptions Opts;
+      Opts.RuntimeTests = RuntimeTests;
+      Opts.Probe = &Bd;
+      Opts.HoistableContext = LS.Hoistable;
+      analysis::HybridAnalyzer A(B.usr(), B.prog(), Opts);
+      Plans.push_back(A.analyze(*LS.Loop));
+    }
+  }
+
+  double SeqBest = 1e30, ParBest = 1e30, OvAtBest = 0;
+  ThreadPool Pool(Threads);
+  rt::HoistCache Hoist;
+  for (int R = 0; R < Repeats; ++R) {
+    {
+      rt::Memory M;
+      sym::Bindings Bd;
+      B.Setup(M, Bd, Scale);
+      rt::Executor E(B.prog(), B.usr());
+      double T0 = nowSeconds();
+      for (const suite::LoopSpec &LS : B.Loops)
+        E.runSequential(*LS.Loop, M, Bd);
+      SeqBest = std::min(SeqBest, nowSeconds() - T0);
+    }
+    {
+      rt::Memory M;
+      sym::Bindings Bd;
+      B.Setup(M, Bd, Scale);
+      rt::Executor E(B.prog(), B.usr());
+      double T0 = nowSeconds();
+      double Ov = 0;
+      bool TLS = false;
+      for (size_t I = 0; I < B.Loops.size(); ++I) {
+        rt::ExecStats S = E.runPlanned(Plans[I], M, Bd, Pool, &Hoist);
+        Ov += S.PredicateSeconds + S.CivSliceSeconds + S.ExactTestSeconds +
+              S.BoundsCompSeconds;
+        TLS |= S.UsedTLS;
+      }
+      double T = nowSeconds() - T0;
+      if (T < ParBest) {
+        ParBest = T;
+        OvAtBest = Ov;
+      }
+      Out.AnyTLS |= TLS;
+    }
+  }
+  Out.SeqSeconds = SeqBest;
+  Out.ParSeconds = ParBest;
+  Out.TestOverheadSec = OvAtBest;
+  return Out;
+}
+
+} // namespace benchutil
+} // namespace halo
+
+#endif // HALO_BENCH_BENCHUTIL_H

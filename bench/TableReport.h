@@ -1,0 +1,88 @@
+//===- bench/TableReport.h - Tables 1-3 row generator ----------*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints one of the paper's benchmark-property tables: per benchmark the
+/// sequential coverage, and per loop the LSC weight, measured granularity
+/// (GR, sequential ms per loop invocation), the computed classification
+/// side by side with the paper's, the techniques used, and the measured
+/// runtime-test overhead (RTov, percent of the parallel runtime).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_BENCH_TABLEREPORT_H
+#define HALO_BENCH_TABLEREPORT_H
+
+#include "bench/BenchUtil.h"
+
+namespace halo {
+namespace benchutil {
+
+inline void printTable(const char *Title,
+                       std::vector<std::unique_ptr<suite::Benchmark>> Benches,
+                       unsigned Threads, int64_t Scale) {
+  std::printf("=== %s ===\n", Title);
+  std::printf("%-10s %-6s %-16s %-6s %-9s %-26s %-26s %s\n", "BENCH", "SC%",
+              "LOOP", "LSC%", "GR(ms)", "COMPUTED", "PAPER", "TECHNIQUES");
+  ThreadPool Pool(Threads);
+  for (auto &B : Benches) {
+    double RTovPct = 0, ParTotal = 0;
+    bool First = true;
+    std::string Rows;
+    rt::HoistCache Hoist;
+    for (const suite::LoopSpec &LS : B->Loops) {
+      rt::Memory M;
+      sym::Bindings Bd;
+      B->Setup(M, Bd, Scale);
+      analysis::AnalyzerOptions Opts;
+      Opts.Probe = &Bd;
+      Opts.HoistableContext = LS.Hoistable;
+      analysis::HybridAnalyzer A(B->usr(), B->prog(), Opts);
+      analysis::LoopPlan Plan = A.analyze(*LS.Loop);
+
+      // Granularity: sequential time of one loop invocation.
+      double GrMs;
+      {
+        rt::Memory M2;
+        sym::Bindings B2;
+        B->Setup(M2, B2, Scale);
+        rt::Executor E(B->prog(), B->usr());
+        double T0 = nowSeconds();
+        E.runSequential(*LS.Loop, M2, B2);
+        GrMs = (nowSeconds() - T0) * 1e3;
+      }
+      // Runtime-test overhead under the plan.
+      rt::Executor E(B->prog(), B->usr());
+      rt::ExecStats S = E.runPlanned(Plan, M, Bd, Pool, &Hoist);
+      ParTotal += S.TotalSeconds;
+      RTovPct += S.PredicateSeconds + S.CivSliceSeconds +
+                 S.ExactTestSeconds + S.BoundsCompSeconds;
+
+      char Row[512];
+      std::snprintf(Row, sizeof(Row),
+                    "%-10s %-6s %-16s %-6.1f %-9.3f %-26s %-26s %s\n",
+                    First ? B->Name.c_str() : "",
+                    First ? (std::to_string((int)B->SeqCoveragePct) + "%")
+                                .c_str()
+                          : "",
+                    LS.Name.c_str(), LS.LscPercent, GrMs,
+                    Plan.classString().c_str(), LS.PaperClass.c_str(),
+                    Plan.techniqueString().c_str());
+      Rows += Row;
+      First = false;
+    }
+    std::fputs(Rows.c_str(), stdout);
+    if (ParTotal > 0)
+      std::printf("%-10s RTov = %.2f%% of parallel runtime\n", "",
+                  100.0 * RTovPct / ParTotal);
+  }
+}
+
+} // namespace benchutil
+} // namespace halo
+
+#endif // HALO_BENCH_TABLEREPORT_H

@@ -1,0 +1,97 @@
+//===- bench/compile_time.cpp - Sec. 3.6 compile-time microbench ----------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+// Sec. 3.6: factorization is worst-case exponential but the typical USR
+// is sparse in the operators that cause it, and Fourier-Motzkin is only
+// exponential in the number of *eliminated* symbols (typically one).
+// These benchmarks measure factorization wall time over growing summary
+// shapes and the FM eliminator over a growing number of bound symbols.
+//
+//===----------------------------------------------------------------------===//
+
+#include "factor/Factor.h"
+#include "pdag/FourierMotzkin.h"
+#include "summary/Independence.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace halo;
+
+namespace {
+
+/// Factorize a union of K gated subtraction terms (Fig. 4 shapes).
+void BM_FactorGatedUnion(benchmark::State &State) {
+  int64_t K = State.range(0);
+  for (auto _ : State) {
+    sym::Context Sym;
+    pdag::PredContext P(Sym);
+    usr::USRContext U(Sym, P);
+    std::vector<const usr::USR *> Terms;
+    for (int64_t J = 0; J < K; ++J) {
+      const pdag::Pred *G =
+          P.ne(Sym.symRef("g" + std::to_string(J)), Sym.intConst(1));
+      const usr::USR *S = U.subtract(
+          U.interval(Sym.intConst(0), Sym.symRef("a" + std::to_string(J))),
+          U.interval(Sym.intConst(0), Sym.symRef("b" + std::to_string(J))));
+      Terms.push_back(U.gate(G, S));
+    }
+    factor::Factorizer F(U);
+    auto *Pred = F.factor(U.unionN(Terms));
+    benchmark::DoNotOptimize(Pred);
+  }
+  State.SetComplexityN(K);
+}
+
+/// Factorize the triangular output-independence equation over an index
+/// array (the expensive shape; exercises the monotonicity rule).
+void BM_FactorTriangularOInd(benchmark::State &State) {
+  for (auto _ : State) {
+    sym::Context Sym;
+    pdag::PredContext P(Sym);
+    usr::USRContext U(Sym, P);
+    sym::SymbolId I = Sym.symbol("i", 1);
+    sym::SymbolId K = Sym.symbol("k", 2);
+    sym::SymbolId IB = Sym.symbol("IB", 0, true);
+    auto WF = [&](sym::SymbolId V) {
+      return U.interval(Sym.arrayRef(IB, Sym.symRef(V)), Sym.intConst(8));
+    };
+    const usr::USR *Prior =
+        U.recur(K, Sym.intConst(1), Sym.addConst(Sym.symRef(I), -1), WF(K));
+    const usr::USR *OInd = U.recur(I, Sym.intConst(1), Sym.symRef("N"),
+                                   U.intersect(WF(I), Prior));
+    factor::Factorizer F(U);
+    auto *Pred = F.factor(OInd);
+    benchmark::DoNotOptimize(Pred);
+  }
+}
+
+/// Fourier-Motzkin elimination over a growing number of bound symbols
+/// (worst-case exponential — the paper eliminates one in practice).
+void BM_FourierMotzkinSymbols(benchmark::State &State) {
+  int64_t K = State.range(0);
+  for (auto _ : State) {
+    sym::Context Sym;
+    pdag::PredContext P(Sym);
+    sym::RangeEnv Env;
+    const sym::Expr *E = Sym.symRef("c");
+    for (int64_t J = 0; J < K; ++J) {
+      sym::SymbolId V = Sym.symbol("v" + std::to_string(J), 1);
+      Env.bind(V, Sym.intConst(1), Sym.symRef("N" + std::to_string(J)));
+      E = Sym.add(E, Sym.mul(Sym.symRef(V),
+                             Sym.symRef("a" + std::to_string(J))));
+    }
+    auto *Pred = pdag::reduceGE0(P, E, Env);
+    benchmark::DoNotOptimize(Pred);
+  }
+  State.SetComplexityN(K);
+}
+
+} // namespace
+
+BENCHMARK(BM_FactorGatedUnion)->RangeMultiplier(2)->Range(2, 64)->Complexity();
+BENCHMARK(BM_FactorTriangularOInd);
+BENCHMARK(BM_FourierMotzkinSymbols)->DenseRange(1, 5)->Complexity();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+//===- bench/fig13_scalability.cpp - Figure 13 harness --------------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+// Speedup scalability of the SPEC2000/2006 benchmarks from 1 to 16
+// threads (paper Figure 13). Speedup = sequential time / hybrid parallel
+// time at each thread count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+using namespace halo;
+using namespace halo::benchutil;
+
+int main() {
+  auto Benches = suite::buildSpec2000();
+  const unsigned ThreadCounts[] = {1, 2, 4, 8, 16};
+  std::printf(
+      "=== Figure 13: SPEC2000/2006 speedup scalability (1..16 threads) "
+      "===\n");
+  std::printf("%-12s", "BENCH");
+  for (unsigned T : ThreadCounts)
+    std::printf(" %9up", T);
+  std::printf("\n");
+  for (auto &B : Benches) {
+    std::printf("%-12s", B->Name.c_str());
+    for (unsigned T : ThreadCounts) {
+      BenchTiming R = timeBenchmark(*B, T, 8, true, 2);
+      std::printf(" %9.2f", R.SeqSeconds / R.ParSeconds);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+//===- bench/fig_timing.cpp - Figures 10/11/12 harness --------------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+// Normalized parallel timing (sequential = 1.0) per benchmark:
+//  - "Factorization" = the hybrid analyzer with runtime predicates,
+//  - "Static-Auto"   = the commercial-compiler proxy (static only; the
+//    paper's Intel-Auto / XLF_R-Auto series).
+//
+// One binary serves Figures 10 (PERFECT-CLUB, 4 threads), 11 (SPEC89/92,
+// 4 threads) and 12 (SPEC2000/2006, 8 threads); the suite is selected by
+// the compile-time SUITE_* macro set in CMakeLists.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+
+using namespace halo;
+using namespace halo::benchutil;
+
+int main() {
+#if defined(SUITE_PERFECT)
+  auto Benches = suite::buildPerfectClub();
+  const char *Title = "Figure 10: PERFECT-CLUB normalized parallel timing";
+  unsigned Threads = 4;
+  int64_t Scale = 6;
+#elif defined(SUITE_SPEC92)
+  auto Benches = suite::buildSpec92();
+  const char *Title = "Figure 11: SPEC89/92 normalized parallel timing";
+  unsigned Threads = 4;
+  int64_t Scale = 6;
+#else
+  auto Benches = suite::buildSpec2000();
+  const char *Title = "Figure 12: SPEC2000/2006 normalized parallel timing";
+  unsigned Threads = 8;
+  int64_t Scale = 6;
+#endif
+
+  std::printf("=== %s ===\n", Title);
+  std::printf("(sequential time = 1.0; lower is better; %u threads)\n",
+              Threads);
+  std::printf("%-12s %-14s %-14s %-10s %s\n", "BENCH", "Factorization",
+              "Static-Auto", "RTov%", "NOTE");
+  for (auto &B : Benches) {
+    BenchTiming Hybrid = timeBenchmark(*B, Threads, Scale,
+                                       /*RuntimeTests=*/true, 2);
+    BenchTiming Static = timeBenchmark(*B, Threads, Scale,
+                                       /*RuntimeTests=*/false, 2);
+    double NormH = Hybrid.ParSeconds / Hybrid.SeqSeconds;
+    double NormS = Static.ParSeconds / Static.SeqSeconds;
+    double RTov = 100.0 * Hybrid.TestOverheadSec / Hybrid.ParSeconds;
+    std::printf("%-12s %-14.3f %-14.3f %-10.2f %s\n", B->Name.c_str(), NormH,
+                NormS, RTov, Hybrid.AnyTLS ? "TLS used" : "");
+  }
+  return 0;
+}

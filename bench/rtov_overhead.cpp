@@ -1,0 +1,34 @@
+//===- bench/rtov_overhead.cpp - Runtime-test overhead (RTov) -------------===//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+// Measures, per runtime-assisted benchmark, the share of the parallel
+// runtime spent in predicate cascades, CIV slices, bounds computation and
+// exact tests — the paper's claim is "under 1% of the parallel runtime"
+// except track (47%), gromacs (3.4%) and calculix (8.5%).
+//===----------------------------------------------------------------------===//
+#include "bench/BenchUtil.h"
+using namespace halo;
+using namespace halo::benchutil;
+int main() {
+  std::printf("=== Runtime-test overhead (RTov, %% of parallel runtime) ===\n");
+  std::printf("%-12s %-10s %-12s %s\n", "BENCH", "RTov%", "paper-RTov%", "NOTE");
+  struct Row { const char *Name; const char *Paper; };
+  const std::map<std::string, const char *> PaperRTov = {
+      {"flo52", "0%"},   {"bdna", "0%"},     {"arc2d", ".2%"},
+      {"dyfesm", ".3%"}, {"mdg", "0%"},      {"trfd", "0%"},
+      {"track", "47%"},  {"spec77", "0%"},   {"ocean", ".1%"},
+      {"qcd", "0%"},     {"nasa7", ".03%"},  {"wupwise", "0%"},
+      {"apsi", ".2%"},   {"zeusmp", ".01%"}, {"gromacs", "3.4%"},
+      {"calculix", "8.5%"}};
+  auto Benches = suite::buildAllBenchmarks();
+  for (auto &B : Benches) {
+    auto It = PaperRTov.find(B->Name);
+    if (It == PaperRTov.end())
+      continue;
+    BenchTiming T = timeBenchmark(*B, 4, 8, true);
+    std::printf("%-12s %-10.2f %-12s %s\n", B->Name.c_str(),
+                100.0 * T.TestOverheadSec / T.ParSeconds, It->second,
+                T.AnyTLS ? "TLS used" : "");
+  }
+  return 0;
+}

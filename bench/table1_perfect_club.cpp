@@ -1,0 +1,14 @@
+//===- bench/table1_perfect_club.cpp - Regenerates Table 1 ----------------===//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+// Per-loop classification and runtime-test overhead for the PERFECT-CLUB
+// suite (paper Table 1), computed by the hybrid analyzer on the
+// reconstructed benchmarks.
+//===----------------------------------------------------------------------===//
+#include "bench/TableReport.h"
+using namespace halo;
+int main() {
+  benchutil::printTable("Table 1: PERFECT-CLUB suite (paper Table 1)",
+                        suite::buildPerfectClub(), 4, 1);
+  return 0;
+}

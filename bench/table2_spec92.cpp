@@ -1,0 +1,11 @@
+//===- bench/table2_spec92.cpp - Regenerates Table 2 ----------------------===//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//===----------------------------------------------------------------------===//
+#include "bench/TableReport.h"
+using namespace halo;
+int main() {
+  benchutil::printTable("Table 2: SPEC89/92 suite (paper Table 2)",
+                        suite::buildSpec92(), 4, 1);
+  return 0;
+}

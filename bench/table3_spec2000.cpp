@@ -1,0 +1,11 @@
+//===- bench/table3_spec2000.cpp - Regenerates Table 3 --------------------===//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//===----------------------------------------------------------------------===//
+#include "bench/TableReport.h"
+using namespace halo;
+int main() {
+  benchutil::printTable("Table 3: SPEC2000/2006 suite (paper Table 3)",
+                        suite::buildSpec2000(), 8, 1);
+  return 0;
+}

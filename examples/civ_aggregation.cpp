@@ -1,0 +1,84 @@
+//===- examples/civ_aggregation.cpp - Fig. 7(b) CIV aggregation -----------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+// Conditionally-incremented induction variables (Sec. 3.3, Fig. 7b): the
+// loop below packs variable-size records through a CIV. The analysis
+// summarizes the writes through civ^pre pseudo-arrays, proves output
+// independence statically via the CIV write envelope, and the runtime
+// precomputes the CIV values with a loop slice (CIV-COMP) so chunks can
+// start at the right offsets — the track EXTEND_DO400 story, including
+// its measurable slice overhead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "rt/Executor.h"
+
+#include <iostream>
+
+using namespace halo;
+
+int main() {
+  sym::Context Sym;
+  pdag::PredContext P(Sym);
+  usr::USRContext U(Sym, P);
+  ir::Program Prog(Sym, P);
+  ir::Subroutine *Main = Prog.makeSubroutine("main");
+
+  sym::SymbolId X = Sym.symbol("X", 0, true);
+  sym::SymbolId CND = Sym.symbol("CND", 0, true);
+  Main->declareArray(ir::ArrayDecl{X, Sym.mulConst(Sym.symRef("N"), 4),
+                                   false});
+  Main->declareArray(ir::ArrayDecl{CND, nullptr, true});
+
+  sym::SymbolId Civ = Sym.symbol("civ", 1);
+  sym::SymbolId I = Sym.symbol("i", 1);
+  sym::SymbolId J = Sym.symbol("j", 2);
+  ir::DoLoop *L = Prog.make<ir::DoLoop>("pack", I, Sym.intConst(1),
+                                        Sym.symRef("N"), 1);
+  ir::IfStmt *If = Prog.make<ir::IfStmt>(
+      P.gt(Sym.arrayRef(CND, Sym.symRef(I)), Sym.intConst(0)));
+  ir::DoLoop *Blk = Prog.make<ir::DoLoop>("pack_j", J, Sym.intConst(1),
+                                          Sym.intConst(3), 2);
+  Blk->append(Prog.make<ir::AssignStmt>(
+      ir::ArrayAccess{X, Sym.addConst(
+                             Sym.add(Sym.symRef(Civ), Sym.symRef(J)), -1)},
+      std::vector<ir::ArrayAccess>{}, false, 20));
+  If->appendThen(Blk);
+  If->appendThen(Prog.make<ir::CivIncrStmt>(Civ, Sym.intConst(3)));
+  L->append(If);
+
+  analysis::HybridAnalyzer An(U, Prog);
+  analysis::LoopPlan Plan = An.analyze(*L);
+  std::cout << "classification: " << Plan.classString() << "\n";
+  std::cout << "techniques:     " << Plan.techniqueString() << "\n";
+  std::cout << "CIVs discovered: " << Plan.Civ.Civs.size()
+            << ", joins: " << Plan.Civ.Joins.size()
+            << ", validated envelopes: " << Plan.Civ.Envelopes.size()
+            << "\n";
+  for (const summary::CivDesc &D : Plan.Civ.Civs)
+    std::cout << "  " << Sym.symbolInfo(D.Civ).Name
+              << " -> entry array " << Sym.symbolInfo(D.EntryArr).Name
+              << (D.Monotone ? " (monotone)" : "") << "\n";
+
+  rt::Memory M;
+  sym::Bindings B;
+  int64_t N = 2000;
+  B.setScalar(Sym.symbol("N"), N);
+  B.setScalar(Civ, 0);
+  sym::ArrayBinding CV;
+  CV.Lo = 1;
+  for (int64_t K = 0; K < N; ++K)
+    CV.Vals.push_back(K % 2); // Half the iterations pack a record.
+  B.setArray(CND, CV);
+  M.alloc(X, static_cast<size_t>(4 * N));
+  ThreadPool Pool(4);
+  rt::Executor E(Prog, U);
+  rt::ExecStats S = E.runPlanned(Plan, M, B, Pool);
+  std::cout << "parallel=" << S.RanParallel << ", CIV-COMP slice took "
+            << S.CivSliceSeconds * 1e3 << " ms of " << S.TotalSeconds * 1e3
+            << " ms total (the track-style overhead)\n";
+  return 0;
+}

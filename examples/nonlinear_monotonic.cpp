@@ -1,0 +1,82 @@
+//===- examples/nonlinear_monotonic.cpp - Sec. 3.3 monotonicity -----------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+// Non-linear (index-array) accesses: every iteration writes the block
+// A[IB(i)-1 .. IB(i)+LEN-2]. No affine test can disambiguate this; the
+// monotonicity rule of Sec. 3.3 extracts the O(N) predicate
+//   AND_{i} ( IB(i+1) > IB(i) + LEN - 1 )
+// (compare Fig. 3(b)'s AND_i NS <= 32*(IB(i+1)-IA(i)-IB(i)+1)). The
+// example evaluates the predicate against a monotone and an overlapping
+// index array and executes the loop accordingly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyzer.h"
+#include "pdag/PredEval.h"
+#include "rt/Executor.h"
+
+#include <iostream>
+
+using namespace halo;
+
+int main() {
+  sym::Context Sym;
+  pdag::PredContext P(Sym);
+  usr::USRContext U(Sym, P);
+  ir::Program Prog(Sym, P);
+  ir::Subroutine *Main = Prog.makeSubroutine("main");
+
+  sym::SymbolId A = Sym.symbol("A", 0, true);
+  sym::SymbolId IB = Sym.symbol("IB", 0, true);
+  Main->declareArray(ir::ArrayDecl{A, Sym.mulConst(Sym.symRef("N"), 8),
+                                   false});
+  Main->declareArray(ir::ArrayDecl{IB, nullptr, true});
+
+  sym::SymbolId I = Sym.symbol("i", 1);
+  sym::SymbolId J = Sym.symbol("j", 2);
+  ir::DoLoop *L = Prog.make<ir::DoLoop>("blocks", I, Sym.intConst(1),
+                                        Sym.symRef("N"), 1);
+  ir::DoLoop *Inner = Prog.make<ir::DoLoop>("blocks_j", J, Sym.intConst(1),
+                                            Sym.intConst(4), 2);
+  const sym::Expr *Off = Sym.addConst(
+      Sym.add(Sym.arrayRef(IB, Sym.symRef(I)), Sym.symRef(J)), -2);
+  Inner->append(Prog.make<ir::AssignStmt>(
+      ir::ArrayAccess{A, Off}, std::vector<ir::ArrayAccess>{}, false, 16));
+  L->append(Inner);
+
+  analysis::HybridAnalyzer An(U, Prog);
+  analysis::LoopPlan Plan = An.analyze(*L);
+  std::cout << "classification: " << Plan.classString() << "\n";
+  std::cout << "monotonicity rule fired "
+            << An.lastFactorStats().MonotonicityRule << " time(s)\n";
+
+  for (const analysis::ArrayPlan &AP : Plan.Arrays)
+    for (const pdag::CascadeStage &St : AP.Output.Stages)
+      std::cout << "output test O(N^" << St.Depth
+                << "): " << St.P->toString(Sym) << "\n";
+
+  auto Run = [&](std::vector<int64_t> IBVals, const char *What) {
+    rt::Memory M;
+    sym::Bindings B;
+    int64_t N = static_cast<int64_t>(IBVals.size());
+    B.setScalar(Sym.symbol("N"), N);
+    sym::ArrayBinding AB;
+    AB.Lo = 1;
+    AB.Vals = std::move(IBVals);
+    B.setArray(IB, AB);
+    M.alloc(A, static_cast<size_t>(8 * N + 16));
+    ThreadPool Pool(4);
+    rt::Executor E(Prog, U);
+    rt::ExecStats S = E.runPlanned(Plan, M, B, Pool);
+    std::cout << What << ": ran "
+              << (S.RanParallel ? "PARALLEL" : "sequential")
+              << (S.UsedTLS ? " (speculative)" : "") << "\n";
+  };
+  // Monotone with gaps >= 4: the predicate passes, the loop runs DOALL.
+  Run({1, 6, 11, 16, 21, 26, 31, 36}, "monotone IB  ");
+  // Overlapping blocks: the predicate fails, execution stays safe.
+  Run({1, 3, 5, 7, 9, 11, 13, 15}, "overlapping IB");
+  return 0;
+}

@@ -1,0 +1,197 @@
+//===- lmad/LMAD.cpp - Linear memory access descriptors -------------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lmad/LMAD.h"
+
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+using namespace halo;
+using namespace halo::lmad;
+using sym::Expr;
+
+LMAD LMAD::makeInterval(sym::Context &Ctx, const Expr *Offset,
+                        const Expr *Len) {
+  return makeStrided(Ctx.intConst(1), Ctx.addConst(Len, -1), Offset);
+}
+
+bool LMAD::dependsOn(sym::SymbolId S) const {
+  if (Offset->dependsOn(S))
+    return true;
+  for (const Dim &D : Dims)
+    if (D.Stride->dependsOn(S) || D.Span->dependsOn(S))
+      return true;
+  return false;
+}
+
+bool LMAD::isInvariantAtDepth(int D, const sym::Context &Ctx) const {
+  if (!Offset->isInvariantAtDepth(D, Ctx))
+    return false;
+  for (const Dim &Dm : Dims)
+    if (!Dm.Stride->isInvariantAtDepth(D, Ctx) ||
+        !Dm.Span->isInvariantAtDepth(D, Ctx))
+      return false;
+  return true;
+}
+
+void LMAD::print(std::ostream &OS, const sym::Context &Ctx) const {
+  OS << "[";
+  for (size_t I = 0; I < Dims.size(); ++I) {
+    if (I)
+      OS << ",";
+    Dims[I].Stride->print(OS, Ctx);
+  }
+  OS << "]v[";
+  for (size_t I = 0; I < Dims.size(); ++I) {
+    if (I)
+      OS << ",";
+    Dims[I].Span->print(OS, Ctx);
+  }
+  OS << "]+";
+  Offset->print(OS, Ctx);
+}
+
+std::string LMAD::toString(const sym::Context &Ctx) const {
+  std::ostringstream OS;
+  print(OS, Ctx);
+  return OS.str();
+}
+
+LMAD lmad::substitute(sym::Context &Ctx, const LMAD &L,
+                      const std::map<sym::SymbolId, const Expr *> &M) {
+  std::vector<Dim> Dims;
+  Dims.reserve(L.dims().size());
+  for (const Dim &D : L.dims())
+    Dims.push_back(Dim{Ctx.substitute(D.Stride, M), Ctx.substitute(D.Span, M)});
+  return LMAD(std::move(Dims), Ctx.substitute(L.offset(), M));
+}
+
+LMAD lmad::translate(sym::Context &Ctx, const LMAD &L, const Expr *Delta) {
+  return LMAD(std::vector<Dim>(L.dims()), Ctx.add(L.offset(), Delta));
+}
+
+std::optional<LMAD> lmad::aggregate(sym::Context &Ctx, const LMAD &L,
+                                    sym::SymbolId Var, const Expr *Lo,
+                                    const Expr *Hi) {
+  // Strides and spans must not vary with the loop.
+  for (const Dim &D : L.dims())
+    if (D.Stride->dependsOn(Var) || D.Span->dependsOn(Var))
+      return std::nullopt;
+
+  auto Split = Ctx.splitLinearIn(L.offset(), Var);
+  if (!Split)
+    return std::nullopt;
+  const Expr *A = Split->A;
+  const Expr *B = Split->B;
+  if (A->dependsOn(Var))
+    return std::nullopt; // Quadratic in Var: no closed-form aggregation.
+
+  if (A == Ctx.intConst(0))
+    return L; // The access is invariant: the union over i is L itself.
+
+  const Expr *Count = Ctx.addConst(Ctx.sub(Hi, Lo), 1);
+  auto AC = Ctx.constValue(A);
+  if (AC && *AC < 0) {
+    // Negative constant stride: flip direction so strides stay positive.
+    const Expr *PosA = Ctx.intConst(-*AC);
+    const Expr *NewOffset = Ctx.add(Ctx.mul(A, Hi), B);
+    const Expr *Span = Ctx.mul(PosA, Ctx.addConst(Count, -1));
+    std::vector<Dim> Dims(L.dims());
+    Dims.push_back(Dim{PosA, Span});
+    return LMAD(std::move(Dims), NewOffset);
+  }
+  // Non-negative (constant or assumed-positive symbolic) stride.
+  const Expr *NewOffset = Ctx.add(Ctx.mul(A, Lo), B);
+  const Expr *Span = Ctx.mul(A, Ctx.addConst(Count, -1));
+  std::vector<Dim> Dims(L.dims());
+  Dims.push_back(Dim{A, Span});
+  return LMAD(std::move(Dims), NewOffset);
+}
+
+Interval lmad::intervalOverestimate(sym::Context &Ctx, const LMAD &L) {
+  const Expr *Hi = L.offset();
+  for (const Dim &D : L.dims())
+    Hi = Ctx.add(Hi, D.Span);
+  return Interval{L.offset(), Hi};
+}
+
+LMAD lmad::flatten1D(sym::Context &Ctx, const LMAD &L) {
+  if (L.rank() <= 1)
+    return L;
+  // gcd of constant strides; if all strides are the same symbolic
+  // expression, that expression; otherwise stride 1 (always sound).
+  bool AllConst = true;
+  int64_t G = 0;
+  bool AllSameSym = true;
+  const Expr *FirstStride = L.dims().front().Stride;
+  for (const Dim &D : L.dims()) {
+    if (auto C = Ctx.constValue(D.Stride))
+      G = std::gcd(G, *C);
+    else
+      AllConst = false;
+    if (D.Stride != FirstStride)
+      AllSameSym = false;
+  }
+  const Expr *Stride = nullptr;
+  if (AllConst && G > 0)
+    Stride = Ctx.intConst(G);
+  else if (AllSameSym)
+    Stride = FirstStride;
+  else
+    Stride = Ctx.intConst(1);
+
+  const Expr *Span = Ctx.intConst(0);
+  for (const Dim &D : L.dims())
+    Span = Ctx.add(Span, D.Span);
+  return LMAD::makeStrided(Stride, Span, L.offset());
+}
+
+bool lmad::enumerate(const LMAD &L, const sym::Bindings &B,
+                     std::vector<int64_t> &Out, size_t Cap) {
+  auto Offset = sym::tryEval(L.offset(), B);
+  if (!Offset)
+    return false;
+  std::vector<std::pair<int64_t, int64_t>> DimVals; // (stride, count)
+  size_t Total = 1;
+  for (const Dim &D : L.dims()) {
+    auto S = sym::tryEval(D.Stride, B);
+    auto Sp = sym::tryEval(D.Span, B);
+    if (!S || !Sp || *S < 0)
+      return false;
+    // A negative span denotes the empty set ({t + i*d | 0 <= i*d <= s}
+    // has no solution): contribute nothing.
+    if (*Sp < 0)
+      return true;
+    // Count of positions: span/stride + 1 (stride 0 with span 0 is a point).
+    int64_t Count = (*S == 0) ? 1 : (*Sp / *S + 1);
+    DimVals.emplace_back(*S, Count);
+    if (Count <= 0)
+      Count = 1;
+    if (Total > Cap / static_cast<size_t>(Count))
+      return false;
+    Total *= static_cast<size_t>(Count);
+  }
+  Out.reserve(Out.size() + Total);
+  // Odometer enumeration over all dimensions.
+  std::vector<int64_t> Idx(DimVals.size(), 0);
+  for (;;) {
+    int64_t P = *Offset;
+    for (size_t D = 0; D < DimVals.size(); ++D)
+      P += Idx[D] * DimVals[D].first;
+    Out.push_back(P);
+    size_t D = 0;
+    for (; D < DimVals.size(); ++D) {
+      if (++Idx[D] < DimVals[D].second)
+        break;
+      Idx[D] = 0;
+    }
+    if (D == DimVals.size())
+      break;
+  }
+  return true;
+}

@@ -1,0 +1,142 @@
+//===- lmad/LMAD.h - Linear memory access descriptors ----------*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LMADs (linear memory access descriptors, Paek/Hoeflinger/Padua) are the
+/// leaf sets of the USR language (Sec. 2.1 of the paper):
+///
+///   [d1,...,dM] v [s1,...,sM] + t
+///     ==  { t + i1*d1 + ... + iM*dM | 0 <= ik*dk <= sk }
+///
+/// with symbolic strides dk, spans sk and offset t, all assumed
+/// non-negative strides (the paper's simplifying assumption). Offsets are
+/// 0-based linearized element offsets, which makes LMADs transparent to
+/// array reshaping at call sites (Sec. 2.1: an LMAD is by definition a set
+/// of unidimensional points).
+///
+/// Aggregating an access over a loop adds one "virtual" dimension; the
+/// union over i in [lo,hi] of `a*i + b + pts` is *exactly* the LMAD with a
+/// new dimension [a] v [a*(hi-lo)] and offset a*lo + b, provided hi >= lo
+/// (callers gate on loop non-emptiness to stay exact).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_LMAD_LMAD_H
+#define HALO_LMAD_LMAD_H
+
+#include "sym/Eval.h"
+#include "sym/Expr.h"
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace halo {
+namespace lmad {
+
+/// One (virtual) dimension: stride and span (span = stride * (count - 1)).
+struct Dim {
+  const sym::Expr *Stride = nullptr;
+  const sym::Expr *Span = nullptr;
+
+  bool operator==(const Dim &O) const {
+    return Stride == O.Stride && Span == O.Span;
+  }
+};
+
+/// A linear memory access descriptor over one array.
+class LMAD {
+public:
+  LMAD() = default;
+  LMAD(std::vector<Dim> Dims, const sym::Expr *Offset)
+      : Dims(std::move(Dims)), Offset(Offset) {}
+
+  /// Single point {offset}.
+  static LMAD makePoint(const sym::Expr *Offset) { return LMAD({}, Offset); }
+  /// One-dimensional descriptor [stride] v [span] + offset.
+  static LMAD makeStrided(const sym::Expr *Stride, const sym::Expr *Span,
+                          const sym::Expr *Offset) {
+    return LMAD({Dim{Stride, Span}}, Offset);
+  }
+  /// Contiguous interval [offset, offset + len - 1] (stride 1).
+  static LMAD makeInterval(sym::Context &Ctx, const sym::Expr *Offset,
+                           const sym::Expr *Len);
+
+  const std::vector<Dim> &dims() const { return Dims; }
+  const sym::Expr *offset() const { return Offset; }
+  bool isPoint() const { return Dims.empty(); }
+  size_t rank() const { return Dims.size(); }
+
+  bool operator==(const LMAD &O) const {
+    return Offset == O.Offset && Dims == O.Dims;
+  }
+
+  /// True iff no component mentions \p S.
+  bool dependsOn(sym::SymbolId S) const;
+  /// True iff every component is invariant w.r.t. loop depth \p D.
+  bool isInvariantAtDepth(int D, const sym::Context &Ctx) const;
+
+  void print(std::ostream &OS, const sym::Context &Ctx) const;
+  std::string toString(const sym::Context &Ctx) const;
+
+private:
+  std::vector<Dim> Dims;
+  const sym::Expr *Offset = nullptr;
+};
+
+/// A set of LMADs (the leaf payload of a USR node).
+using LMADSet = std::vector<LMAD>;
+
+//===----------------------------------------------------------------------===//
+// Symbolic operations
+//===----------------------------------------------------------------------===//
+
+/// Rewrites every component through the scalar substitution \p M.
+LMAD substitute(sym::Context &Ctx, const LMAD &L,
+                const std::map<sym::SymbolId, const sym::Expr *> &M);
+
+/// Adds \p Delta to the offset (call-site translation of a formal array
+/// parameter onto the actual argument's linearized offset).
+LMAD translate(sym::Context &Ctx, const LMAD &L, const sym::Expr *Delta);
+
+/// Aggregates \p L over `Var = Lo..Hi` (Sec. 2.1): the offset must be
+/// linear in Var with a Var-invariant coefficient, and strides/spans must
+/// be Var-invariant. The result is the exact union for Hi >= Lo. Negative
+/// constant coefficients are normalized (the direction flips); symbolic
+/// coefficients are assumed non-negative only when provably so, otherwise
+/// aggregation fails and the caller falls back to a USR recurrence node.
+std::optional<LMAD> aggregate(sym::Context &Ctx, const LMAD &L,
+                              sym::SymbolId Var, const sym::Expr *Lo,
+                              const sym::Expr *Hi);
+
+/// Interval overestimate [lo, hi] of \p L (strides assumed non-negative):
+/// lo = offset, hi = offset + sum of spans.
+struct Interval {
+  const sym::Expr *Lo;
+  const sym::Expr *Hi;
+};
+Interval intervalOverestimate(sym::Context &Ctx, const LMAD &L);
+
+/// 1-D overestimate used by FLATTEN_LMADS (Fig. 6a): stride = gcd of the
+/// constant strides (or the common symbolic stride), span = sum of spans.
+LMAD flatten1D(sym::Context &Ctx, const LMAD &L);
+
+//===----------------------------------------------------------------------===//
+// Concrete enumeration (reference semantics / exact runtime tests)
+//===----------------------------------------------------------------------===//
+
+/// Enumerates the concrete offsets of \p L under \p B into \p Out
+/// (unsorted, may contain duplicates when dimensions overlap). Returns
+/// false when evaluation fails or the set exceeds \p Cap points.
+bool enumerate(const LMAD &L, const sym::Bindings &B,
+               std::vector<int64_t> &Out, size_t Cap = 1u << 22);
+
+} // namespace lmad
+} // namespace halo
+
+#endif // HALO_LMAD_LMAD_H

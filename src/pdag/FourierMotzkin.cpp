@@ -1,0 +1,137 @@
+//===- pdag/FourierMotzkin.cpp - Symbolic bound-variable elimination ------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pdag/FourierMotzkin.h"
+
+#include "support/Error.h"
+
+using namespace halo;
+using namespace halo::pdag;
+using sym::Expr;
+using sym::SymbolId;
+
+namespace {
+
+/// Guards against pathological recursion (the algorithm is worst-case
+/// exponential; real inputs eliminate one or two symbols).
+constexpr int MaxFMDepth = 12;
+
+class Eliminator {
+public:
+  Eliminator(PredContext &Ctx, const sym::RangeEnv &Env)
+      : Ctx(Ctx), Sym(Ctx.symCtx()), Env(Env) {}
+
+  /// Sufficient predicate for E >= 0.
+  const Pred *reduce(const Expr *E, int Depth) {
+    if (Depth > MaxFMDepth)
+      return Ctx.ge0(E);
+
+    // FIND_SYMBOL: a bounded symbol that occurs polynomially in E.
+    SymbolId Var = 0;
+    const sym::Range *R = nullptr;
+    std::optional<sym::Context::LinearSplit> Split;
+    for (SymbolId S : E->freeSymbols()) {
+      const sym::Range *SR = Env.lookup(S);
+      if (!SR)
+        continue;
+      auto SS = Sym.splitLinearIn(E, S);
+      if (!SS || SS->A == Sym.intConst(0))
+        continue;
+      Var = S;
+      R = SR;
+      Split = SS;
+      break;
+    }
+    if (!Split)
+      return Ctx.ge0(E); // err case of FIND_SYMBOL: emit the leaf as-is.
+
+    const Expr *A = Split->A;
+    const Expr *B = Split->B;
+    const Expr *AtLo = Sym.add(Sym.mul(A, R->Lo), B);
+    const Expr *AtHi = Sym.add(Sym.mul(A, R->Hi), B);
+
+    // If the coefficient's sign is known, only one branch survives.
+    if (auto AC = Sym.constValue(A))
+      return reduce(*AC >= 0 ? AtLo : AtHi, Depth + 1);
+
+    // (A >= 0 and A*Lo + B >= 0) or (A < 0 and A*Hi + B >= 0), with the
+    // sign conditions themselves reduced (they have smaller exponent).
+    const Pred *Pos =
+        Ctx.and2(reduce(A, Depth + 1), reduce(AtLo, Depth + 1));
+    const Pred *Neg = Ctx.and2(
+        reduce(Sym.addConst(Sym.neg(A), -1), Depth + 1), // -A - 1 >= 0.
+        reduce(AtHi, Depth + 1));
+    return Ctx.or2(Pos, Neg);
+  }
+
+private:
+  PredContext &Ctx;
+  sym::Context &Sym;
+  const sym::RangeEnv &Env;
+};
+
+} // namespace
+
+const Pred *pdag::reduceGE0(PredContext &Ctx, const Expr *E,
+                            const sym::RangeEnv &Env) {
+  if (Env.empty())
+    return Ctx.ge0(E);
+  Eliminator El(Ctx, Env);
+  return El.reduce(E, 0);
+}
+
+const Pred *pdag::reduceGT0(PredContext &Ctx, const Expr *E,
+                            const sym::RangeEnv &Env) {
+  return reduceGE0(Ctx, Ctx.symCtx().addConst(E, -1), Env);
+}
+
+const Pred *pdag::reducePred(PredContext &Ctx, const Pred *P,
+                             const sym::RangeEnv &Env) {
+  if (Env.empty())
+    return P;
+  auto TouchesEnv = [&Env](const Pred *Q) {
+    for (SymbolId S : Q->freeSymbols())
+      if (Env.lookup(S))
+        return true;
+    return false;
+  };
+  if (!TouchesEnv(P))
+    return P;
+  switch (P->getKind()) {
+  case PredKind::True:
+  case PredKind::False:
+    return P;
+  case PredKind::Cmp: {
+    const auto *C = cast<CmpPred>(P);
+    if (C->getRel() == CmpRel::GE0) {
+      const Pred *R = reduceGE0(Ctx, C->getExpr(), Env);
+      // Residual occurrences (opaque atoms): strengthen to false — the
+      // caller ORs the reduction with the exact loop node, so nothing is
+      // lost overall.
+      return TouchesEnv(R) ? Ctx.getFalse() : R;
+    }
+    // Equalities/disequalities over the eliminated variable have no
+    // sufficient variable-free form; strengthen to false.
+    return Ctx.getFalse();
+  }
+  case PredKind::Divides: // Congruences are not FM-reducible.
+    return Ctx.getFalse();
+  case PredKind::And:
+  case PredKind::Or: {
+    const auto *N = cast<NaryPred>(P);
+    std::vector<const Pred *> Cs;
+    Cs.reserve(N->getChildren().size());
+    for (const Pred *C : N->getChildren())
+      Cs.push_back(reducePred(Ctx, C, Env));
+    return N->isAnd() ? Ctx.andN(std::move(Cs)) : Ctx.orN(std::move(Cs));
+  }
+  case PredKind::LoopAll:
+  case PredKind::CallSite:
+    return Ctx.getFalse(); // Bound variable escapes into a nested scope.
+  }
+  halo_unreachable("covered switch");
+}

@@ -1,0 +1,59 @@
+//===- pdag/FourierMotzkin.h - Symbolic bound-variable elimination -*-C++-*-=//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The symbolic Fourier-Motzkin-like eliminator of Fig. 6(b): given an
+/// integer expression `expr` and a range environment binding loop indexes,
+/// produce a *sufficient* predicate for `expr >= 0` (resp. `> 0`) in which
+/// the bounded symbols have been eliminated:
+///
+///   expr = a*i + b, i in [L, U], i not in b:
+///     (a >= 0 and a*L + b >= 0)  or  (a < 0 and a*U + b >= 0)
+///
+/// where the sign conditions on `a` recurse (they may themselves mention
+/// bounded symbols of smaller exponent), guaranteeing termination at
+/// worst-case exponential cost — the paper notes this is only exponential in
+/// the number of *eliminated* symbols, typically one (the outermost loop
+/// index).
+///
+/// The canonical use (loop CORREC_DO711 of bdna, Sec. 3.2): eliminating i
+/// from `IX(1)+1-IX(2)-i > 0` with i in [1, NOP] yields
+/// `IX(2)+NOP <= IX(1)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_PDAG_FOURIERMOTZKIN_H
+#define HALO_PDAG_FOURIERMOTZKIN_H
+
+#include "pdag/Pred.h"
+#include "sym/Range.h"
+
+namespace halo {
+namespace pdag {
+
+/// Produces a sufficient predicate for `E >= 0` with the symbols bound in
+/// \p Env eliminated where possible. Symbols that occur inside opaque atoms
+/// (array subscripts) survive in the result; callers test
+/// `result->dependsOn(var)` and wrap in a LoopAll when elimination failed.
+const Pred *reduceGE0(PredContext &Ctx, const sym::Expr *E,
+                      const sym::RangeEnv &Env);
+
+/// Sufficient predicate for `E > 0` (the paper's REDUCE_GT_0).
+const Pred *reduceGT0(PredContext &Ctx, const sym::Expr *E,
+                      const sym::RangeEnv &Env);
+
+/// Applies the eliminator to every comparison leaf of \p P, strengthening
+/// the predicate so that env-bound symbols disappear where possible.
+/// Leaves that cannot be reduced are kept unchanged (the caller decides
+/// whether to wrap them in a loop conjunction).
+const Pred *reducePred(PredContext &Ctx, const Pred *P,
+                       const sym::RangeEnv &Env);
+
+} // namespace pdag
+} // namespace halo
+
+#endif // HALO_PDAG_FOURIERMOTZKIN_H

@@ -1,0 +1,116 @@
+//===- pdag/PredEval.cpp - Runtime interpretation of predicates -----------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pdag/PredEval.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace halo;
+using namespace halo::pdag;
+
+std::optional<bool> pdag::tryEvalPred(const Pred *P, sym::Bindings &B,
+                                      EvalStats *Stats) {
+  switch (P->getKind()) {
+  case PredKind::True:
+    return true;
+  case PredKind::False:
+    return false;
+  case PredKind::Cmp: {
+    const auto *C = cast<CmpPred>(P);
+    auto V = sym::tryEval(C->getExpr(), B);
+    if (!V)
+      return std::nullopt;
+    if (Stats)
+      ++Stats->LeafEvals;
+    switch (C->getRel()) {
+    case CmpRel::GE0:
+      return *V >= 0;
+    case CmpRel::EQ0:
+      return *V == 0;
+    case CmpRel::NE0:
+      return *V != 0;
+    }
+    halo_unreachable("covered switch");
+  }
+  case PredKind::Divides: {
+    const auto *D = cast<DividesPred>(P);
+    auto DV = sym::tryEval(D->getDivisor(), B);
+    auto VV = sym::tryEval(D->getValue(), B);
+    if (!DV || !VV)
+      return std::nullopt;
+    if (Stats)
+      ++Stats->LeafEvals;
+    int64_t Div = *DV < 0 ? -*DV : *DV;
+    bool Holds = Div == 0 ? (*VV == 0) : (*VV % Div == 0);
+    return Holds != D->isNegated();
+  }
+  case PredKind::And:
+  case PredKind::Or: {
+    const auto *N = cast<NaryPred>(P);
+    const bool IsAnd = N->isAnd();
+    // Short-circuit, but propagate evaluation failure conservatively: a
+    // failed child only matters if no other child decides the result.
+    bool SawFailure = false;
+    for (const Pred *C : N->getChildren()) {
+      auto V = tryEvalPred(C, B, Stats);
+      if (!V) {
+        SawFailure = true;
+        continue;
+      }
+      if (*V != IsAnd)
+        return *V; // false decides an And; true decides an Or.
+    }
+    if (SawFailure)
+      return std::nullopt;
+    return IsAnd;
+  }
+  case PredKind::LoopAll: {
+    const auto *L = cast<LoopAllPred>(P);
+    auto Lo = sym::tryEval(L->getLo(), B);
+    auto Hi = sym::tryEval(L->getHi(), B);
+    if (!Lo || !Hi)
+      return std::nullopt;
+    auto Saved = B.scalar(L->getVar());
+    bool Result = true;
+    std::optional<bool> Out = true;
+    for (int64_t I = *Lo; I <= *Hi; ++I) {
+      B.setScalar(L->getVar(), I);
+      if (Stats)
+        ++Stats->LoopIters;
+      auto V = tryEvalPred(L->getBody(), B, Stats);
+      if (!V) {
+        Out = std::nullopt;
+        break;
+      }
+      if (!*V) {
+        Result = false;
+        Out = false;
+        break;
+      }
+    }
+    if (Saved)
+      B.setScalar(L->getVar(), *Saved);
+    if (!Out)
+      return std::nullopt;
+    return Result && *Out;
+  }
+  case PredKind::CallSite: {
+    // Opaque barrier: the body is evaluated in the caller's bindings; the
+    // analysis only emits this node when the mapping is identity-safe.
+    return tryEvalPred(cast<CallSitePred>(P)->getBody(), B, Stats);
+  }
+  }
+  halo_unreachable("covered switch");
+}
+
+bool pdag::evalPred(const Pred *P, sym::Bindings &B, EvalStats *Stats) {
+  auto V = tryEvalPred(P, B, Stats);
+  assert(V && "predicate evaluation failed: unbound symbol");
+  return *V;
+}

@@ -1,0 +1,134 @@
+//===- rt/Executor.h - Runtime: conditional parallel execution -*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution substrate standing in for the paper's OpenMP runtime
+/// (Sec. 5). The same mini-IR that was analyzed is interpreted here:
+///
+///  - sequentially (the baseline timing),
+///  - or under a LoopPlan: the runtime *governor* precomputes CIV values
+///    (CIV-COMP), evaluates the predicate cascades cheapest-first, decides
+///    per-array strategies (shared / privatized / SLV / DLV / reduction
+///    private copies / direct reduction), falls back to exact USR
+///    evaluation (optionally memoized — HOIST-USR) or LRPD speculation,
+///    and finally executes the loop across a thread pool with the chosen
+///    techniques.
+///
+/// Interpretation cost applies equally to sequential and parallel
+/// executions, so normalized timings (Figs. 10-13) retain their shape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_RT_EXECUTOR_H
+#define HALO_RT_EXECUTOR_H
+
+#include "analysis/Analyzer.h"
+#include "support/ThreadPool.h"
+#include "sym/Eval.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace halo {
+namespace rt {
+
+/// Data-array storage (doubles); integer index arrays live in
+/// sym::Bindings.
+class Memory {
+public:
+  std::vector<double> &alloc(sym::SymbolId Id, size_t Elems) {
+    auto &V = Arrays[Id];
+    V.assign(Elems, 0.0);
+    return V;
+  }
+  std::vector<double> *find(sym::SymbolId Id) {
+    auto It = Arrays.find(Id);
+    return It == Arrays.end() ? nullptr : &It->second;
+  }
+  const std::map<sym::SymbolId, std::vector<double>> &arrays() const {
+    return Arrays;
+  }
+  std::map<sym::SymbolId, std::vector<double>> &arrays() { return Arrays; }
+
+private:
+  std::map<sym::SymbolId, std::vector<double>> Arrays;
+};
+
+/// How one loop execution was resolved (for RTov and table reporting).
+struct ExecStats {
+  double TotalSeconds = 0;
+  double PredicateSeconds = 0; ///< Cascade evaluation time.
+  double CivSliceSeconds = 0;  ///< CIV-COMP precomputation time.
+  double ExactTestSeconds = 0; ///< Inspector (exact USR) time.
+  double BoundsCompSeconds = 0;
+  bool RanParallel = false;
+  bool UsedExactTest = false;
+  bool UsedTLS = false;
+  bool TLSSucceeded = false;
+  int CascadeDepthUsed = -1; ///< Depth of the first successful stage.
+  uint64_t PredicateLeafEvals = 0;
+};
+
+/// Memoization cache for hoisted exact tests (HOIST-USR, Sec. 5): the
+/// emptiness result of an independence USR is reused across repeated
+/// executions with identical relevant inputs.
+class HoistCache {
+public:
+  /// Returns the cached emptiness answer, or evaluates and caches it.
+  /// Nullopt when evaluation itself fails.
+  std::optional<bool> emptiness(const usr::USR *S, sym::Bindings &B,
+                                const sym::Context &Ctx, bool &WasHit);
+
+private:
+  std::map<std::pair<const usr::USR *, uint64_t>, bool> Cache;
+};
+
+/// Interprets programs and executes analyzed loops under their plans.
+class Executor {
+public:
+  Executor(ir::Program &Prog, usr::USRContext &Ctx)
+      : Prog(Prog), Ctx(Ctx), Sym(Ctx.symCtx()) {}
+
+  /// Plain sequential interpretation of a statement list.
+  void runStmts(const std::vector<const ir::Stmt *> &Stmts, Memory &M,
+                sym::Bindings &B);
+
+  /// Sequential execution of one loop (the timing baseline).
+  void runSequential(const ir::DoLoop &Loop, Memory &M, sym::Bindings &B);
+
+  /// Hybrid execution under a plan: predicate cascades, technique
+  /// selection, exact-test / TLS fallback, parallel interpretation.
+  ExecStats runPlanned(const analysis::LoopPlan &Plan, Memory &M,
+                       sym::Bindings &B, ThreadPool &Pool,
+                       HoistCache *Hoist = nullptr);
+
+  /// CIV-COMP: precomputes civ@pre / join pseudo-arrays into \p B by a
+  /// sequential slice of the loop (only control flow and CIV updates).
+  void runCivSlice(const ir::DoLoop &Loop, const summary::CivPlan &Plan,
+                   Memory &M, sym::Bindings &B);
+
+  /// BOUNDS-COMP: evaluates the min/max touched offsets of \p S in
+  /// parallel (Fig. 7a). Returns false on evaluation failure.
+  bool computeBounds(const usr::USR *S, sym::Bindings &B, ThreadPool &Pool,
+                     int64_t &Lo, int64_t &Hi);
+
+private:
+  struct ExecState;
+  void execStmt(const ir::Stmt *S, ExecState &St);
+  bool runSpeculative(const analysis::LoopPlan &Plan, Memory &M,
+                      sym::Bindings &B, ThreadPool &Pool, ExecStats &Stats);
+
+  ir::Program &Prog;
+  usr::USRContext &Ctx;
+  sym::Context &Sym;
+};
+
+} // namespace rt
+} // namespace halo
+
+#endif // HALO_RT_EXECUTOR_H

@@ -1,0 +1,80 @@
+//===- suite/Patterns.cpp - Shared loop-pattern constructors --------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "suite/Suite.h"
+
+using namespace halo;
+using namespace halo::suite;
+using namespace halo::ir;
+
+DoLoop *suite::makeStaticParLoop(BenchBuilder &BB, const std::string &Label,
+                                 const std::string &Var, sym::SymbolId X,
+                                 sym::SymbolId Y, const sym::Expr *N,
+                                 unsigned Work) {
+  DoLoop *L = BB.loop(Label, Var, BB.c(1), N, 1);
+  const sym::Expr *I = BB.sv(BB.Sym.symbol(Var, 1));
+  const sym::Expr *Off = BB.Sym.addConst(I, -1);
+  L->append(BB.assign(X, Off, {ArrayAccess{Y, Off}}, Work));
+  return L;
+}
+
+DoLoop *suite::makeSymbolicStrideLoop(BenchBuilder &BB,
+                                      const std::string &Label,
+                                      const std::string &Var, sym::SymbolId X,
+                                      const std::string &StrideSym,
+                                      const sym::Expr *N, unsigned Work) {
+  DoLoop *L = BB.loop(Label, Var, BB.c(1), N, 1);
+  const sym::Expr *I = BB.sv(BB.Sym.symbol(Var, 1));
+  // X[(i-1)*S] = ... : output independence needs S >= 1 (O(1) predicate
+  // extracted by Fourier-Motzkin from the monotonicity of the offsets).
+  const sym::Expr *Off =
+      BB.Sym.mul(BB.Sym.addConst(I, -1), BB.s(StrideSym));
+  L->append(BB.assign(X, Off, {}, Work));
+  return L;
+}
+
+DoLoop *suite::makeMonotonicBlockLoop(BenchBuilder &BB,
+                                      const std::string &Label,
+                                      const std::string &Var, sym::SymbolId X,
+                                      sym::SymbolId IB, const sym::Expr *Len,
+                                      const sym::Expr *N, unsigned Work) {
+  // DO i: DO j = 1..Len: X[IB(i) + j - 2] = ... — block writes at
+  // index-array offsets; output independence via the monotonicity rule
+  // (an O(N) predicate like Fig. 3b's).
+  DoLoop *L = BB.loop(Label, Var, BB.c(1), N, 1);
+  const sym::Expr *I = BB.sv(BB.Sym.symbol(Var, 1));
+  DoLoop *Inner = BB.loop(Label + "_j", Label + "_j", BB.c(1), Len, 2);
+  const sym::Expr *J = BB.sv(BB.Sym.symbol(Label + "_j", 2));
+  const sym::Expr *Off = BB.Sym.addConst(
+      BB.Sym.add(BB.Sym.arrayRef(IB, I), J), -2);
+  Inner->append(BB.assign(X, Off, {}, Work));
+  L->append(Inner);
+  return L;
+}
+
+DoLoop *suite::makeSeqChainLoop(BenchBuilder &BB, const std::string &Label,
+                                const std::string &Var, sym::SymbolId X,
+                                const sym::Expr *N, unsigned Work) {
+  DoLoop *L = BB.loop(Label, Var, BB.c(2), N, 1);
+  const sym::Expr *I = BB.sv(BB.Sym.symbol(Var, 1));
+  // X[i-1] = f(X[i-2]): a loop-carried flow dependence.
+  L->append(BB.assign(X, BB.Sym.addConst(I, -1),
+                      {ArrayAccess{X, BB.Sym.addConst(I, -2)}}, Work));
+  return L;
+}
+
+DoLoop *suite::makeIrregularLoop(BenchBuilder &BB, const std::string &Label,
+                                 const std::string &Var, sym::SymbolId X,
+                                 sym::SymbolId IDX, sym::SymbolId JDX,
+                                 const sym::Expr *N, unsigned Work) {
+  DoLoop *L = BB.loop(Label, Var, BB.c(1), N, 1);
+  const sym::Expr *I = BB.sv(BB.Sym.symbol(Var, 1));
+  // X[IDX(i)] = f(X[JDX(i)]): no structure; exact test or speculation.
+  L->append(BB.assign(X, BB.Sym.arrayRef(IDX, I),
+                      {ArrayAccess{X, BB.Sym.arrayRef(JDX, I)}}, Work));
+  return L;
+}

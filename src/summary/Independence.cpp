@@ -1,0 +1,86 @@
+//===- summary/Independence.cpp - Independence equations (Eq. 2/3) --------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "summary/Independence.h"
+
+using namespace halo;
+using namespace halo::summary;
+using usr::USR;
+using sym::Expr;
+using sym::SymbolId;
+
+/// Fresh recurrence variable for the triangular `U_{k=lo..i-1}` pattern,
+/// one level deeper than the loop variable.
+static SymbolId freshInnerVar(sym::Context &Sym, const LoopSpace &L) {
+  const sym::Symbol &Info = Sym.symbolInfo(L.Var);
+  return Sym.freshSymbol(Info.Name + "p", Info.DefLevel + 1);
+}
+
+const USR *summary::buildOutputIndepUSR(usr::USRContext &Ctx,
+                                        const LoopSpace &L,
+                                        const USR *WFi) {
+  if (WFi->isEmptySet())
+    return Ctx.empty();
+  sym::Context &Sym = Ctx.symCtx();
+  SymbolId K = freshInnerVar(Sym, L);
+  std::map<SymbolId, const Expr *> IToK{{L.Var, Sym.symRef(K)}};
+  const USR *WFk = Ctx.substitute(WFi, IToK);
+  const USR *Prior =
+      Ctx.recur(K, L.Lo, Sym.addConst(Sym.symRef(L.Var), -1), WFk);
+  return Ctx.recur(L.Var, L.Lo, L.Hi, Ctx.intersect(WFi, Prior));
+}
+
+const USR *summary::buildFlowIndepUSR(usr::USRContext &Ctx,
+                                      const LoopSpace &L,
+                                      const AccessTriple &Iter) {
+  sym::Context &Sym = Ctx.symCtx();
+  const USR *WFi = Iter.WF ? Iter.WF : Ctx.empty();
+  const USR *ROi = Iter.RO ? Iter.RO : Ctx.empty();
+  const USR *RWi = Iter.RW ? Iter.RW : Ctx.empty();
+
+  const USR *AllWF = Ctx.recur(L.Var, L.Lo, L.Hi, WFi);
+  const USR *AllRO = Ctx.recur(L.Var, L.Lo, L.Hi, ROi);
+  const USR *AllRW = Ctx.recur(L.Var, L.Lo, L.Hi, RWi);
+
+  std::vector<const USR *> Terms;
+  Terms.push_back(Ctx.intersect(AllWF, AllRO));
+  Terms.push_back(Ctx.intersect(AllWF, AllRW));
+  Terms.push_back(Ctx.intersect(AllRO, AllRW));
+
+  if (!RWi->isEmptySet()) {
+    SymbolId K = freshInnerVar(Sym, L);
+    std::map<SymbolId, const Expr *> IToK{{L.Var, Sym.symRef(K)}};
+    const USR *RWk = Ctx.substitute(RWi, IToK);
+    const USR *Prior =
+        Ctx.recur(K, L.Lo, Sym.addConst(Sym.symRef(L.Var), -1), RWk);
+    Terms.push_back(Ctx.recur(L.Var, L.Lo, L.Hi, Ctx.intersect(RWi, Prior)));
+  }
+  return Ctx.unionN(std::move(Terms));
+}
+
+SLVPair summary::buildSLVPair(usr::USRContext &Ctx, const LoopSpace &L,
+                              const USR *WFi) {
+  sym::Context &Sym = Ctx.symCtx();
+  const USR *All = Ctx.recur(L.Var, L.Lo, L.Hi, WFi);
+  std::map<SymbolId, const Expr *> IToN{{L.Var, L.Hi}};
+  const USR *Last = Ctx.substitute(WFi, IToN);
+  return SLVPair{All, Last};
+}
+
+const USR *summary::buildReductionOverlapUSR(usr::USRContext &Ctx,
+                                             const LoopSpace &L,
+                                             const USR *REDi) {
+  if (REDi->isEmptySet())
+    return Ctx.empty();
+  sym::Context &Sym = Ctx.symCtx();
+  SymbolId K = freshInnerVar(Sym, L);
+  std::map<SymbolId, const Expr *> IToK{{L.Var, Sym.symRef(K)}};
+  const USR *REDk = Ctx.substitute(REDi, IToK);
+  const USR *Prior =
+      Ctx.recur(K, L.Lo, Sym.addConst(Sym.symRef(L.Var), -1), REDk);
+  return Ctx.recur(L.Var, L.Lo, L.Hi, Ctx.intersect(REDi, Prior));
+}

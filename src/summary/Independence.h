@@ -1,0 +1,67 @@
+//===- summary/Independence.h - Independence equations (Eq. 2/3) -*- C++ -*-=//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the independence USRs of Sec. 2.2 from per-iteration summaries:
+///
+///   OIND-USR (Eq. 2):
+///     U_{i=1..N} ( WF_i  n  U_{k=1..i-1} WF_k )
+///
+///   FIND-USR (Eq. 3):
+///     (U WF_i n U RO_i) u (U WF_i n U RW_i) u (U RO_i n U RW_i)
+///       u  U_i ( RW_i n U_{k<i} RW_k )
+///
+/// plus the static-last-value equation of Sec. 4
+/// (`U_i WF_i subset-of WF_N`) and the runtime-reduction equation
+/// (`U_i (RED_i n U_{k<i} RED_k) = empty`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SUMMARY_INDEPENDENCE_H
+#define HALO_SUMMARY_INDEPENDENCE_H
+
+#include "summary/Summary.h"
+
+namespace halo {
+namespace summary {
+
+/// Context of the analyzed loop: its variable and iteration space.
+struct LoopSpace {
+  sym::SymbolId Var;
+  const sym::Expr *Lo;
+  const sym::Expr *Hi;
+};
+
+/// Output-independence USR (Eq. 2) for one array's per-iteration WF.
+const usr::USR *buildOutputIndepUSR(usr::USRContext &Ctx,
+                                    const LoopSpace &L, const usr::USR *WFi);
+
+/// Flow/anti-independence USR (Eq. 3) for one array's per-iteration
+/// triple.
+const usr::USR *buildFlowIndepUSR(usr::USRContext &Ctx, const LoopSpace &L,
+                                  const AccessTriple &Iter);
+
+/// The pair (U_i WF_i, WF_N) used by the static-last-value test:
+/// the loop's whole write-first set must be included in the last
+/// iteration's (Sec. 4, EMIT_DO5 of nasa7).
+struct SLVPair {
+  const usr::USR *AllWrites;
+  const usr::USR *LastIter;
+};
+SLVPair buildSLVPair(usr::USRContext &Ctx, const LoopSpace &L,
+                     const usr::USR *WFi);
+
+/// Cross-iteration overlap USR for reduction accesses (the RRED equation
+/// of Sec. 4): U_i (RED_i n U_{k<i} RED_k).
+const usr::USR *buildReductionOverlapUSR(usr::USRContext &Ctx,
+                                         const LoopSpace &L,
+                                         const usr::USR *REDi);
+
+} // namespace summary
+} // namespace halo
+
+#endif // HALO_SUMMARY_INDEPENDENCE_H

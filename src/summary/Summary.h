@@ -1,0 +1,161 @@
+//===- summary/Summary.h - RO/WF/RW access summarization -------*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interprocedural, structural access summarization (Sec. 2 of the paper):
+/// every region of the program is summarized, per array, into a triple of
+/// USRs —
+///
+///   RO: read-only     (read, never written in the region),
+///   WF: write-first   (written before any read),
+///   RW: read-write    (read with a possibly earlier/overlapping write),
+///
+/// built bottom-up with the data-flow equations of Fig. 2:
+/// statement-level initialization, gated branch merge, consecutive-region
+/// COMPOSE (Fig. 2a), loop AGGREGATE (Fig. 2b), and call-site translation
+/// (formal arrays rebased onto actual arguments' linear offsets).
+///
+/// Reduction statements (`A(s) = A(s) + e`) are summarized into a separate
+/// per-array reduction access set (Sec. 4) so the reduction machinery can
+/// decide between SRED / RRED / EXT-RRED treatment.
+///
+/// Conditionally-incremented induction variables (CIV, Sec. 3.3) are
+/// summarized flow-sensitively: the value of a CIV at the entry of
+/// iteration i becomes a reference into a *pseudo index array* civ^pre(i)
+/// (monotone when all increments are non-negative); IF-joins where the two
+/// branches disagree mint join pseudo-arrays, exactly the role of the
+/// paper's CIV@k SSA names in Fig. 7(b). The runtime precomputes these
+/// arrays with a sequential loop slice (CIV-COMP).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SUMMARY_SUMMARY_H
+#define HALO_SUMMARY_SUMMARY_H
+
+#include "ir/Program.h"
+#include "usr/USR.h"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace halo {
+namespace summary {
+
+/// Per-array RO/WF/RW triple. Components default to the empty set.
+struct AccessTriple {
+  const usr::USR *RO = nullptr;
+  const usr::USR *WF = nullptr;
+  const usr::USR *RW = nullptr;
+};
+
+/// Summary of one region: triples per array plus reduction access sets.
+struct RegionSummary {
+  std::map<sym::SymbolId, AccessTriple> Arrays;
+  /// Per-array accesses made by reduction statements (RW-like).
+  std::map<sym::SymbolId, const usr::USR *> Reductions;
+};
+
+/// One CIV discovered in a loop: the scalar, its entry-value pseudo array
+/// (civ^pre(i) = value at entry of iteration i; index N+1 holds the final
+/// value), and whether all increments are provably non-negative.
+struct CivDesc {
+  sym::SymbolId Civ = 0;
+  sym::SymbolId EntryArr = 0;
+  bool Monotone = true;
+};
+
+/// Join pseudo-array minted at an IF whose branches disagree on a CIV's
+/// value (the CIV@4 = gamma(cond, CIV@3, CIV@2) of Fig. 7b). The runtime
+/// slice records the CIV's value right after the IF executes.
+struct CivJoin {
+  const ir::IfStmt *At = nullptr;
+  sym::SymbolId Civ = 0;
+  sym::SymbolId JoinArr = 0;
+};
+
+/// A validated *write envelope* for CIV-based accesses (the Fig. 7(b)
+/// overestimate `dW_ie = [CIV@2+1, CIV@4]`): every write of Array inside
+/// the join's branches lies in [civ^pre(i) + MinRel, civ^pre(i+1) - 1],
+/// which is empty exactly on iterations that skip the writes. The analyzer
+/// substitutes this interval for the gated writes when building the
+/// output-independence equation, turning the monotonicity test static.
+struct CivEnvelope {
+  sym::SymbolId Civ = 0;
+  sym::SymbolId Array = 0;
+  int64_t MinRel = 0;
+};
+
+/// Everything the runtime needs to precompute CIV values (CIV-COMP).
+struct CivPlan {
+  std::vector<CivDesc> Civs;
+  std::vector<CivJoin> Joins;
+  std::vector<CivEnvelope> Envelopes;
+  bool empty() const { return Civs.empty(); }
+
+  const CivDesc *findCiv(sym::SymbolId Civ) const {
+    for (const CivDesc &D : Civs)
+      if (D.Civ == Civ)
+        return &D;
+    return nullptr;
+  }
+  const CivEnvelope *findEnvelope(sym::SymbolId Array) const {
+    for (const CivEnvelope &E : Envelopes)
+      if (E.Array == Array)
+        return &E;
+    return nullptr;
+  }
+};
+
+/// Builds summaries over the mini-IR.
+class SummaryBuilder {
+public:
+  SummaryBuilder(usr::USRContext &Ctx, ir::Program &Prog);
+
+  /// Per-iteration summary of \p Loop's body, as a function of the loop
+  /// variable. Also returns the CIV plan when the body updates CIVs.
+  RegionSummary summarizeIteration(const ir::DoLoop &Loop, CivPlan &Plan);
+
+  /// Whole-loop summary (Fig. 2b AGGREGATE) built from the per-iteration
+  /// summary.
+  RegionSummary aggregateLoop(const ir::DoLoop &Loop,
+                              const RegionSummary &Iter);
+
+  /// Summary of a callee body (memoized), in terms of its formal symbols.
+  const RegionSummary &summarizeSubroutine(const ir::Subroutine &Sub);
+
+private:
+  struct CivState;
+  RegionSummary summarizeStmts(const std::vector<const ir::Stmt *> &Stmts,
+                               CivState &Civ);
+  RegionSummary summarizeStmt(const ir::Stmt *S, CivState &Civ);
+  RegionSummary compose(RegionSummary First, RegionSummary Second);
+  RegionSummary gateSummary(const pdag::Pred *G, RegionSummary S);
+  RegionSummary mergeBranches(const pdag::Pred *C, RegionSummary Then,
+                              RegionSummary Else);
+  RegionSummary aggregateOver(const RegionSummary &Body, sym::SymbolId Var,
+                              const sym::Expr *Lo, const sym::Expr *Hi);
+  RegionSummary translateCall(const ir::CallStmt &Call, CivState &Civ);
+  /// Checks the Fig. 7(b) envelope condition for one CIV at an IF join and
+  /// records validated (civ, array) envelopes in the active plan.
+  void validateEnvelopes(sym::SymbolId Civ, const sym::Expr *EntryVal,
+                         const RegionSummary &Branch,
+                         const sym::Expr *ExitVal);
+
+  usr::USRContext &Ctx;
+  pdag::PredContext &P;
+  sym::Context &Sym;
+  ir::Program &Prog;
+  std::map<const ir::Subroutine *, RegionSummary> SubMemo;
+  CivPlan *ActivePlan = nullptr;
+  unsigned JoinCounter = 0;
+};
+
+} // namespace summary
+} // namespace halo
+
+#endif // HALO_SUMMARY_SUMMARY_H

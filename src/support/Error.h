@@ -1,0 +1,40 @@
+//===- support/Error.h - Assertions and unreachable markers ----*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `halo_unreachable` marks code paths that must never execute; in debug
+/// builds it aborts with a message, in release builds it is an optimizer
+/// hint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SUPPORT_ERROR_H
+#define HALO_SUPPORT_ERROR_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace halo {
+
+[[noreturn]] inline void unreachableInternal(const char *Msg, const char *File,
+                                             unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace halo
+
+#ifndef NDEBUG
+#define halo_unreachable(msg)                                                  \
+  ::halo::unreachableInternal(msg, __FILE__, __LINE__)
+#elif defined(__GNUC__)
+#define halo_unreachable(msg) __builtin_unreachable()
+#else
+#define halo_unreachable(msg) ::std::abort()
+#endif
+
+#endif // HALO_SUPPORT_ERROR_H

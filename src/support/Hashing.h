@@ -1,0 +1,41 @@
+//===- support/Hashing.h - Hash combinators --------------------*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small deterministic hash combinators used by the interning tables of the
+/// sym / pdag / usr contexts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SUPPORT_HASHING_H
+#define HALO_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace halo {
+
+/// Mixes \p V into the running hash \p Seed (boost::hash_combine flavour,
+/// widened to 64 bits).
+inline void hashCombine(std::size_t &Seed, std::size_t V) {
+  Seed ^= V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+}
+
+template <typename T> void hashCombine(std::size_t &Seed, const T *Ptr) {
+  hashCombine(Seed, std::hash<const T *>{}(Ptr));
+}
+
+/// Hashes the half-open range [First, Last) into \p Seed.
+template <typename It> void hashRange(std::size_t &Seed, It First, It Last) {
+  for (It I = First; I != Last; ++I)
+    hashCombine(Seed, std::hash<std::decay_t<decltype(*I)>>{}(*I));
+}
+
+} // namespace halo
+
+#endif // HALO_SUPPORT_HASHING_H

@@ -1,0 +1,52 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers -----*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64: a tiny, fast, seedable generator used by property tests and
+/// workload generators so that every run is reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SUPPORT_RNG_H
+#define HALO_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace halo {
+
+/// Deterministic 64-bit generator (SplitMix64).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform value in the inclusive range [Lo, Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(nextBelow(
+                    static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Bernoulli draw: true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return nextBelow(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace halo
+
+#endif // HALO_SUPPORT_RNG_H

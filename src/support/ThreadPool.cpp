@@ -1,0 +1,106 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool --------------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace halo;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  NumWorkers = std::max(1u, NumThreads);
+  // A single-threaded pool runs everything inline; no workers needed.
+  if (NumWorkers == 1)
+    return;
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  TaskAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      TaskAvailable.wait(Lock,
+                         [this] { return ShuttingDown || !Tasks.empty(); });
+      if (Tasks.empty())
+        return;
+      Task = std::move(Tasks.front());
+      Tasks.pop();
+      ++Active;
+    }
+    Task();
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      --Active;
+      if (Tasks.empty() && Active == 0)
+        AllDone.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(std::function<void()> Task) {
+  if (Workers.empty()) {
+    Task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Tasks.push(std::move(Task));
+  }
+  TaskAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  if (Workers.empty())
+    return;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return Tasks.empty() && Active == 0; });
+}
+
+void ThreadPool::parallelFor(int64_t Lo, int64_t Hi,
+                             const std::function<void(int64_t)> &Body) {
+  parallelForBlocked(Lo, Hi, [&Body](int64_t BLo, int64_t BHi, unsigned) {
+    for (int64_t I = BLo; I != BHi; ++I)
+      Body(I);
+  });
+}
+
+void ThreadPool::parallelForBlocked(
+    int64_t Lo, int64_t Hi,
+    const std::function<void(int64_t, int64_t, unsigned)> &Body) {
+  if (Lo >= Hi)
+    return;
+  const int64_t Count = Hi - Lo;
+  if (Workers.empty() || Count == 1) {
+    Body(Lo, Hi, 0);
+    return;
+  }
+  const unsigned NumBlocks =
+      static_cast<unsigned>(std::min<int64_t>(NumWorkers, Count));
+  const int64_t Chunk = (Count + NumBlocks - 1) / NumBlocks;
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    const int64_t BLo = Lo + static_cast<int64_t>(B) * Chunk;
+    const int64_t BHi = std::min<int64_t>(BLo + Chunk, Hi);
+    if (BLo >= BHi)
+      break;
+    run([&Body, BLo, BHi, B] { Body(BLo, BHi, B); });
+  }
+  wait();
+}

@@ -1,0 +1,77 @@
+//===- support/ThreadPool.h - Fixed-size worker pool -----------*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool with a blocked-range parallelFor. This is
+/// the execution substrate standing in for the paper's OpenMP runtime: the
+/// executor (src/rt) maps conditionally-parallelized loops onto it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SUPPORT_THREADPOOL_H
+#define HALO_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace halo {
+
+/// Fixed-size pool of worker threads.
+///
+/// Workers are spawned once in the constructor and joined in the destructor;
+/// `run` enqueues a task, `parallelFor` splits an iteration range into one
+/// contiguous chunk per worker and blocks until all chunks finish. With
+/// NumThreads == 1 `parallelFor` degenerates to an inline sequential loop so
+/// that single-threaded baselines pay no synchronization cost.
+class ThreadPool {
+public:
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned numThreads() const { return Workers.empty() ? 1 : NumWorkers; }
+
+  /// Enqueues \p Task for asynchronous execution.
+  void run(std::function<void()> Task);
+
+  /// Blocks until every enqueued task has completed.
+  void wait();
+
+  /// Executes Body(I) for I in [Lo, Hi) across the pool, one contiguous
+  /// block per worker, and blocks until all blocks are done.
+  void parallelFor(int64_t Lo, int64_t Hi,
+                   const std::function<void(int64_t)> &Body);
+
+  /// Block-level variant: Body(BlockLo, BlockHi, WorkerIndex) is invoked
+  /// once per chunk. Useful for per-thread accumulators (reductions).
+  void parallelForBlocked(
+      int64_t Lo, int64_t Hi,
+      const std::function<void(int64_t, int64_t, unsigned)> &Body);
+
+private:
+  void workerLoop();
+
+  unsigned NumWorkers = 1;
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Tasks;
+  std::mutex Mutex;
+  std::condition_variable TaskAvailable;
+  std::condition_variable AllDone;
+  unsigned Active = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace halo
+
+#endif // HALO_SUPPORT_THREADPOOL_H

@@ -1,0 +1,87 @@
+//===- sym/Eval.cpp - Concrete evaluation of symbolic expressions ---------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sym/Eval.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace halo;
+using namespace halo::sym;
+
+static int64_t floorDivInt(int64_t A, int64_t D) {
+  int64_t Q = A / D;
+  if ((A % D) != 0 && A < 0)
+    --Q;
+  return Q;
+}
+
+std::optional<int64_t> sym::tryEval(const Expr *E, const Bindings &B) {
+  switch (E->getKind()) {
+  case ExprKind::IntConst:
+    return cast<IntConstExpr>(E)->getValue();
+  case ExprKind::SymRef:
+    return B.scalar(cast<SymRefExpr>(E)->getSymbol());
+  case ExprKind::ArrayRef: {
+    const auto *R = cast<ArrayRefExpr>(E);
+    const ArrayBinding *A = B.array(R->getArray());
+    if (!A)
+      return std::nullopt;
+    auto I = tryEval(R->getIndex(), B);
+    if (!I || !A->inBounds(*I))
+      return std::nullopt;
+    return A->at(*I);
+  }
+  case ExprKind::Min:
+  case ExprKind::Max: {
+    const auto *M = cast<MinMaxExpr>(E);
+    auto L = tryEval(M->getLHS(), B), R = tryEval(M->getRHS(), B);
+    if (!L || !R)
+      return std::nullopt;
+    return M->isMin() ? std::min(*L, *R) : std::max(*L, *R);
+  }
+  case ExprKind::FloorDiv:
+  case ExprKind::Mod: {
+    const auto *D = cast<DivModExpr>(E);
+    auto V = tryEval(D->getOperand(), B);
+    if (!V)
+      return std::nullopt;
+    int64_t Q = floorDivInt(*V, D->getDivisor());
+    return D->isDiv() ? Q : *V - Q * D->getDivisor();
+  }
+  case ExprKind::Mul: {
+    int64_t Acc = 1;
+    for (const Expr *F : cast<MulExpr>(E)->getFactors()) {
+      auto V = tryEval(F, B);
+      if (!V)
+        return std::nullopt;
+      Acc *= *V;
+    }
+    return Acc;
+  }
+  case ExprKind::Add: {
+    const auto *A = cast<AddExpr>(E);
+    int64_t Acc = A->getConstant();
+    for (const Monomial &M : A->getTerms()) {
+      auto V = tryEval(M.Prod, B);
+      if (!V)
+        return std::nullopt;
+      Acc += M.Coeff * *V;
+    }
+    return Acc;
+  }
+  }
+  halo_unreachable("covered switch");
+}
+
+int64_t sym::eval(const Expr *E, const Bindings &B) {
+  auto V = tryEval(E, B);
+  assert(V && "evaluation failed: unbound symbol or OOB array access");
+  return *V;
+}

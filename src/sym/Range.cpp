@@ -1,0 +1,74 @@
+//===- sym/Range.cpp - Symbolic ranges for bounded symbols ----------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sym/Range.h"
+
+#include "support/Casting.h"
+
+using namespace halo;
+using namespace halo::sym;
+
+static bool touchesEnv(const Expr *E, const RangeEnv &Env) {
+  for (SymbolId S : E->freeSymbols())
+    if (Env.lookup(S))
+      return true;
+  return false;
+}
+
+static std::optional<const Expr *> boundImpl(Context &Ctx, const Expr *E,
+                                             const RangeEnv &Env, bool IsLower,
+                                             int Depth) {
+  if (Depth > 8)
+    return std::nullopt; // Guard against cyclic range definitions.
+  if (!touchesEnv(E, Env))
+    return E;
+
+  LinearForm LF = Ctx.toLinear(E);
+  const Expr *Acc = Ctx.intConst(LF.Constant);
+  for (const Monomial &M : LF.Terms) {
+    if (!touchesEnv(M.Prod, Env)) {
+      Acc = Ctx.add(Acc, Ctx.mulConst(M.Prod, M.Coeff));
+      continue;
+    }
+    // A reference into a *monotone* index array is bounded by the array
+    // value at the bounded subscript (the CIV prefix arrays of Sec. 3.3).
+    if (const auto *AR = dyn_cast<ArrayRefExpr>(M.Prod)) {
+      if (!Ctx.symbolInfo(AR->getArray()).MonotoneArray)
+        return std::nullopt;
+      const bool DirS = (M.Coeff > 0) ? IsLower : !IsLower;
+      auto IdxBound = boundImpl(Ctx, AR->getIndex(), Env, DirS, Depth + 1);
+      if (!IdxBound)
+        return std::nullopt;
+      const Expr *Bound = Ctx.arrayRef(AR->getArray(), *IdxBound);
+      Acc = Ctx.add(Acc, Ctx.mulConst(Bound, M.Coeff));
+      continue;
+    }
+    // Only a bare bounded symbol is otherwise handled; products or opaque
+    // atoms that embed a bounded symbol are a conservative failure.
+    const auto *SR = dyn_cast<SymRefExpr>(M.Prod);
+    if (!SR)
+      return std::nullopt;
+    const Range *R = Env.lookup(SR->getSymbol());
+    if (!R)
+      return std::nullopt;
+    // bound(c*s, D) = c * bound(s, DirS) with DirS = D for c > 0, flipped
+    // for c < 0; bound(s, lower) recurses into the range's Lo endpoint,
+    // bound(s, upper) into Hi.
+    const bool DirS = (M.Coeff > 0) ? IsLower : !IsLower;
+    const Expr *End = DirS ? R->Lo : R->Hi;
+    auto EndBound = boundImpl(Ctx, End, Env, DirS, Depth + 1);
+    if (!EndBound)
+      return std::nullopt;
+    Acc = Ctx.add(Acc, Ctx.mulConst(*EndBound, M.Coeff));
+  }
+  return Acc;
+}
+
+std::optional<const Expr *> sym::boundExpr(Context &Ctx, const Expr *E,
+                                           const RangeEnv &Env, bool IsLower) {
+  return boundImpl(Ctx, E, Env, IsLower, 0);
+}

@@ -1,0 +1,62 @@
+//===- sym/Range.h - Symbolic ranges for bounded symbols -------*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A RangeEnv records inclusive symbolic bounds for symbols whose value is
+/// confined to an interval — chiefly loop indexes (`1 <= i <= N`). The
+/// Fourier-Motzkin eliminator (Fig. 6b of the paper) consults it to pick the
+/// symbol to eliminate, and the LMAD invariant-overestimation path uses it
+/// to widen loop-variant offsets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SYM_RANGE_H
+#define HALO_SYM_RANGE_H
+
+#include "sym/Expr.h"
+
+#include <optional>
+#include <unordered_map>
+
+namespace halo {
+namespace sym {
+
+/// Inclusive symbolic interval [Lo, Hi].
+struct Range {
+  const Expr *Lo = nullptr;
+  const Expr *Hi = nullptr;
+};
+
+/// Maps bounded symbols to their symbolic ranges.
+class RangeEnv {
+public:
+  void bind(SymbolId S, const Expr *Lo, const Expr *Hi) {
+    Map[S] = Range{Lo, Hi};
+  }
+  void unbind(SymbolId S) { Map.erase(S); }
+  const Range *lookup(SymbolId S) const {
+    auto It = Map.find(S);
+    return It == Map.end() ? nullptr : &It->second;
+  }
+  bool empty() const { return Map.empty(); }
+  const std::unordered_map<SymbolId, Range> &entries() const { return Map; }
+
+private:
+  std::unordered_map<SymbolId, Range> Map;
+};
+
+/// Computes a symbolic lower (IsLower) or upper bound of \p E over \p Env by
+/// substituting range endpoints into monomials whose coefficient sign is
+/// known. Returns nullopt when a bounded symbol occurs with unknown-sign
+/// coefficient or inside an opaque atom (conservative failure).
+std::optional<const Expr *> boundExpr(Context &Ctx, const Expr *E,
+                                      const RangeEnv &Env, bool IsLower);
+
+} // namespace sym
+} // namespace halo
+
+#endif // HALO_SYM_RANGE_H

@@ -1,0 +1,540 @@
+//===- usr/USR.cpp - Uniform set representation language ------------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "usr/USR.h"
+
+#include "support/Error.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace halo;
+using namespace halo::usr;
+using sym::Expr;
+using sym::SymbolId;
+
+/// Constant ranges up to this trip count unroll into explicit unions.
+static constexpr int64_t RecurUnrollLimit = 8;
+
+//===----------------------------------------------------------------------===//
+// USR queries
+//===----------------------------------------------------------------------===//
+
+bool USR::dependsOn(SymbolId S) const {
+  return std::binary_search(FreeSyms.begin(), FreeSyms.end(), S);
+}
+
+bool USR::isInvariantAtDepth(int LoopDepth, const sym::Context &Ctx) const {
+  for (SymbolId S : FreeSyms)
+    if (Ctx.symbolInfo(S).DefLevel >= LoopDepth)
+      return false;
+  return true;
+}
+
+std::string USR::toString(const sym::Context &Ctx) const {
+  std::ostringstream OS;
+  print(OS, Ctx);
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Interning
+//===----------------------------------------------------------------------===//
+
+static bool usrsEqual(const USR *A, const USR *B) {
+  if (A->getKind() != B->getKind())
+    return false;
+  switch (A->getKind()) {
+  case USRKind::Empty:
+    return true;
+  case USRKind::Leaf:
+    return cast<LeafUSR>(A)->getLMADs() == cast<LeafUSR>(B)->getLMADs();
+  case USRKind::Union:
+    return cast<UnionUSR>(A)->getChildren() ==
+           cast<UnionUSR>(B)->getChildren();
+  case USRKind::Intersect:
+  case USRKind::Subtract: {
+    const auto *BA = cast<BinaryUSR>(A), *BB = cast<BinaryUSR>(B);
+    return BA->getLHS() == BB->getLHS() && BA->getRHS() == BB->getRHS();
+  }
+  case USRKind::Gate: {
+    const auto *GA = cast<GateUSR>(A), *GB = cast<GateUSR>(B);
+    return GA->getGate() == GB->getGate() && GA->getChild() == GB->getChild();
+  }
+  case USRKind::CallSite: {
+    const auto *CA = cast<CallSiteUSR>(A), *CB = cast<CallSiteUSR>(B);
+    return CA->getCallee() == CB->getCallee() &&
+           CA->getChild() == CB->getChild();
+  }
+  case USRKind::Recur: {
+    const auto *RA = cast<RecurUSR>(A), *RB = cast<RecurUSR>(B);
+    return RA->getVar() == RB->getVar() && RA->getLo() == RB->getLo() &&
+           RA->getHi() == RB->getHi() && RA->getBody() == RB->getBody();
+  }
+  }
+  halo_unreachable("covered switch");
+}
+
+static size_t hashUSR(const USR *U) {
+  size_t H = static_cast<size_t>(U->getKind()) * 0x9e3779b9u + 31;
+  switch (U->getKind()) {
+  case USRKind::Empty:
+    break;
+  case USRKind::Leaf:
+    for (const lmad::LMAD &L : cast<LeafUSR>(U)->getLMADs()) {
+      hashCombine(H, L.offset());
+      for (const lmad::Dim &D : L.dims()) {
+        hashCombine(H, D.Stride);
+        hashCombine(H, D.Span);
+      }
+    }
+    break;
+  case USRKind::Union:
+    for (const USR *C : cast<UnionUSR>(U)->getChildren())
+      hashCombine(H, C);
+    break;
+  case USRKind::Intersect:
+  case USRKind::Subtract: {
+    const auto *B = cast<BinaryUSR>(U);
+    hashCombine(H, B->getLHS());
+    hashCombine(H, B->getRHS());
+    break;
+  }
+  case USRKind::Gate: {
+    const auto *G = cast<GateUSR>(U);
+    hashCombine(H, G->getGate());
+    hashCombine(H, G->getChild());
+    break;
+  }
+  case USRKind::CallSite: {
+    const auto *C = cast<CallSiteUSR>(U);
+    hashCombine(H, std::hash<std::string>{}(C->getCallee()));
+    hashCombine(H, C->getChild());
+    break;
+  }
+  case USRKind::Recur: {
+    const auto *R = cast<RecurUSR>(U);
+    hashCombine(H, static_cast<size_t>(R->getVar()));
+    hashCombine(H, R->getLo());
+    hashCombine(H, R->getHi());
+    hashCombine(H, R->getBody());
+    break;
+  }
+  }
+  return H;
+}
+
+const USR *USRContext::intern(std::unique_ptr<USR> N, size_t Hash) {
+  auto Range = InternTable.equal_range(Hash);
+  for (auto It = Range.first; It != Range.second; ++It)
+    if (usrsEqual(It->second, N.get()))
+      return It->second;
+  N->Id = static_cast<uint32_t>(Nodes.size());
+  const USR *Raw = N.get();
+  Nodes.push_back(std::move(N));
+  InternTable.emplace(Hash, Raw);
+  return Raw;
+}
+
+USRContext::USRContext(sym::Context &SymCtx, pdag::PredContext &PredCtx)
+    : SymCtx(SymCtx), PredCtx(PredCtx) {
+  std::unique_ptr<USR> E(new EmptyUSR());
+  size_t H = hashUSR(E.get());
+  EmptyNode = intern(std::move(E), H);
+}
+
+USRContext::~USRContext() = default;
+
+static std::vector<SymbolId> unionSyms(std::vector<SymbolId> A,
+                                       const std::vector<SymbolId> &B) {
+  std::vector<SymbolId> Out;
+  Out.reserve(A.size() + B.size());
+  std::set_union(A.begin(), A.end(), B.begin(), B.end(),
+                 std::back_inserter(Out));
+  return Out;
+}
+
+static std::vector<SymbolId> lmadSyms(const lmad::LMADSet &Set) {
+  std::vector<SymbolId> Out;
+  for (const lmad::LMAD &L : Set) {
+    Out = unionSyms(std::move(Out), L.offset()->freeSymbols());
+    for (const lmad::Dim &D : L.dims()) {
+      Out = unionSyms(std::move(Out), D.Stride->freeSymbols());
+      Out = unionSyms(std::move(Out), D.Span->freeSymbols());
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Constructors
+//===----------------------------------------------------------------------===//
+
+const USR *USRContext::leaf(lmad::LMADSet L) {
+  if (L.empty())
+    return EmptyNode;
+  // Deduplicate (structural equality is pointer equality componentwise).
+  lmad::LMADSet Out;
+  for (const lmad::LMAD &X : L)
+    if (std::find(Out.begin(), Out.end(), X) == Out.end())
+      Out.push_back(X);
+  std::vector<SymbolId> Free = lmadSyms(Out);
+  std::unique_ptr<USR> N(new LeafUSR(std::move(Out), std::move(Free)));
+  size_t H = hashUSR(N.get());
+  return intern(std::move(N), H);
+}
+
+const USR *USRContext::interval(const Expr *Offset, const Expr *Len) {
+  if (auto C = SymCtx.constValue(Len); C && *C <= 0)
+    return EmptyNode;
+  return leaf(lmad::LMAD::makeInterval(SymCtx, Offset, Len));
+}
+
+const USR *USRContext::union2(const USR *A, const USR *B) {
+  return unionN({A, B});
+}
+
+const USR *USRContext::unionN(std::vector<const USR *> Cs) {
+  std::vector<const USR *> Flat;
+  lmad::LMADSet Leaves;
+  for (const USR *C : Cs) {
+    if (C->isEmptySet())
+      continue;
+    if (const auto *U = dyn_cast<UnionUSR>(C)) {
+      for (const USR *Sub : U->getChildren()) {
+        if (const auto *L = dyn_cast<LeafUSR>(Sub))
+          Leaves.insert(Leaves.end(), L->getLMADs().begin(),
+                        L->getLMADs().end());
+        else
+          Flat.push_back(Sub);
+      }
+    } else if (const auto *L = dyn_cast<LeafUSR>(C)) {
+      Leaves.insert(Leaves.end(), L->getLMADs().begin(), L->getLMADs().end());
+    } else {
+      Flat.push_back(C);
+    }
+  }
+  // Merge same-gate children: g#A u g#B == g#(A u B). This is one half of
+  // the UMEG-preserving machinery and is unconditionally sound.
+  {
+    std::map<const pdag::Pred *, std::vector<const USR *>> ByGate;
+    std::vector<const USR *> Rest;
+    for (const USR *C : Flat) {
+      if (const auto *G = dyn_cast<GateUSR>(C))
+        ByGate[G->getGate()].push_back(G->getChild());
+      else
+        Rest.push_back(C);
+    }
+    if (!ByGate.empty()) {
+      bool AnyMerged = false;
+      for (const auto &KV : ByGate)
+        if (KV.second.size() > 1)
+          AnyMerged = true;
+      if (AnyMerged) {
+        for (const auto &KV : ByGate)
+          Rest.push_back(gate(KV.first, unionN(KV.second)));
+        Flat = std::move(Rest);
+      }
+    }
+  }
+  if (!Leaves.empty())
+    Flat.push_back(leaf(std::move(Leaves)));
+  std::sort(Flat.begin(), Flat.end(),
+            [](const USR *A, const USR *B) { return A->getId() < B->getId(); });
+  Flat.erase(std::unique(Flat.begin(), Flat.end()), Flat.end());
+  if (Flat.empty())
+    return EmptyNode;
+  if (Flat.size() == 1)
+    return Flat[0];
+  std::vector<SymbolId> Free;
+  for (const USR *C : Flat)
+    Free = unionSyms(std::move(Free), C->freeSymbols());
+  std::unique_ptr<USR> N(new UnionUSR(std::move(Flat), std::move(Free)));
+  size_t H = hashUSR(N.get());
+  return intern(std::move(N), H);
+}
+
+const USR *USRContext::intersect(const USR *A, const USR *B) {
+  if (A->isEmptySet() || B->isEmptySet())
+    return EmptyNode;
+  if (A == B)
+    return A;
+  // Canonical operand order (intersection is commutative).
+  if (B->getId() < A->getId())
+    std::swap(A, B);
+  // Gate pull-up: (g#S) n T == g#(S n T).
+  if (const auto *G = dyn_cast<GateUSR>(A))
+    return gate(G->getGate(), intersect(G->getChild(), B));
+  if (const auto *G = dyn_cast<GateUSR>(B))
+    return gate(G->getGate(), intersect(A, G->getChild()));
+  std::vector<SymbolId> Free =
+      unionSyms(std::vector<SymbolId>(A->freeSymbols()), B->freeSymbols());
+  std::unique_ptr<USR> N(
+      new BinaryUSR(USRKind::Intersect, A, B, std::move(Free)));
+  size_t H = hashUSR(N.get());
+  return intern(std::move(N), H);
+}
+
+const USR *USRContext::subtract(const USR *A, const USR *B) {
+  if (A->isEmptySet())
+    return EmptyNode;
+  if (B->isEmptySet())
+    return A;
+  if (A == B)
+    return EmptyNode;
+  // (g#S) - T == g#(S - T).
+  if (const auto *G = dyn_cast<GateUSR>(A))
+    return gate(G->getGate(), subtract(G->getChild(), B));
+  // Repeated-subtraction reassociation (Fig. 8a): (A' - B') - C ==
+  // A' - (B' u C). Keeping one subtraction lets the union simplify in the
+  // LMAD domain before predicate extraction.
+  if (const auto *S = dyn_cast<BinaryUSR>(A); S && !S->isIntersect())
+    return subtract(S->getLHS(), union2(S->getRHS(), B));
+  std::vector<SymbolId> Free =
+      unionSyms(std::vector<SymbolId>(A->freeSymbols()), B->freeSymbols());
+  std::unique_ptr<USR> N(
+      new BinaryUSR(USRKind::Subtract, A, B, std::move(Free)));
+  size_t H = hashUSR(N.get());
+  return intern(std::move(N), H);
+}
+
+const USR *USRContext::gate(const pdag::Pred *G, const USR *S) {
+  if (G->isTrue())
+    return S;
+  if (G->isFalse() || S->isEmptySet())
+    return EmptyNode;
+  // Nested gates conjoin.
+  if (const auto *Inner = dyn_cast<GateUSR>(S))
+    return gate(PredCtx.and2(G, Inner->getGate()), Inner->getChild());
+  std::vector<SymbolId> Free =
+      unionSyms(std::vector<SymbolId>(G->freeSymbols()), S->freeSymbols());
+  std::unique_ptr<USR> N(new GateUSR(G, S, std::move(Free)));
+  size_t H = hashUSR(N.get());
+  return intern(std::move(N), H);
+}
+
+const USR *USRContext::callSite(const std::string &Callee, const USR *S) {
+  if (S->isEmptySet())
+    return EmptyNode;
+  std::unique_ptr<USR> N(new CallSiteUSR(
+      Callee, S, std::vector<SymbolId>(S->freeSymbols())));
+  size_t H = hashUSR(N.get());
+  return intern(std::move(N), H);
+}
+
+const USR *USRContext::recur(SymbolId Var, const Expr *Lo, const Expr *Hi,
+                             const USR *Body) {
+  if (Body->isEmptySet())
+    return EmptyNode;
+  const pdag::Pred *NonEmptyRange = PredCtx.le(Lo, Hi);
+  if (!Body->dependsOn(Var))
+    return gate(NonEmptyRange, Body);
+
+  // Exact LMAD aggregation: the union over the range of a leaf is itself a
+  // leaf when every LMAD's offset is affine in Var (Sec. 2.1).
+  if (const auto *L = dyn_cast<LeafUSR>(Body)) {
+    lmad::LMADSet Agg;
+    bool AllOk = true;
+    for (const lmad::LMAD &X : L->getLMADs()) {
+      auto A = lmad::aggregate(SymCtx, X, Var, Lo, Hi);
+      if (!A) {
+        AllOk = false;
+        break;
+      }
+      Agg.push_back(*A);
+    }
+    if (AllOk)
+      return gate(NonEmptyRange, leaf(std::move(Agg)));
+  }
+
+  // Union distributes through the recurrence.
+  if (const auto *U = dyn_cast<UnionUSR>(Body)) {
+    std::vector<const USR *> Parts;
+    Parts.reserve(U->getChildren().size());
+    for (const USR *C : U->getChildren())
+      Parts.push_back(recur(Var, Lo, Hi, C));
+    return unionN(std::move(Parts));
+  }
+
+  // Small constant ranges unroll.
+  auto LoC = SymCtx.constValue(Lo);
+  auto HiC = SymCtx.constValue(Hi);
+  if (LoC && HiC) {
+    if (*LoC > *HiC)
+      return EmptyNode;
+    if (*HiC - *LoC < RecurUnrollLimit) {
+      std::vector<const USR *> Parts;
+      for (int64_t I = *LoC; I <= *HiC; ++I) {
+        std::map<SymbolId, const Expr *> M{{Var, SymCtx.intConst(I)}};
+        Parts.push_back(substitute(Body, M));
+      }
+      return unionN(std::move(Parts));
+    }
+  }
+
+  std::vector<SymbolId> Free(Body->freeSymbols());
+  Free.erase(std::remove(Free.begin(), Free.end(), Var), Free.end());
+  Free = unionSyms(std::move(Free), Lo->freeSymbols());
+  Free = unionSyms(std::move(Free), Hi->freeSymbols());
+  std::unique_ptr<USR> N(new RecurUSR(Var, Lo, Hi, Body, std::move(Free)));
+  size_t H = hashUSR(N.get());
+  return intern(std::move(N), H);
+}
+
+//===----------------------------------------------------------------------===//
+// Substitution
+//===----------------------------------------------------------------------===//
+
+const USR *
+USRContext::substitute(const USR *S,
+                       const std::map<SymbolId, const Expr *> &M) {
+  if (M.empty())
+    return S;
+  bool Touches = false;
+  for (const auto &KV : M)
+    if (S->dependsOn(KV.first)) {
+      Touches = true;
+      break;
+    }
+  if (!Touches)
+    return S;
+
+  switch (S->getKind()) {
+  case USRKind::Empty:
+    return S;
+  case USRKind::Leaf: {
+    lmad::LMADSet Out;
+    for (const lmad::LMAD &L : cast<LeafUSR>(S)->getLMADs())
+      Out.push_back(lmad::substitute(SymCtx, L, M));
+    return leaf(std::move(Out));
+  }
+  case USRKind::Union: {
+    std::vector<const USR *> Cs;
+    for (const USR *C : cast<UnionUSR>(S)->getChildren())
+      Cs.push_back(substitute(C, M));
+    return unionN(std::move(Cs));
+  }
+  case USRKind::Intersect: {
+    const auto *B = cast<BinaryUSR>(S);
+    return intersect(substitute(B->getLHS(), M), substitute(B->getRHS(), M));
+  }
+  case USRKind::Subtract: {
+    const auto *B = cast<BinaryUSR>(S);
+    return subtract(substitute(B->getLHS(), M), substitute(B->getRHS(), M));
+  }
+  case USRKind::Gate: {
+    const auto *G = cast<GateUSR>(S);
+    return gate(PredCtx.substitute(G->getGate(), M),
+                substitute(G->getChild(), M));
+  }
+  case USRKind::CallSite: {
+    const auto *C = cast<CallSiteUSR>(S);
+    return callSite(C->getCallee(), substitute(C->getChild(), M));
+  }
+  case USRKind::Recur: {
+    const auto *R = cast<RecurUSR>(S);
+    const Expr *Lo = SymCtx.substitute(R->getLo(), M);
+    const Expr *Hi = SymCtx.substitute(R->getHi(), M);
+    std::map<SymbolId, const Expr *> Inner(M);
+    Inner.erase(R->getVar());
+    SymbolId Var = R->getVar();
+    const USR *Body = R->getBody();
+    bool Captures = false;
+    for (const auto &KV : Inner)
+      if (KV.second->dependsOn(Var) && Body->dependsOn(KV.first)) {
+        Captures = true;
+        break;
+      }
+    if (Captures) {
+      SymbolId Fresh = SymCtx.freshSymbol(SymCtx.symbolInfo(Var).Name,
+                                          SymCtx.symbolInfo(Var).DefLevel);
+      std::map<SymbolId, const Expr *> Rename{{Var, SymCtx.symRef(Fresh)}};
+      Body = substitute(Body, Rename);
+      Var = Fresh;
+    }
+    return recur(Var, Lo, Hi,
+                 Inner.empty() ? Body : substitute(Body, Inner));
+  }
+  }
+  halo_unreachable("covered switch");
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+void USR::print(std::ostream &OS, const sym::Context &Ctx) const {
+  switch (Kind) {
+  case USRKind::Empty:
+    OS << "{}";
+    return;
+  case USRKind::Leaf: {
+    const auto &Ls = cast<LeafUSR>(this)->getLMADs();
+    if (Ls.size() > 1)
+      OS << "{";
+    for (size_t I = 0; I < Ls.size(); ++I) {
+      if (I)
+        OS << ", ";
+      Ls[I].print(OS, Ctx);
+    }
+    if (Ls.size() > 1)
+      OS << "}";
+    return;
+  }
+  case USRKind::Union: {
+    OS << "(";
+    const auto &Cs = cast<UnionUSR>(this)->getChildren();
+    for (size_t I = 0; I < Cs.size(); ++I) {
+      if (I)
+        OS << " u ";
+      Cs[I]->print(OS, Ctx);
+    }
+    OS << ")";
+    return;
+  }
+  case USRKind::Intersect:
+  case USRKind::Subtract: {
+    const auto *B = cast<BinaryUSR>(this);
+    OS << "(";
+    B->getLHS()->print(OS, Ctx);
+    OS << (B->isIntersect() ? " n " : " - ");
+    B->getRHS()->print(OS, Ctx);
+    OS << ")";
+    return;
+  }
+  case USRKind::Gate: {
+    const auto *G = cast<GateUSR>(this);
+    OS << "(";
+    G->getGate()->print(OS, Ctx);
+    OS << " # ";
+    G->getChild()->print(OS, Ctx);
+    OS << ")";
+    return;
+  }
+  case USRKind::CallSite: {
+    const auto *C = cast<CallSiteUSR>(this);
+    OS << "call<" << C->getCallee() << ">(";
+    C->getChild()->print(OS, Ctx);
+    OS << ")";
+    return;
+  }
+  case USRKind::Recur: {
+    const auto *R = cast<RecurUSR>(this);
+    OS << "U(" << Ctx.symbolInfo(R->getVar()).Name << "=";
+    R->getLo()->print(OS, Ctx);
+    OS << "..";
+    R->getHi()->print(OS, Ctx);
+    OS << ": ";
+    R->getBody()->print(OS, Ctx);
+    OS << ")";
+    return;
+  }
+  }
+  halo_unreachable("covered switch");
+}

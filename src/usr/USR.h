@@ -1,0 +1,264 @@
+//===- usr/USR.h - Uniform set representation language ---------*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The USR (uniform set representation) language of Sec. 2: a scoped,
+/// closed-under-composition DAG language for sets of array indexes.
+/// Leaves are LMAD sets; interior nodes represent exactly the operations
+/// that fall outside the LMAD algebra:
+///
+///  - irreducible set operations: union, intersection, subtraction,
+///  - control flow: gates (`pred # S` — the summary exists iff the
+///    predicate holds), call sites across which summaries cannot be
+///    translated,
+///  - total and partial loop recurrences (`U_{i=lo..hi} S(i)`; a partial
+///    recurrence `U_{k=1..i-1} S(k)` is a recurrence whose upper bound
+///    mentions an outer variable).
+///
+/// Keeping these operations *in the language* instead of approximating at
+/// construction time is the paper's key representational idea (Sec. 1.1):
+/// conservative approximation is deferred to predicate-extraction time,
+/// where an accurate independence summary is still available to pattern
+/// match (e.g. footnote 4 of the paper).
+///
+/// Smart constructors canonicalize aggressively; in particular, a
+/// recurrence over a leaf whose LMADs aggregate in closed form folds to a
+/// gated leaf (`lo <= hi # aggregated-LMADs`), which is how quasi-affine
+/// accesses never reach an irreducible recurrence node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_USR_USR_H
+#define HALO_USR_USR_H
+
+#include "lmad/LMAD.h"
+#include "pdag/Pred.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace halo {
+namespace usr {
+
+enum class USRKind : uint8_t {
+  Empty,
+  Leaf,      // set of LMADs
+  Union,     // n-ary
+  Intersect, // binary
+  Subtract,  // binary
+  Gate,      // pred # S
+  CallSite,  // S across an untranslatable call
+  Recur,     // U_{var=lo..hi} body
+};
+
+class USRContext;
+
+/// Immutable, interned USR node.
+class USR {
+public:
+  virtual ~USR() = default;
+
+  USRKind getKind() const { return Kind; }
+  uint32_t getId() const { return Id; }
+  bool isEmptySet() const { return Kind == USRKind::Empty; }
+
+  const std::vector<sym::SymbolId> &freeSymbols() const { return FreeSyms; }
+  bool dependsOn(sym::SymbolId S) const;
+  bool isInvariantAtDepth(int LoopDepth, const sym::Context &Ctx) const;
+
+  void print(std::ostream &OS, const sym::Context &Ctx) const;
+  std::string toString(const sym::Context &Ctx) const;
+
+protected:
+  USR(USRKind K, std::vector<sym::SymbolId> Free)
+      : Kind(K), FreeSyms(std::move(Free)) {}
+
+private:
+  USRKind Kind;
+  uint32_t Id = 0;
+  std::vector<sym::SymbolId> FreeSyms;
+  friend class USRContext;
+};
+
+/// The empty set (the right-hand side of every independence equation).
+class EmptyUSR : public USR {
+public:
+  static bool classof(const USR *U) { return U->getKind() == USRKind::Empty; }
+
+private:
+  EmptyUSR() : USR(USRKind::Empty, {}) {}
+  friend class USRContext;
+};
+
+/// A set of LMADs over one array's linearized index space.
+class LeafUSR : public USR {
+public:
+  const lmad::LMADSet &getLMADs() const { return LMADs; }
+
+  static bool classof(const USR *U) { return U->getKind() == USRKind::Leaf; }
+
+private:
+  LeafUSR(lmad::LMADSet L, std::vector<sym::SymbolId> Free)
+      : USR(USRKind::Leaf, std::move(Free)), LMADs(std::move(L)) {}
+  lmad::LMADSet LMADs;
+  friend class USRContext;
+};
+
+/// N-ary union with sorted, deduplicated, non-empty children.
+class UnionUSR : public USR {
+public:
+  const std::vector<const USR *> &getChildren() const { return Children; }
+
+  static bool classof(const USR *U) { return U->getKind() == USRKind::Union; }
+
+private:
+  UnionUSR(std::vector<const USR *> C, std::vector<sym::SymbolId> Free)
+      : USR(USRKind::Union, std::move(Free)), Children(std::move(C)) {}
+  std::vector<const USR *> Children;
+  friend class USRContext;
+};
+
+/// Binary intersection / subtraction.
+class BinaryUSR : public USR {
+public:
+  const USR *getLHS() const { return LHS; }
+  const USR *getRHS() const { return RHS; }
+  bool isIntersect() const { return getKind() == USRKind::Intersect; }
+
+  static bool classof(const USR *U) {
+    return U->getKind() == USRKind::Intersect ||
+           U->getKind() == USRKind::Subtract;
+  }
+
+private:
+  BinaryUSR(USRKind K, const USR *L, const USR *R,
+            std::vector<sym::SymbolId> Free)
+      : USR(K, std::move(Free)), LHS(L), RHS(R) {}
+  const USR *LHS;
+  const USR *RHS;
+  friend class USRContext;
+};
+
+/// `pred # S`: the set is S when the gate holds, empty otherwise.
+class GateUSR : public USR {
+public:
+  const pdag::Pred *getGate() const { return Gate; }
+  const USR *getChild() const { return Child; }
+
+  static bool classof(const USR *U) { return U->getKind() == USRKind::Gate; }
+
+private:
+  GateUSR(const pdag::Pred *G, const USR *C, std::vector<sym::SymbolId> Free)
+      : USR(USRKind::Gate, std::move(Free)), Gate(G), Child(C) {}
+  const pdag::Pred *Gate;
+  const USR *Child;
+  friend class USRContext;
+};
+
+/// A summary that could not be translated across a call site; kept for
+/// diagnostics, treated as opaque by most reasoning.
+class CallSiteUSR : public USR {
+public:
+  const std::string &getCallee() const { return Callee; }
+  const USR *getChild() const { return Child; }
+
+  static bool classof(const USR *U) {
+    return U->getKind() == USRKind::CallSite;
+  }
+
+private:
+  CallSiteUSR(std::string Callee, const USR *C,
+              std::vector<sym::SymbolId> Free)
+      : USR(USRKind::CallSite, std::move(Free)), Callee(std::move(Callee)),
+        Child(C) {}
+  std::string Callee;
+  const USR *Child;
+  friend class USRContext;
+};
+
+/// `U_{Var=Lo..Hi} Body` — a recurrence that failed exact LMAD
+/// aggregation. Partial recurrences (`U_{k=1..i-1}`) are recurrences whose
+/// Hi mentions an enclosing loop's variable.
+class RecurUSR : public USR {
+public:
+  sym::SymbolId getVar() const { return Var; }
+  const sym::Expr *getLo() const { return Lo; }
+  const sym::Expr *getHi() const { return Hi; }
+  const USR *getBody() const { return Body; }
+
+  static bool classof(const USR *U) { return U->getKind() == USRKind::Recur; }
+
+private:
+  RecurUSR(sym::SymbolId Var, const sym::Expr *Lo, const sym::Expr *Hi,
+           const USR *Body, std::vector<sym::SymbolId> Free)
+      : USR(USRKind::Recur, std::move(Free)), Var(Var), Lo(Lo), Hi(Hi),
+        Body(Body) {}
+  sym::SymbolId Var;
+  const sym::Expr *Lo;
+  const sym::Expr *Hi;
+  const USR *Body;
+  friend class USRContext;
+};
+
+/// Owns and interns USR nodes; provides the canonicalizing constructors.
+class USRContext {
+public:
+  USRContext(sym::Context &SymCtx, pdag::PredContext &PredCtx);
+  ~USRContext();
+  USRContext(const USRContext &) = delete;
+  USRContext &operator=(const USRContext &) = delete;
+
+  sym::Context &symCtx() { return SymCtx; }
+  pdag::PredContext &predCtx() { return PredCtx; }
+
+  const USR *empty() const { return EmptyNode; }
+
+  /// Leaf over a set of LMADs (deduplicated; the empty set folds).
+  const USR *leaf(lmad::LMADSet L);
+  const USR *leaf(const lmad::LMAD &L) { return leaf(lmad::LMADSet{L}); }
+  /// Convenience: contiguous [offset, offset+len-1] leaf.
+  const USR *interval(const sym::Expr *Offset, const sym::Expr *Len);
+
+  const USR *union2(const USR *A, const USR *B);
+  const USR *unionN(std::vector<const USR *> Cs);
+  const USR *intersect(const USR *A, const USR *B);
+  const USR *subtract(const USR *A, const USR *B);
+  const USR *gate(const pdag::Pred *G, const USR *S);
+  const USR *callSite(const std::string &Callee, const USR *S);
+
+  /// `U_{Var=Lo..Hi} Body`. Folds invariant bodies and leaf bodies whose
+  /// LMADs aggregate in closed form to `(Lo <= Hi) # folded`; otherwise
+  /// interns an irreducible recurrence node.
+  const USR *recur(sym::SymbolId Var, const sym::Expr *Lo,
+                   const sym::Expr *Hi, const USR *Body);
+
+  /// Substitutes scalar symbols in every embedded expression/predicate;
+  /// renames recurrence variables on capture.
+  const USR *substitute(const USR *S,
+                        const std::map<sym::SymbolId, const sym::Expr *> &M);
+
+  size_t numNodes() const { return Nodes.size(); }
+
+private:
+  const USR *intern(std::unique_ptr<USR> N, size_t Hash);
+
+  sym::Context &SymCtx;
+  pdag::PredContext &PredCtx;
+  std::vector<std::unique_ptr<USR>> Nodes;
+  std::unordered_multimap<size_t, const USR *> InternTable;
+  const USR *EmptyNode = nullptr;
+};
+
+} // namespace usr
+} // namespace halo
+
+#endif // HALO_USR_USR_H

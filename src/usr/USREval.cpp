@@ -1,0 +1,150 @@
+//===- usr/USREval.cpp - Exact runtime evaluation of USRs -----------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "usr/USREval.h"
+
+#include "pdag/PredEval.h"
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace halo;
+using namespace halo::usr;
+
+namespace {
+
+using PointSet = std::vector<int64_t>; // Sorted, unique.
+
+void normalize(PointSet &S) {
+  std::sort(S.begin(), S.end());
+  S.erase(std::unique(S.begin(), S.end()), S.end());
+}
+
+PointSet setUnion(const PointSet &A, const PointSet &B) {
+  PointSet Out;
+  Out.reserve(A.size() + B.size());
+  std::set_union(A.begin(), A.end(), B.begin(), B.end(),
+                 std::back_inserter(Out));
+  return Out;
+}
+
+PointSet setIntersect(const PointSet &A, const PointSet &B) {
+  PointSet Out;
+  std::set_intersection(A.begin(), A.end(), B.begin(), B.end(),
+                        std::back_inserter(Out));
+  return Out;
+}
+
+PointSet setSubtract(const PointSet &A, const PointSet &B) {
+  PointSet Out;
+  std::set_difference(A.begin(), A.end(), B.begin(), B.end(),
+                      std::back_inserter(Out));
+  return Out;
+}
+
+std::optional<PointSet> evalImpl(const USR *S, sym::Bindings &B, size_t Cap,
+                                 USREvalStats *Stats) {
+  if (Stats)
+    ++Stats->NodesVisited;
+  switch (S->getKind()) {
+  case USRKind::Empty:
+    return PointSet{};
+  case USRKind::Leaf: {
+    PointSet Out;
+    for (const lmad::LMAD &L : cast<LeafUSR>(S)->getLMADs())
+      if (!lmad::enumerate(L, B, Out, Cap))
+        return std::nullopt;
+    if (Out.size() > Cap)
+      return std::nullopt;
+    normalize(Out);
+    if (Stats)
+      Stats->PointsMaterialized += Out.size();
+    return Out;
+  }
+  case USRKind::Union: {
+    PointSet Acc;
+    for (const USR *C : cast<UnionUSR>(S)->getChildren()) {
+      auto V = evalImpl(C, B, Cap, Stats);
+      if (!V)
+        return std::nullopt;
+      Acc = setUnion(Acc, *V);
+      if (Acc.size() > Cap)
+        return std::nullopt;
+    }
+    return Acc;
+  }
+  case USRKind::Intersect:
+  case USRKind::Subtract: {
+    const auto *Bin = cast<BinaryUSR>(S);
+    auto L = evalImpl(Bin->getLHS(), B, Cap, Stats);
+    if (!L)
+      return std::nullopt;
+    if (L->empty())
+      return PointSet{};
+    auto R = evalImpl(Bin->getRHS(), B, Cap, Stats);
+    if (!R)
+      return std::nullopt;
+    return Bin->isIntersect() ? setIntersect(*L, *R) : setSubtract(*L, *R);
+  }
+  case USRKind::Gate: {
+    const auto *G = cast<GateUSR>(S);
+    auto Cond = pdag::tryEvalPred(G->getGate(), B);
+    if (!Cond)
+      return std::nullopt;
+    if (!*Cond)
+      return PointSet{};
+    return evalImpl(G->getChild(), B, Cap, Stats);
+  }
+  case USRKind::CallSite:
+    return evalImpl(cast<CallSiteUSR>(S)->getChild(), B, Cap, Stats);
+  case USRKind::Recur: {
+    const auto *R = cast<RecurUSR>(S);
+    auto Lo = sym::tryEval(R->getLo(), B);
+    auto Hi = sym::tryEval(R->getHi(), B);
+    if (!Lo || !Hi)
+      return std::nullopt;
+    auto Saved = B.scalar(R->getVar());
+    PointSet Acc;
+    std::optional<PointSet> Result = PointSet{};
+    for (int64_t I = *Lo; I <= *Hi; ++I) {
+      B.setScalar(R->getVar(), I);
+      auto V = evalImpl(R->getBody(), B, Cap, Stats);
+      if (!V) {
+        Result = std::nullopt;
+        break;
+      }
+      Acc = setUnion(Acc, *V);
+      if (Acc.size() > Cap) {
+        Result = std::nullopt;
+        break;
+      }
+    }
+    if (Saved)
+      B.setScalar(R->getVar(), *Saved);
+    if (!Result)
+      return std::nullopt;
+    return Acc;
+  }
+  }
+  halo_unreachable("covered switch");
+}
+
+} // namespace
+
+std::optional<std::vector<int64_t>> usr::evalUSR(const USR *S,
+                                                 sym::Bindings &B, size_t Cap,
+                                                 USREvalStats *Stats) {
+  return evalImpl(S, B, Cap, Stats);
+}
+
+std::optional<bool> usr::evalUSREmpty(const USR *S, sym::Bindings &B,
+                                      size_t Cap, USREvalStats *Stats) {
+  auto V = evalImpl(S, B, Cap, Stats);
+  if (!V)
+    return std::nullopt;
+  return V->empty();
+}

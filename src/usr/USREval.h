@@ -1,0 +1,55 @@
+//===- usr/USREval.h - Exact runtime evaluation of USRs --------*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates a USR to a concrete, sorted set of array offsets under given
+/// bindings. This serves two roles:
+///
+///  1. Reference semantics — every property test of the factorization
+///     algorithm checks `F(S) true  ==>  evalUSR(S) empty` against this
+///     evaluator.
+///  2. The paper's *exact* runtime test (Sec. 2.2 / Sec. 5): when the whole
+///     predicate cascade fails, independence can still be proven by
+///     evaluating the independence USR directly (optionally hoisted and
+///     memoized, the HOIST-USR technique); the rt module wraps this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_USR_USREVAL_H
+#define HALO_USR_USREVAL_H
+
+#include "usr/USR.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace halo {
+namespace usr {
+
+/// Cost accounting for the RTov measurements.
+struct USREvalStats {
+  uint64_t NodesVisited = 0;
+  uint64_t PointsMaterialized = 0;
+};
+
+/// Evaluates \p S to the sorted, deduplicated set of offsets it denotes.
+/// Returns nullopt when a symbol is unbound, an array access is out of
+/// bounds, or the set exceeds \p Cap points.
+std::optional<std::vector<int64_t>>
+evalUSR(const USR *S, sym::Bindings &B, size_t Cap = 1u << 22,
+        USREvalStats *Stats = nullptr);
+
+/// Convenience emptiness test: true iff the set evaluates to empty.
+std::optional<bool> evalUSREmpty(const USR *S, sym::Bindings &B,
+                                 size_t Cap = 1u << 22,
+                                 USREvalStats *Stats = nullptr);
+
+} // namespace usr
+} // namespace halo
+
+#endif // HALO_USR_USREVAL_H

@@ -1,0 +1,304 @@
+//===- usr/USRTransform.cpp - USR reshaping & overestimates ---------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "usr/USRTransform.h"
+
+#include "support/Error.h"
+#include "sym/Range.h"
+
+#include <algorithm>
+
+using namespace halo;
+using namespace halo::usr;
+using sym::Expr;
+using sym::SymbolId;
+
+//===----------------------------------------------------------------------===//
+// UMEG view and distribution (Fig. 8b)
+//===----------------------------------------------------------------------===//
+
+std::optional<UMEGView> usr::viewUMEG(USRContext &Ctx, const USR *S) {
+  pdag::PredContext &P = Ctx.predCtx();
+  std::vector<UMEGComponent> Comps;
+  std::vector<const USR *> Ungated;
+
+  auto AddChild = [&](const USR *C) {
+    if (const auto *G = dyn_cast<GateUSR>(C))
+      Comps.push_back(UMEGComponent{G->getGate(), G->getChild()});
+    else
+      Ungated.push_back(C);
+  };
+
+  if (const auto *U = dyn_cast<UnionUSR>(S)) {
+    for (const USR *C : U->getChildren())
+      AddChild(C);
+  } else {
+    AddChild(S);
+  }
+  if (Comps.empty())
+    return std::nullopt;
+
+  // Pairwise mutual exclusivity, provable in the predicate algebra.
+  for (size_t I = 0; I < Comps.size(); ++I)
+    for (size_t J = I + 1; J < Comps.size(); ++J)
+      if (!P.and2(Comps[I].Gate, Comps[J].Gate)->isFalse())
+        return std::nullopt;
+
+  return UMEGView{std::move(Comps), Ctx.unionN(std::move(Ungated))};
+}
+
+namespace {
+
+/// Distributes `X op Y` inside compatible UMEG shapes. Returns null when
+/// the shapes do not allow an exact distribution.
+const USR *tryUMEGDistribute(USRContext &Ctx, USRKind Op, const USR *X,
+                             const USR *Y) {
+  pdag::PredContext &P = Ctx.predCtx();
+  auto VX = viewUMEG(Ctx, X);
+  auto VY = viewUMEG(Ctx, Y);
+  if (!VY)
+    return nullptr;
+  if (!VX) {
+    // X carries no gates: split it exhaustively over Y's (mutually
+    // exclusive) gate space — X == h1#X u ... u hn#X u (not h1 and ...)#X.
+    // This is the normalization step of Fig. 8(b) (content S6 appearing
+    // under every gate), and produces exactly the Fig. 3(c) shape for the
+    // running SOLVH example.
+    UMEGView Split;
+    std::vector<const pdag::Pred *> Negs;
+    for (const UMEGComponent &C : VY->Components) {
+      Split.Components.push_back(UMEGComponent{C.Gate, X});
+      const pdag::Pred *NC = P.tryNot(C.Gate);
+      if (!NC)
+        return nullptr;
+      Negs.push_back(NC);
+    }
+    const pdag::Pred *Rest = P.andN(std::move(Negs));
+    if (!Rest->isFalse())
+      Split.Components.push_back(UMEGComponent{Rest, X});
+    Split.Ungated = Ctx.empty();
+    VX = std::move(Split);
+  }
+
+  // Compatibility: every gate of Y must match a gate of X or be mutually
+  // exclusive with all of them (then its content is invisible inside X's
+  // gates). Ungated content of Y is visible under every gate.
+  auto ContentUnder = [&](const pdag::Pred *G) -> std::optional<const USR *> {
+    std::vector<const USR *> Vis{VY->Ungated};
+    for (const UMEGComponent &C : VY->Components) {
+      if (C.Gate == G) {
+        Vis.push_back(C.Content);
+        continue;
+      }
+      if (!P.and2(C.Gate, G)->isFalse())
+        return std::nullopt; // Overlapping, non-identical gate: give up.
+    }
+    return Ctx.unionN(std::move(Vis));
+  };
+
+  std::vector<const USR *> Parts;
+  for (const UMEGComponent &C : VX->Components) {
+    auto Vis = ContentUnder(C.Gate);
+    if (!Vis)
+      return nullptr;
+    const USR *Inner = Op == USRKind::Subtract
+                           ? Ctx.subtract(C.Content, *Vis)
+                           : Ctx.intersect(C.Content, *Vis);
+    Parts.push_back(Ctx.gate(C.Gate, Inner));
+  }
+  if (!VX->Ungated->isEmptySet()) {
+    const USR *Rest = Op == USRKind::Subtract
+                          ? Ctx.subtract(VX->Ungated, Y)
+                          : Ctx.intersect(VX->Ungated, Y);
+    Parts.push_back(Rest);
+  }
+  return Ctx.unionN(std::move(Parts));
+}
+
+} // namespace
+
+const USR *usr::reshapeUMEG(USRContext &Ctx, const USR *S) {
+  switch (S->getKind()) {
+  case USRKind::Empty:
+  case USRKind::Leaf:
+    return S;
+  case USRKind::Union: {
+    std::vector<const USR *> Cs;
+    for (const USR *C : cast<UnionUSR>(S)->getChildren())
+      Cs.push_back(reshapeUMEG(Ctx, C));
+    return Ctx.unionN(std::move(Cs));
+  }
+  case USRKind::Intersect:
+  case USRKind::Subtract: {
+    const auto *B = cast<BinaryUSR>(S);
+    const USR *L = reshapeUMEG(Ctx, B->getLHS());
+    const USR *R = reshapeUMEG(Ctx, B->getRHS());
+    if (const USR *D = tryUMEGDistribute(Ctx, S->getKind(), L, R))
+      return reshapeUMEG(Ctx, D);
+    return B->isIntersect() ? Ctx.intersect(L, R) : Ctx.subtract(L, R);
+  }
+  case USRKind::Gate: {
+    const auto *G = cast<GateUSR>(S);
+    return Ctx.gate(G->getGate(), reshapeUMEG(Ctx, G->getChild()));
+  }
+  case USRKind::CallSite: {
+    const auto *C = cast<CallSiteUSR>(S);
+    return Ctx.callSite(C->getCallee(), reshapeUMEG(Ctx, C->getChild()));
+  }
+  case USRKind::Recur: {
+    const auto *R = cast<RecurUSR>(S);
+    return Ctx.recur(R->getVar(), R->getLo(), R->getHi(),
+                     reshapeUMEG(Ctx, R->getBody()));
+  }
+  }
+  halo_unreachable("covered switch");
+}
+
+//===----------------------------------------------------------------------===//
+// Invariant overestimation (rule (1) of Fig. 5)
+//===----------------------------------------------------------------------===//
+
+std::optional<const USR *>
+usr::invariantOverestimate(USRContext &Ctx, const USR *S, SymbolId Var,
+                           const Expr *Lo, const Expr *Hi) {
+  if (!S->dependsOn(Var))
+    return S;
+  sym::Context &Sym = Ctx.symCtx();
+
+  switch (S->getKind()) {
+  case USRKind::Empty:
+    return S;
+  case USRKind::Leaf: {
+    // Widening a leaf over the variable's range is exactly aggregation.
+    // When aggregation fails (non-affine offset), fall back to widening
+    // the interval overestimate with range analysis — this covers the
+    // monotone CIV-prefix-array offsets of Sec. 3.3.
+    sym::RangeEnv Env;
+    Env.bind(Var, Lo, Hi);
+    lmad::LMADSet Out;
+    for (const lmad::LMAD &L : cast<LeafUSR>(S)->getLMADs()) {
+      auto A = lmad::aggregate(Sym, L, Var, Lo, Hi);
+      if (A) {
+        Out.push_back(*A);
+        continue;
+      }
+      lmad::Interval IV = lmad::intervalOverestimate(Sym, L);
+      auto LoB = sym::boundExpr(Sym, IV.Lo, Env, /*IsLower=*/true);
+      auto HiB = sym::boundExpr(Sym, IV.Hi, Env, /*IsLower=*/false);
+      if (!LoB || !HiB)
+        return std::nullopt;
+      Out.push_back(lmad::LMAD::makeStrided(
+          Sym.intConst(1), Sym.sub(*HiB, *LoB), *LoB));
+    }
+    return Ctx.leaf(std::move(Out));
+  }
+  case USRKind::Union: {
+    std::vector<const USR *> Cs;
+    for (const USR *C : cast<UnionUSR>(S)->getChildren()) {
+      auto O = invariantOverestimate(Ctx, C, Var, Lo, Hi);
+      if (!O)
+        return std::nullopt;
+      Cs.push_back(*O);
+    }
+    return Ctx.unionN(std::move(Cs));
+  }
+  case USRKind::Intersect: {
+    const auto *B = cast<BinaryUSR>(S);
+    auto L = invariantOverestimate(Ctx, B->getLHS(), Var, Lo, Hi);
+    auto R = invariantOverestimate(Ctx, B->getRHS(), Var, Lo, Hi);
+    if (!L || !R)
+      return std::nullopt;
+    return Ctx.intersect(*L, *R);
+  }
+  case USRKind::Subtract: {
+    // Overestimate: keep the subtrahend only when it is already invariant.
+    const auto *B = cast<BinaryUSR>(S);
+    auto L = invariantOverestimate(Ctx, B->getLHS(), Var, Lo, Hi);
+    if (!L)
+      return std::nullopt;
+    if (!B->getRHS()->dependsOn(Var))
+      return Ctx.subtract(*L, B->getRHS());
+    return *L;
+  }
+  case USRKind::Gate: {
+    // Loop-variant gates are filtered out (Sec. 3.1: "for example by
+    // filtering out loop-variant gates").
+    const auto *G = cast<GateUSR>(S);
+    auto C = invariantOverestimate(Ctx, G->getChild(), Var, Lo, Hi);
+    if (!C)
+      return std::nullopt;
+    if (G->getGate()->dependsOn(Var))
+      return *C;
+    return Ctx.gate(G->getGate(), *C);
+  }
+  case USRKind::CallSite: {
+    const auto *C = cast<CallSiteUSR>(S);
+    auto Inner = invariantOverestimate(Ctx, C->getChild(), Var, Lo, Hi);
+    if (!Inner)
+      return std::nullopt;
+    return Ctx.callSite(C->getCallee(), *Inner);
+  }
+  case USRKind::Recur: {
+    const auto *R = cast<RecurUSR>(S);
+    // Widen variant bounds over Var's range.
+    sym::RangeEnv Env;
+    Env.bind(Var, Lo, Hi);
+    const Expr *NewLo = R->getLo();
+    const Expr *NewHi = R->getHi();
+    if (NewLo->dependsOn(Var)) {
+      auto B = sym::boundExpr(Sym, NewLo, Env, /*IsLower=*/true);
+      if (!B)
+        return std::nullopt;
+      NewLo = *B;
+    }
+    if (NewHi->dependsOn(Var)) {
+      auto B = sym::boundExpr(Sym, NewHi, Env, /*IsLower=*/false);
+      if (!B)
+        return std::nullopt;
+      NewHi = *B;
+    }
+    auto Body = invariantOverestimate(Ctx, R->getBody(), Var, Lo, Hi);
+    if (!Body)
+      return std::nullopt;
+    return Ctx.recur(R->getVar(), NewLo, NewHi, *Body);
+  }
+  }
+  halo_unreachable("covered switch");
+}
+
+//===----------------------------------------------------------------------===//
+// BOUNDS-COMP stripping (Sec. 4)
+//===----------------------------------------------------------------------===//
+
+const USR *usr::stripForBounds(USRContext &Ctx, const USR *S) {
+  switch (S->getKind()) {
+  case USRKind::Empty:
+  case USRKind::Leaf:
+    return S;
+  case USRKind::Union: {
+    std::vector<const USR *> Cs;
+    for (const USR *C : cast<UnionUSR>(S)->getChildren())
+      Cs.push_back(stripForBounds(Ctx, C));
+    return Ctx.unionN(std::move(Cs));
+  }
+  case USRKind::Intersect:
+  case USRKind::Subtract:
+    return stripForBounds(Ctx, cast<BinaryUSR>(S)->getLHS());
+  case USRKind::Gate:
+    return stripForBounds(Ctx, cast<GateUSR>(S)->getChild());
+  case USRKind::CallSite: {
+    const auto *C = cast<CallSiteUSR>(S);
+    return Ctx.callSite(C->getCallee(), stripForBounds(Ctx, C->getChild()));
+  }
+  case USRKind::Recur: {
+    const auto *R = cast<RecurUSR>(S);
+    return Ctx.recur(R->getVar(), R->getLo(), R->getHi(),
+                     stripForBounds(Ctx, R->getBody()));
+  }
+  }
+  halo_unreachable("covered switch");
+}

@@ -1,0 +1,79 @@
+//===- usr/USRTransform.h - USR reshaping & overestimates ------*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The enabling USR transformations of Sec. 3.4 and the overestimation
+/// machinery the factorization rules rely on:
+///
+///  - UMEG preservation (Fig. 8b): when subtracting/intersecting summaries
+///    whose shapes are compatible unions of mutually exclusive gates, the
+///    operation distributes *inside* each gate, keeping the gated structure
+///    that predicate extraction pattern-matches (decisive for zeusmp's
+///    TRANX2_DO2100 and calculix).
+///    (The dual Fig. 8a rule — reassociating repeated subtraction — is
+///    implemented directly in USRContext::subtract and can be toggled for
+///    ablation.)
+///
+///  - Loop-invariant overestimation (rule (1) of Fig. 5): a superset of S
+///    that does not mention the given loop variable, built by aggregating
+///    leaf LMADs over the variable's range, dropping loop-variant gates,
+///    and widening recurrence bounds. `S' superset-of S`, so
+///    `S' disjoint T  ==>  S disjoint T`.
+///
+///  - BOUNDS-COMP stripping (Sec. 4, Fig. 7a): an overestimate containing
+///    only union/leaf/recurrence/call nodes, suitable for cheap parallel
+///    min/max evaluation of the touched-index bounds of a reduction array.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_USR_USRTRANSFORM_H
+#define HALO_USR_USRTRANSFORM_H
+
+#include "usr/USR.h"
+
+#include <optional>
+
+namespace halo {
+namespace usr {
+
+/// One (gate, content) component of a union-of-mutually-exclusive-gates.
+struct UMEGComponent {
+  const pdag::Pred *Gate;
+  const USR *Content;
+};
+
+/// Structural view of S as `U gi#Si  u  Ungated` with pairwise mutually
+/// exclusive gates (proved via the predicate algebra: gi and gj folds to
+/// false). Returns nullopt when S has no such shape.
+struct UMEGView {
+  std::vector<UMEGComponent> Components;
+  const USR *Ungated;
+};
+std::optional<UMEGView> viewUMEG(USRContext &Ctx, const USR *S);
+
+/// Applies the UMEG-preserving distribution bottom-up wherever the operand
+/// shapes are compatible; other nodes are rebuilt unchanged. The result is
+/// semantically equal to the input.
+const USR *reshapeUMEG(USRContext &Ctx, const USR *S);
+
+/// Overestimate of \p S invariant in \p Var, assuming Var ranges over
+/// [Lo, Hi] (rule (1) of Fig. 5). Returns nullopt when some component
+/// cannot be widened.
+std::optional<const USR *> invariantOverestimate(USRContext &Ctx,
+                                                 const USR *S,
+                                                 sym::SymbolId Var,
+                                                 const sym::Expr *Lo,
+                                                 const sym::Expr *Hi);
+
+/// BOUNDS-COMP overestimate: drops subtraction/intersection right operands
+/// and gates so only union / leaf / recurrence / call-site nodes remain.
+const USR *stripForBounds(USRContext &Ctx, const USR *S);
+
+} // namespace usr
+} // namespace halo
+
+#endif // HALO_USR_USRTRANSFORM_H

@@ -1,0 +1,111 @@
+//===- tests/ir_test.cpp - Mini-IR unit tests -----------------------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include <gtest/gtest.h>
+
+using namespace halo;
+using namespace halo::ir;
+
+namespace {
+
+class IrTest : public ::testing::Test {
+protected:
+  IrTest() : P(Sym), Prog(Sym, P) {}
+  sym::Context Sym;
+  pdag::PredContext P;
+  Program Prog;
+};
+
+TEST_F(IrTest, SubroutineLookup) {
+  Subroutine *A = Prog.makeSubroutine("alpha");
+  Subroutine *B = Prog.makeSubroutine("beta");
+  EXPECT_EQ(Prog.findSubroutine("alpha"), A);
+  EXPECT_EQ(Prog.findSubroutine("beta"), B);
+  EXPECT_EQ(Prog.findSubroutine("gamma"), nullptr);
+}
+
+TEST_F(IrTest, ArrayDeclLookupAcrossSubroutines) {
+  Subroutine *A = Prog.makeSubroutine("alpha");
+  Subroutine *B = Prog.makeSubroutine("beta");
+  sym::SymbolId X = Sym.symbol("X", 0, true);
+  sym::SymbolId Y = Sym.symbol("Y", 0, true);
+  A->declareArray(ArrayDecl{X, Sym.intConst(100), false});
+  B->declareArray(ArrayDecl{Y, nullptr, true});
+  const ArrayDecl *DX = Prog.findArrayDecl(X);
+  ASSERT_NE(DX, nullptr);
+  EXPECT_EQ(DX->Size, Sym.intConst(100));
+  EXPECT_FALSE(DX->IsIndex);
+  const ArrayDecl *DY = Prog.findArrayDecl(Y);
+  ASSERT_NE(DY, nullptr);
+  EXPECT_EQ(DY->Size, nullptr); // Assumed-size.
+  EXPECT_TRUE(DY->IsIndex);
+  EXPECT_EQ(Prog.findArrayDecl(Sym.symbol("Z", 0, true)), nullptr);
+}
+
+TEST_F(IrTest, StmtKindsAndClassof) {
+  sym::SymbolId X = Sym.symbol("X", 0, true);
+  sym::SymbolId I = Sym.symbol("i", 1);
+  Stmt *Assign = Prog.make<AssignStmt>(
+      ArrayAccess{X, Sym.intConst(0)}, std::vector<ArrayAccess>{}, false, 3);
+  Stmt *Loop = Prog.make<DoLoop>("L", I, Sym.intConst(1), Sym.symRef("N"), 1);
+  Stmt *If = Prog.make<IfStmt>(P.getTrue());
+  Stmt *Civ = Prog.make<CivIncrStmt>(Sym.symbol("civ", 1), Sym.intConst(2));
+
+  EXPECT_TRUE(isa<AssignStmt>(Assign));
+  EXPECT_FALSE(isa<DoLoop>(Assign));
+  EXPECT_TRUE(isa<DoLoop>(Loop));
+  EXPECT_TRUE(isa<IfStmt>(If));
+  EXPECT_TRUE(isa<CivIncrStmt>(Civ));
+  EXPECT_EQ(cast<AssignStmt>(Assign)->getWorkCost(), 3u);
+  EXPECT_EQ(cast<DoLoop>(Loop)->getDepth(), 1);
+}
+
+TEST_F(IrTest, LoopBodyOrderPreserved) {
+  sym::SymbolId I = Sym.symbol("i", 1);
+  DoLoop *L = Prog.make<DoLoop>("L", I, Sym.intConst(1), Sym.symRef("N"), 1);
+  std::vector<const Stmt *> Made;
+  for (int K = 0; K < 5; ++K) {
+    const Stmt *S = Prog.make<CivIncrStmt>(Sym.symbol("c", 1),
+                                           Sym.intConst(K));
+    Made.push_back(S);
+    L->append(S);
+  }
+  EXPECT_EQ(L->getBody(), Made);
+}
+
+TEST_F(IrTest, IfBranchesIndependent) {
+  IfStmt *If = Prog.make<IfStmt>(P.ne(Sym.symRef("SYM"), Sym.intConst(1)));
+  const Stmt *T = Prog.make<CivIncrStmt>(Sym.symbol("c", 1), Sym.intConst(1));
+  const Stmt *E = Prog.make<CivIncrStmt>(Sym.symbol("c", 1), Sym.intConst(2));
+  If->appendThen(T);
+  If->appendElse(E);
+  ASSERT_EQ(If->getThen().size(), 1u);
+  ASSERT_EQ(If->getElse().size(), 1u);
+  EXPECT_EQ(If->getThen()[0], T);
+  EXPECT_EQ(If->getElse()[0], E);
+}
+
+TEST_F(IrTest, CallArgsRecorded) {
+  Subroutine *Callee = Prog.makeSubroutine("work");
+  sym::SymbolId F = Sym.symbol("F", 0, true);
+  sym::SymbolId X = Sym.symbol("X", 0, true);
+  sym::SymbolId NS = Sym.symbol("NSf");
+  CallStmt *Call = Prog.make<CallStmt>(
+      Callee,
+      std::vector<CallStmt::ArrayArg>{{F, X, Sym.intConst(32)}},
+      std::vector<CallStmt::ScalarArg>{{NS, Sym.symRef("NS")}});
+  EXPECT_EQ(Call->getCallee(), Callee);
+  ASSERT_EQ(Call->getArrayArgs().size(), 1u);
+  EXPECT_EQ(Call->getArrayArgs()[0].Actual, X);
+  EXPECT_EQ(Call->getArrayArgs()[0].Offset, Sym.intConst(32));
+  ASSERT_EQ(Call->getScalarArgs().size(), 1u);
+  EXPECT_EQ(Call->getScalarArgs()[0].Formal, NS);
+}
+
+} // namespace

@@ -1,0 +1,223 @@
+//===- tests/lmad_test.cpp - LMAD algebra unit tests ----------------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lmad/LMAD.h"
+
+#include <gtest/gtest.h>
+
+using namespace halo;
+using namespace halo::lmad;
+
+namespace {
+
+class LmadTest : public ::testing::Test {
+protected:
+  sym::Context Sym;
+  const sym::Expr *c(int64_t V) { return Sym.intConst(V); }
+  const sym::Expr *s(const std::string &N) { return Sym.symRef(N); }
+
+  std::vector<int64_t> points(const LMAD &L, const sym::Bindings &B) {
+    std::vector<int64_t> Out;
+    EXPECT_TRUE(enumerate(L, B, Out));
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+    return Out;
+  }
+};
+
+TEST_F(LmadTest, PointEnumeration) {
+  LMAD P = LMAD::makePoint(c(7));
+  sym::Bindings B;
+  EXPECT_EQ(points(P, B), (std::vector<int64_t>{7}));
+}
+
+TEST_F(LmadTest, IntervalEnumeration) {
+  LMAD L = LMAD::makeInterval(Sym, c(3), c(4)); // {3,4,5,6}
+  sym::Bindings B;
+  EXPECT_EQ(points(L, B), (std::vector<int64_t>{3, 4, 5, 6}));
+}
+
+TEST_F(LmadTest, StridedEnumeration) {
+  // [2]v[6]+1 = {1,3,5,7}.
+  LMAD L = LMAD::makeStrided(c(2), c(6), c(1));
+  sym::Bindings B;
+  EXPECT_EQ(points(L, B), (std::vector<int64_t>{1, 3, 5, 7}));
+}
+
+TEST_F(LmadTest, TwoDimEnumeration) {
+  // Paper example shape: [k]v[k(M-1)] with an outer [kM]-ish dim.
+  // [1,4]v[1,8]+0 = {0,1} + {0,4,8} = {0,1,4,5,8,9}.
+  LMAD L({Dim{c(1), c(1)}, Dim{c(4), c(8)}}, c(0));
+  sym::Bindings B;
+  EXPECT_EQ(points(L, B), (std::vector<int64_t>{0, 1, 4, 5, 8, 9}));
+}
+
+TEST_F(LmadTest, EnumerationWithSymbolicComponents) {
+  LMAD L = LMAD::makeStrided(s("stride"), s("span"), s("off"));
+  sym::Bindings B;
+  B.setScalar(Sym.symbol("stride"), 3);
+  B.setScalar(Sym.symbol("span"), 6);
+  B.setScalar(Sym.symbol("off"), 10);
+  EXPECT_EQ(points(L, B), (std::vector<int64_t>{10, 13, 16}));
+}
+
+TEST_F(LmadTest, EnumerationCapFails) {
+  LMAD L = LMAD::makeInterval(Sym, c(0), c(1 << 24));
+  sym::Bindings B;
+  std::vector<int64_t> Out;
+  EXPECT_FALSE(enumerate(L, B, Out, /*Cap=*/1024));
+}
+
+TEST_F(LmadTest, AggregateStatementOverLoop) {
+  // The paper's Sec. 2.1 example, innermost level: A[i*N+j*k] over
+  // j = 1..M: point (i-1)*N + j*k - 1 aggregates to
+  // [k]v[k(M-1)] + (i-1)N + k - 1.
+  sym::SymbolId J = Sym.symbol("j", 2);
+  const sym::Expr *I = s("i"), *N = s("N"), *K = s("k"), *M = s("M");
+  // Offset of A[i*N + j*k], 0-based: i*N + j*k - 1.
+  const sym::Expr *Off = Sym.addConst(
+      Sym.add(Sym.mul(I, N), Sym.mul(Sym.symRef(J), K)), -1);
+  LMAD Point = LMAD::makePoint(Off);
+  auto Agg = aggregate(Sym, Point, J, c(1), M);
+  ASSERT_TRUE(Agg.has_value());
+  ASSERT_EQ(Agg->rank(), 1u);
+  EXPECT_EQ(Agg->dims()[0].Stride, K);
+  EXPECT_EQ(Agg->dims()[0].Span, Sym.mul(K, Sym.addConst(M, -1)));
+  EXPECT_EQ(Agg->offset(),
+            Sym.addConst(Sym.add(Sym.mul(I, N), K), -1));
+}
+
+TEST_F(LmadTest, AggregateTwiceBuildsTwoDims) {
+  // Continue the example over i = 1..N2: stride N, span N*(N2-1).
+  sym::SymbolId J = Sym.symbol("j", 2);
+  sym::SymbolId I = Sym.symbol("i", 1);
+  const sym::Expr *N = s("N"), *K = s("k"), *M = s("M");
+  const sym::Expr *Off = Sym.addConst(
+      Sym.add(Sym.mul(Sym.symRef(I), N), Sym.mul(Sym.symRef(J), K)), -1);
+  LMAD Point = LMAD::makePoint(Off);
+  auto L1 = aggregate(Sym, Point, J, c(1), M);
+  ASSERT_TRUE(L1.has_value());
+  auto L2 = aggregate(Sym, *L1, I, c(1), s("N2"));
+  ASSERT_TRUE(L2.has_value());
+  ASSERT_EQ(L2->rank(), 2u);
+  EXPECT_EQ(L2->dims()[1].Stride, N);
+}
+
+TEST_F(LmadTest, AggregateMatchesUnionOfInstances) {
+  // Exactness check: aggregate == union over concrete iterations.
+  sym::SymbolId I = Sym.symbol("i", 1);
+  const sym::Expr *Off = Sym.addConst(Sym.mulConst(Sym.symRef(I), 3), 2);
+  LMAD L = LMAD::makeInterval(Sym, Off, c(2)); // {3i+2, 3i+3}
+  auto Agg = aggregate(Sym, L, I, c(1), c(4));
+  ASSERT_TRUE(Agg.has_value());
+  sym::Bindings B;
+  std::vector<int64_t> AggPts = points(*Agg, B);
+  std::vector<int64_t> UnionPts;
+  for (int64_t IV = 1; IV <= 4; ++IV) {
+    B.setScalar(I, IV);
+    std::vector<int64_t> Inst;
+    ASSERT_TRUE(enumerate(L, B, Inst));
+    UnionPts.insert(UnionPts.end(), Inst.begin(), Inst.end());
+  }
+  std::sort(UnionPts.begin(), UnionPts.end());
+  UnionPts.erase(std::unique(UnionPts.begin(), UnionPts.end()),
+                 UnionPts.end());
+  EXPECT_EQ(AggPts, UnionPts);
+}
+
+TEST_F(LmadTest, AggregateInvariantAccessIsUnchanged) {
+  sym::SymbolId I = Sym.symbol("i", 1);
+  LMAD L = LMAD::makeInterval(Sym, c(0), s("NS"));
+  auto Agg = aggregate(Sym, L, I, c(1), s("N"));
+  ASSERT_TRUE(Agg.has_value());
+  EXPECT_EQ(*Agg, L);
+}
+
+TEST_F(LmadTest, AggregateNegativeStrideNormalizes) {
+  // Offset N - i over i = 1..N: stride +1, offset 0... base at i=N.
+  sym::SymbolId I = Sym.symbol("i", 1);
+  LMAD L = LMAD::makePoint(Sym.sub(s("N"), Sym.symRef(I)));
+  auto Agg = aggregate(Sym, L, I, c(1), s("N"));
+  ASSERT_TRUE(Agg.has_value());
+  ASSERT_EQ(Agg->rank(), 1u);
+  EXPECT_EQ(Agg->dims()[0].Stride, c(1));
+  EXPECT_EQ(Agg->offset(), c(0));
+  sym::Bindings B;
+  B.setScalar(Sym.symbol("N"), 4);
+  EXPECT_EQ(points(*Agg, B), (std::vector<int64_t>{0, 1, 2, 3}));
+}
+
+TEST_F(LmadTest, AggregateQuadraticFails) {
+  // Offset i*i is not linear in i: no closed-form aggregation.
+  sym::SymbolId I = Sym.symbol("i", 1);
+  LMAD L = LMAD::makePoint(Sym.mul(Sym.symRef(I), Sym.symRef(I)));
+  EXPECT_FALSE(aggregate(Sym, L, I, c(1), s("N")).has_value());
+}
+
+TEST_F(LmadTest, AggregateIndexArrayOffsetFails) {
+  // Offset IB(i) embeds the loop variable in an opaque atom.
+  sym::SymbolId I = Sym.symbol("i", 1);
+  sym::SymbolId IB = Sym.symbol("IB", 0, true);
+  LMAD L = LMAD::makePoint(Sym.arrayRef(IB, Sym.symRef(I)));
+  EXPECT_FALSE(aggregate(Sym, L, I, c(1), s("N")).has_value());
+}
+
+TEST_F(LmadTest, AggregateLoopVariantSpanFails) {
+  sym::SymbolId I = Sym.symbol("i", 1);
+  LMAD L = LMAD::makeInterval(Sym, c(0), Sym.symRef(I));
+  EXPECT_FALSE(aggregate(Sym, L, I, c(1), s("N")).has_value());
+}
+
+TEST_F(LmadTest, IntervalOverestimate) {
+  LMAD L({Dim{c(1), c(3)}, Dim{c(10), c(20)}}, s("t"));
+  Interval I = intervalOverestimate(Sym, L);
+  EXPECT_EQ(I.Lo, s("t"));
+  EXPECT_EQ(I.Hi, Sym.addConst(s("t"), 23));
+}
+
+TEST_F(LmadTest, Flatten1DUsesGcdOfConstStrides) {
+  LMAD L({Dim{c(4), c(12)}, Dim{c(6), c(18)}}, c(5));
+  LMAD F = flatten1D(Sym, L);
+  ASSERT_EQ(F.rank(), 1u);
+  EXPECT_EQ(F.dims()[0].Stride, c(2));
+  EXPECT_EQ(F.dims()[0].Span, c(30));
+  // Overestimate property: every point of L is a point of F.
+  sym::Bindings B;
+  std::vector<int64_t> LP = points(L, B), FP = points(F, B);
+  EXPECT_TRUE(std::includes(FP.begin(), FP.end(), LP.begin(), LP.end()));
+}
+
+TEST_F(LmadTest, Flatten1DSymbolicCommonStride) {
+  LMAD L({Dim{s("M"), s("sp1")}, Dim{s("M"), s("sp2")}}, c(0));
+  LMAD F = flatten1D(Sym, L);
+  ASSERT_EQ(F.rank(), 1u);
+  EXPECT_EQ(F.dims()[0].Stride, s("M"));
+}
+
+TEST_F(LmadTest, TranslateAddsOffset) {
+  LMAD L = LMAD::makeInterval(Sym, c(0), s("NS"));
+  LMAD T = translate(Sym, L, Sym.mulConst(s("id"), 32));
+  EXPECT_EQ(T.offset(), Sym.mulConst(s("id"), 32));
+  EXPECT_EQ(T.dims(), L.dims());
+}
+
+TEST_F(LmadTest, SubstituteRewritesAllComponents) {
+  sym::SymbolId I = Sym.symbol("i", 1);
+  LMAD L = LMAD::makeStrided(s("k"), Sym.mul(s("k"), s("M")),
+                             Sym.mulConst(Sym.symRef(I), 32));
+  std::map<sym::SymbolId, const sym::Expr *> M{{I, c(3)}};
+  LMAD S = substitute(Sym, L, M);
+  EXPECT_EQ(S.offset(), c(96));
+  EXPECT_EQ(S.dims()[0].Stride, s("k"));
+}
+
+TEST_F(LmadTest, PrintingMatchesPaperNotation) {
+  LMAD L = LMAD::makeStrided(c(1), Sym.addConst(s("NS"), -1), c(0));
+  EXPECT_EQ(L.toString(Sym), "[1]v[NS - 1]+0");
+}
+
+} // namespace

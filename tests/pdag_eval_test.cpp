@@ -1,0 +1,155 @@
+//===- tests/pdag_eval_test.cpp - Predicate evaluation tests --------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pdag/PredEval.h"
+
+#include <gtest/gtest.h>
+
+using namespace halo;
+using namespace halo::pdag;
+
+namespace {
+
+class PdagEvalTest : public ::testing::Test {
+protected:
+  PdagEvalTest() : P(Sym) {}
+  sym::Context Sym;
+  PredContext P;
+  sym::Bindings B;
+  const sym::Expr *c(int64_t V) { return Sym.intConst(V); }
+  const sym::Expr *s(const std::string &N) { return Sym.symRef(N); }
+  void bind(const std::string &N, int64_t V) { B.setScalar(Sym.symbol(N), V); }
+};
+
+TEST_F(PdagEvalTest, Leaves) {
+  bind("a", 3);
+  bind("b", 5);
+  EXPECT_TRUE(evalPred(P.le(s("a"), s("b")), B));
+  EXPECT_FALSE(evalPred(P.gt(s("a"), s("b")), B));
+  EXPECT_TRUE(evalPred(P.ne(s("a"), s("b")), B));
+  EXPECT_FALSE(evalPred(P.eq(s("a"), s("b")), B));
+}
+
+TEST_F(PdagEvalTest, DividesLeaf) {
+  bind("a", 12);
+  bind("d", 4);
+  EXPECT_TRUE(evalPred(P.divides(s("d"), s("a")), B));
+  EXPECT_FALSE(evalPred(P.divides(s("d"), s("a"), /*Neg=*/true), B));
+  bind("a", 13);
+  EXPECT_FALSE(evalPred(P.divides(s("d"), s("a")), B));
+}
+
+TEST_F(PdagEvalTest, Connectives) {
+  bind("a", 3);
+  bind("b", 5);
+  const Pred *T = P.le(s("a"), s("b"));
+  const Pred *F = P.gt(s("a"), s("b"));
+  EXPECT_FALSE(evalPred(P.and2(T, F), B));
+  EXPECT_TRUE(evalPred(P.or2(T, F), B));
+}
+
+TEST_F(PdagEvalTest, ShortCircuitToleratesUnboundInDecidedBranch) {
+  bind("a", 3);
+  bind("b", 5);
+  const Pred *T = P.le(s("a"), s("b"));
+  const Pred *U = P.le(s("unbound"), s("b"));
+  // Or with one true child decides regardless of the unbound one.
+  EXPECT_EQ(tryEvalPred(P.or2(T, U), B), std::optional<bool>(true));
+  // And with one false child decides too.
+  const Pred *F = P.gt(s("a"), s("b"));
+  EXPECT_EQ(tryEvalPred(P.and2(F, U), B), std::optional<bool>(false));
+  // But an undecided And fails conservatively.
+  EXPECT_EQ(tryEvalPred(P.and2(T, U), B), std::nullopt);
+}
+
+TEST_F(PdagEvalTest, LoopAllIteratesRange) {
+  // ALL(i=1..n: IB(i) <= IB(i+1)) -- the monotonicity predicate shape.
+  sym::SymbolId I = Sym.symbol("i", 1);
+  sym::SymbolId IB = Sym.symbol("IB", 0, /*IsArray=*/true);
+  const Pred *Mono =
+      P.loopAll(I, c(1), Sym.addConst(s("n"), -1),
+                P.le(Sym.arrayRef(IB, Sym.symRef(I)),
+                     Sym.arrayRef(IB, Sym.addConst(Sym.symRef(I), 1))));
+  bind("n", 5);
+  sym::ArrayBinding A;
+  A.Lo = 1;
+  A.Vals = {1, 3, 7, 7, 20};
+  B.setArray(IB, A);
+  EXPECT_TRUE(evalPred(Mono, B));
+
+  A.Vals = {1, 3, 2, 7, 20};
+  B.setArray(IB, A);
+  EXPECT_FALSE(evalPred(Mono, B));
+}
+
+TEST_F(PdagEvalTest, LoopAllEmptyRangeIsTrue) {
+  sym::SymbolId I = Sym.symbol("i", 1);
+  sym::SymbolId IB = Sym.symbol("IB", 0, true);
+  const Pred *L = P.loopAll(I, c(1), s("n"),
+                            P.ge0(Sym.arrayRef(IB, Sym.symRef(I))));
+  bind("n", 0);
+  EXPECT_TRUE(evalPred(L, B));
+}
+
+TEST_F(PdagEvalTest, LoopAllEarlyExitStats) {
+  sym::SymbolId I = Sym.symbol("i", 1);
+  sym::SymbolId IB = Sym.symbol("IB", 0, true);
+  const Pred *L = P.loopAll(I, c(1), s("n"),
+                            P.ge0(Sym.arrayRef(IB, Sym.symRef(I))));
+  bind("n", 100);
+  sym::ArrayBinding A;
+  A.Lo = 1;
+  A.Vals.assign(100, 1);
+  A.Vals[2] = -5; // Fails at i == 3.
+  B.setArray(IB, A);
+  EvalStats Stats;
+  EXPECT_FALSE(evalPred(L, B, &Stats));
+  EXPECT_EQ(Stats.LoopIters, 3u);
+}
+
+TEST_F(PdagEvalTest, LoopVariableRestoredAfterLoop) {
+  sym::SymbolId I = Sym.symbol("i", 1);
+  B.setScalar(I, 99);
+  sym::SymbolId IB = Sym.symbol("IB", 0, true);
+  const Pred *L = P.loopAll(I, c(1), s("n"),
+                            P.ge0(Sym.arrayRef(IB, Sym.symRef(I))));
+  bind("n", 3);
+  sym::ArrayBinding A;
+  A.Lo = 1;
+  A.Vals = {1, 1, 1};
+  B.setArray(IB, A);
+  EXPECT_TRUE(evalPred(L, B));
+  EXPECT_EQ(B.scalar(I), std::optional<int64_t>(99));
+}
+
+TEST_F(PdagEvalTest, NestedLoops) {
+  // ALL(i=1..n: ALL(k=1..i-1: IB(k) < IB(i))) -- strict prefix dominance.
+  sym::SymbolId I = Sym.symbol("i", 1);
+  sym::SymbolId K = Sym.symbol("k", 2);
+  sym::SymbolId IB = Sym.symbol("IB", 0, true);
+  const Pred *Inner =
+      P.loopAll(K, c(1), Sym.addConst(Sym.symRef(I), -1),
+                P.lt(Sym.arrayRef(IB, Sym.symRef(K)),
+                     Sym.arrayRef(IB, Sym.symRef(I))));
+  const Pred *Outer = P.loopAll(I, c(1), s("n"), Inner);
+  EXPECT_EQ(Outer->loopDepth(), 2);
+  bind("n", 4);
+  sym::ArrayBinding A;
+  A.Lo = 1;
+  A.Vals = {2, 5, 9, 12};
+  B.setArray(IB, A);
+  EXPECT_TRUE(evalPred(Outer, B));
+  A.Vals = {2, 5, 5, 12};
+  B.setArray(IB, A);
+  EXPECT_FALSE(evalPred(Outer, B));
+}
+
+TEST_F(PdagEvalTest, UnboundSymbolFailsConservatively) {
+  EXPECT_EQ(tryEvalPred(P.le(s("nope"), c(4)), B), std::nullopt);
+}
+
+} // namespace

@@ -1,0 +1,550 @@
+//===- tests/summary_test.cpp - Summary construction tests ----------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+// Exercises the Fig. 2 data-flow equations on the mini-IR, call-site
+// translation, CIV aggregation (Fig. 7b), and the full SOLVH_DO20 example
+// of Fig. 1 end-to-end through the independence equations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "factor/Factor.h"
+#include "pdag/PredEval.h"
+#include "pdag/PredSimplify.h"
+#include "summary/Independence.h"
+#include "summary/Summary.h"
+#include "usr/USREval.h"
+#include "usr/USRTransform.h"
+
+#include <gtest/gtest.h>
+
+using namespace halo;
+using namespace halo::summary;
+using namespace halo::ir;
+using usr::USR;
+
+namespace {
+
+class SummaryTest : public ::testing::Test {
+protected:
+  SummaryTest() : P(Sym), U(Sym, P), Prog(Sym, P), B(U, Prog) {}
+  sym::Context Sym;
+  pdag::PredContext P;
+  usr::USRContext U;
+  Program Prog;
+  SummaryBuilder B;
+
+  const sym::Expr *c(int64_t V) { return Sym.intConst(V); }
+  const sym::Expr *s(const std::string &N) { return Sym.symRef(N); }
+
+  AccessTriple tripleOf(const RegionSummary &R, sym::SymbolId A) {
+    auto It = R.Arrays.find(A);
+    if (It == R.Arrays.end())
+      return AccessTriple{U.empty(), U.empty(), U.empty()};
+    AccessTriple T = It->second;
+    if (!T.RO)
+      T.RO = U.empty();
+    if (!T.WF)
+      T.WF = U.empty();
+    if (!T.RW)
+      T.RW = U.empty();
+    return T;
+  }
+};
+
+TEST_F(SummaryTest, WriteCoversLaterRead) {
+  // X[i] = ...; ... = X[i]  ==> X is write-first, RO empty.
+  sym::SymbolId X = Sym.symbol("X", 0, true); // Treated as data array id.
+  sym::SymbolId I = Sym.symbol("i", 1);
+  DoLoop *L = Prog.make<DoLoop>("L", I, c(1), s("N"), 1);
+  const sym::Expr *Off = Sym.addConst(Sym.symRef(I), -1);
+  L->append(Prog.make<AssignStmt>(ArrayAccess{X, Off},
+                                  std::vector<ArrayAccess>{}, false, 0));
+  L->append(Prog.make<AssignStmt>(std::nullopt,
+                                  std::vector<ArrayAccess>{{X, Off}}, false,
+                                  0));
+  CivPlan Plan;
+  RegionSummary It = B.summarizeIteration(*L, Plan);
+  AccessTriple T = tripleOf(It, X);
+  EXPECT_TRUE(T.RO->isEmptySet());
+  EXPECT_FALSE(T.WF->isEmptySet());
+  EXPECT_TRUE(T.RW->isEmptySet());
+  EXPECT_TRUE(Plan.empty());
+}
+
+TEST_F(SummaryTest, ReadThenWriteIsReadWrite) {
+  // ... = X[i]; X[i] = ...  ==> RW (the matmult XE pattern).
+  sym::SymbolId X = Sym.symbol("X", 0, true);
+  sym::SymbolId I = Sym.symbol("i", 1);
+  DoLoop *L = Prog.make<DoLoop>("L", I, c(1), s("N"), 1);
+  const sym::Expr *Off = Sym.addConst(Sym.symRef(I), -1);
+  L->append(Prog.make<AssignStmt>(std::nullopt,
+                                  std::vector<ArrayAccess>{{X, Off}}, false,
+                                  0));
+  L->append(Prog.make<AssignStmt>(ArrayAccess{X, Off},
+                                  std::vector<ArrayAccess>{}, false, 0));
+  CivPlan Plan;
+  RegionSummary It = B.summarizeIteration(*L, Plan);
+  AccessTriple T = tripleOf(It, X);
+  EXPECT_TRUE(T.RO->isEmptySet());
+  EXPECT_TRUE(T.WF->isEmptySet());
+  EXPECT_FALSE(T.RW->isEmptySet());
+}
+
+TEST_F(SummaryTest, SingleStatementReadAndWriteIsRW) {
+  // X[i] = X[i] + 1 (not marked reduction): RW.
+  sym::SymbolId X = Sym.symbol("X", 0, true);
+  sym::SymbolId I = Sym.symbol("i", 1);
+  DoLoop *L = Prog.make<DoLoop>("L", I, c(1), s("N"), 1);
+  const sym::Expr *Off = Sym.addConst(Sym.symRef(I), -1);
+  L->append(Prog.make<AssignStmt>(ArrayAccess{X, Off},
+                                  std::vector<ArrayAccess>{{X, Off}}, false,
+                                  0));
+  CivPlan Plan;
+  RegionSummary It = B.summarizeIteration(*L, Plan);
+  AccessTriple T = tripleOf(It, X);
+  EXPECT_FALSE(T.RW->isEmptySet());
+  EXPECT_TRUE(T.WF->isEmptySet());
+}
+
+TEST_F(SummaryTest, ReductionGoesToSeparateSet) {
+  sym::SymbolId X = Sym.symbol("X", 0, true);
+  sym::SymbolId IB = Sym.symbol("IB", 0, true);
+  sym::SymbolId I = Sym.symbol("i", 1);
+  DoLoop *L = Prog.make<DoLoop>("L", I, c(1), s("N"), 1);
+  const sym::Expr *Off = Sym.arrayRef(IB, Sym.symRef(I));
+  L->append(Prog.make<AssignStmt>(ArrayAccess{X, Off},
+                                  std::vector<ArrayAccess>{{X, Off}}, true,
+                                  0));
+  CivPlan Plan;
+  RegionSummary It = B.summarizeIteration(*L, Plan);
+  AccessTriple T = tripleOf(It, X);
+  EXPECT_TRUE(T.RO->isEmptySet());
+  EXPECT_TRUE(T.WF->isEmptySet());
+  EXPECT_TRUE(T.RW->isEmptySet());
+  ASSERT_TRUE(It.Reductions.count(X));
+  EXPECT_FALSE(It.Reductions.at(X)->isEmptySet());
+}
+
+TEST_F(SummaryTest, IfMergeCreatesMutuallyExclusiveGates) {
+  sym::SymbolId X = Sym.symbol("X", 0, true);
+  sym::SymbolId I = Sym.symbol("i", 1);
+  DoLoop *L = Prog.make<DoLoop>("L", I, c(1), s("N"), 1);
+  IfStmt *If = Prog.make<IfStmt>(P.ne(s("SYM"), c(1)));
+  const sym::Expr *Off = Sym.addConst(Sym.symRef(I), -1);
+  If->appendThen(Prog.make<AssignStmt>(ArrayAccess{X, Off},
+                                       std::vector<ArrayAccess>{}, false, 0));
+  If->appendElse(Prog.make<AssignStmt>(
+      ArrayAccess{X, Sym.add(Off, s("N"))}, std::vector<ArrayAccess>{}, false,
+      0));
+  L->append(If);
+  CivPlan Plan;
+  RegionSummary It = B.summarizeIteration(*L, Plan);
+  AccessTriple T = tripleOf(It, X);
+  auto View = usr::viewUMEG(U, T.WF);
+  ASSERT_TRUE(View.has_value());
+  EXPECT_EQ(View->Components.size(), 2u);
+}
+
+TEST_F(SummaryTest, InnerLoopAggregatesToLeaf) {
+  // DO j = 1..M: X[(i-1)*M + j - 1] = ... folds to one LMAD leaf.
+  sym::SymbolId X = Sym.symbol("X", 0, true);
+  sym::SymbolId I = Sym.symbol("i", 1);
+  sym::SymbolId J = Sym.symbol("j", 2);
+  DoLoop *L = Prog.make<DoLoop>("L", I, c(1), s("N"), 1);
+  DoLoop *Inner = Prog.make<DoLoop>("Inner", J, c(1), s("M"), 2);
+  const sym::Expr *Off = Sym.addConst(
+      Sym.add(Sym.mul(Sym.addConst(Sym.symRef(I), -1), s("M")),
+              Sym.symRef(J)),
+      -1);
+  Inner->append(Prog.make<AssignStmt>(ArrayAccess{X, Off},
+                                      std::vector<ArrayAccess>{}, false, 0));
+  L->append(Inner);
+  CivPlan Plan;
+  RegionSummary It = B.summarizeIteration(*L, Plan);
+  AccessTriple T = tripleOf(It, X);
+  // Gated (1 <= M) leaf.
+  const USR *WF = T.WF;
+  if (const auto *G = dyn_cast<usr::GateUSR>(WF))
+    WF = G->getChild();
+  EXPECT_TRUE(isa<usr::LeafUSR>(WF));
+}
+
+TEST_F(SummaryTest, CallTranslationRebasesOffsets) {
+  // CALL work(HE + 32*(i-1)) where work writes HE[0..7].
+  sym::SymbolId HEf = Sym.symbol("HEf", 0, true);
+  sym::SymbolId HE = Sym.symbol("HE", 0, true);
+  Subroutine *Work = Prog.makeSubroutine("work");
+  sym::SymbolId J = Sym.symbol("jw", 0);
+  DoLoop *WL = Prog.make<DoLoop>("w", J, c(1), c(8), 1);
+  WL->append(Prog.make<AssignStmt>(
+      ArrayAccess{HEf, Sym.addConst(Sym.symRef(J), -1)},
+      std::vector<ArrayAccess>{}, false, 0));
+  Work->append(WL);
+
+  sym::SymbolId I = Sym.symbol("i", 1);
+  DoLoop *L = Prog.make<DoLoop>("L", I, c(1), s("N"), 1);
+  L->append(Prog.make<CallStmt>(
+      Work,
+      std::vector<CallStmt::ArrayArg>{
+          {HEf, HE, Sym.mulConst(Sym.addConst(Sym.symRef(I), -1), 32)}},
+      std::vector<CallStmt::ScalarArg>{}));
+  CivPlan Plan;
+  RegionSummary It = B.summarizeIteration(*L, Plan);
+  AccessTriple T = tripleOf(It, HE);
+  ASSERT_FALSE(T.WF->isEmptySet());
+  // Evaluate at i = 2: offsets 32..39.
+  sym::Bindings Bd;
+  Bd.setScalar(I, 2);
+  auto V = usr::evalUSR(T.WF, Bd);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->front(), 32);
+  EXPECT_EQ(V->back(), 39);
+  EXPECT_EQ(V->size(), 8u);
+}
+
+TEST_F(SummaryTest, AggregateLoopLevelROExcludesWritten) {
+  // Reads [0..N-1] each iteration; writes X[i-1]: loop-level RO must
+  // subtract the written part.
+  sym::SymbolId X = Sym.symbol("X", 0, true);
+  sym::SymbolId I = Sym.symbol("i", 1);
+  DoLoop *L = Prog.make<DoLoop>("L", I, c(1), s("N"), 1);
+  sym::SymbolId J = Sym.symbol("j", 2);
+  DoLoop *RdLoop = Prog.make<DoLoop>("rd", J, c(1), s("N"), 2);
+  RdLoop->append(Prog.make<AssignStmt>(
+      std::nullopt,
+      std::vector<ArrayAccess>{{X, Sym.addConst(Sym.symRef(J), -1)}}, false,
+      0));
+  L->append(RdLoop);
+  L->append(Prog.make<AssignStmt>(
+      ArrayAccess{X, Sym.addConst(Sym.symRef(I), -1)},
+      std::vector<ArrayAccess>{}, false, 0));
+  CivPlan Plan;
+  RegionSummary It = B.summarizeIteration(*L, Plan);
+  RegionSummary Agg = B.aggregateLoop(*L, It);
+  AccessTriple T = tripleOf(Agg, X);
+  sym::Bindings Bd;
+  Bd.setScalar(Sym.symbol("N"), 4);
+  auto RO = usr::evalUSR(T.RO, Bd);
+  ASSERT_TRUE(RO.has_value());
+  // All of [0..3] is eventually written, so the loop-level RO is empty
+  // (reads are covered within the loop as a whole).
+  EXPECT_TRUE(RO->empty());
+}
+
+//===----------------------------------------------------------------------===//
+// CIV aggregation (Fig. 7b)
+//===----------------------------------------------------------------------===//
+
+TEST_F(SummaryTest, CivContiguousBlocks) {
+  // DO i: DO j = 1..NSP(i): X[civ + j - 1] = ...; civ += NSP(i).
+  sym::SymbolId X = Sym.symbol("X", 0, true);
+  sym::SymbolId NSP = Sym.symbol("NSP", 0, true);
+  sym::SymbolId Civ = Sym.symbol("civ", 1);
+  sym::SymbolId I = Sym.symbol("i", 1);
+  sym::SymbolId J = Sym.symbol("j", 2);
+  DoLoop *L = Prog.make<DoLoop>("L", I, c(1), s("N"), 1);
+  DoLoop *Inner = Prog.make<DoLoop>(
+      "In", J, c(1), Sym.arrayRef(NSP, Sym.symRef(I)), 2);
+  Inner->append(Prog.make<AssignStmt>(
+      ArrayAccess{X, Sym.addConst(Sym.add(Sym.symRef(Civ), Sym.symRef(J)),
+                                  -1)},
+      std::vector<ArrayAccess>{}, false, 0));
+  L->append(Inner);
+  L->append(Prog.make<CivIncrStmt>(Civ, Sym.arrayRef(NSP, Sym.symRef(I))));
+
+  CivPlan Plan;
+  RegionSummary It = B.summarizeIteration(*L, Plan);
+  ASSERT_EQ(Plan.Civs.size(), 1u);
+  EXPECT_TRUE(Plan.Joins.empty());
+  AccessTriple T = tripleOf(It, X);
+  ASSERT_FALSE(T.WF->isEmptySet());
+
+  // Evaluate WF_i at i=2 with civ@pre = prefix sums of NSP = {3, 2, 4}:
+  // civ@pre = {0, 3, 5, 9}; WF_2 = [3 .. 4].
+  sym::Bindings Bd;
+  Bd.setScalar(I, 2);
+  sym::ArrayBinding NSPV;
+  NSPV.Lo = 1;
+  NSPV.Vals = {3, 2, 4};
+  Bd.setArray(NSP, NSPV);
+  sym::ArrayBinding Pre;
+  Pre.Lo = 1;
+  Pre.Vals = {0, 3, 5, 9};
+  Bd.setArray(Plan.Civs[0].EntryArr, Pre);
+  auto V = usr::evalUSR(T.WF, Bd);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(*V, (std::vector<int64_t>{3, 4}));
+}
+
+TEST_F(SummaryTest, CivJoinMintedOnDivergentBranches) {
+  // IF (cond) { X[civ] = ..; civ += 1 } : the post-IF civ value needs a
+  // join pseudo-array (Fig. 7b's CIV@4).
+  sym::SymbolId X = Sym.symbol("X", 0, true);
+  sym::SymbolId C = Sym.symbol("Cnd", 0, true);
+  sym::SymbolId Civ = Sym.symbol("civ", 1);
+  sym::SymbolId I = Sym.symbol("i", 1);
+  DoLoop *L = Prog.make<DoLoop>("L", I, c(1), s("N"), 1);
+  IfStmt *If =
+      Prog.make<IfStmt>(P.gt(Sym.arrayRef(C, Sym.symRef(I)), c(0)));
+  If->appendThen(Prog.make<AssignStmt>(ArrayAccess{X, Sym.symRef(Civ)},
+                                       std::vector<ArrayAccess>{}, false, 0));
+  If->appendThen(Prog.make<CivIncrStmt>(Civ, c(1)));
+  L->append(If);
+  // A later access uses the joined value.
+  L->append(Prog.make<AssignStmt>(
+      std::nullopt, std::vector<ArrayAccess>{{X, Sym.symRef(Civ)}}, false,
+      0));
+  CivPlan Plan;
+  RegionSummary It = B.summarizeIteration(*L, Plan);
+  ASSERT_EQ(Plan.Civs.size(), 1u);
+  ASSERT_EQ(Plan.Joins.size(), 1u);
+  EXPECT_EQ(Plan.Joins[0].Civ, Civ);
+  EXPECT_EQ(Plan.Joins[0].At, If);
+  // The summary references the join array.
+  AccessTriple T = tripleOf(It, X);
+  EXPECT_TRUE(T.RO->dependsOn(Plan.Joins[0].JoinArr));
+}
+
+//===----------------------------------------------------------------------===//
+// The full Fig. 1 example: SOLVH_DO20
+//===----------------------------------------------------------------------===//
+
+class SolvhTest : public SummaryTest {
+protected:
+  sym::SymbolId XE, HE, IA, IB, I, K;
+  DoLoop *Loop = nullptr;
+
+  void buildSolvh() {
+    XE = Sym.symbol("XE", 0, true);
+    HE = Sym.symbol("HE", 0, true);
+    IA = Sym.symbol("IA", 0, true);
+    IB = Sym.symbol("IB", 0, true);
+    I = Sym.symbol("i", 1);
+    K = Sym.symbol("k", 2);
+
+    // geteu(XEf, SYM, NP): IF (SYM != 1) DO m = 1..16*NP: XEf[m-1] = ...
+    sym::SymbolId XEf = Sym.symbol("XEf", 0, true);
+    Subroutine *Geteu = Prog.makeSubroutine("geteu");
+    {
+      sym::SymbolId M = Sym.symbol("m_g", 0);
+      IfStmt *If = Prog.make<IfStmt>(P.ne(s("SYMf"), c(1)));
+      DoLoop *D = Prog.make<DoLoop>(
+          "g", M, c(1), Sym.mulConst(s("NPf_g"), 16), 1);
+      D->append(Prog.make<AssignStmt>(
+          ArrayAccess{XEf, Sym.addConst(Sym.symRef(M), -1)},
+          std::vector<ArrayAccess>{}, false, 0));
+      If->appendThen(D);
+      Geteu->append(If);
+    }
+
+    // matmult(HEf, XEf2, NSf): DO j = 1..NSf: HEf[j-1] = XEf2[j-1];
+    //                                         XEf2[j-1] = ...
+    sym::SymbolId HEf = Sym.symbol("HEf_m", 0, true);
+    sym::SymbolId XEf2 = Sym.symbol("XEf_m", 0, true);
+    Subroutine *Matmult = Prog.makeSubroutine("matmult");
+    {
+      sym::SymbolId J = Sym.symbol("j_m", 0);
+      DoLoop *D = Prog.make<DoLoop>("m", J, c(1), s("NSf"), 1);
+      const sym::Expr *Off = Sym.addConst(Sym.symRef(J), -1);
+      D->append(Prog.make<AssignStmt>(ArrayAccess{HEf, Off},
+                                      std::vector<ArrayAccess>{{XEf2, Off}},
+                                      false, 0));
+      D->append(Prog.make<AssignStmt>(ArrayAccess{XEf2, Off},
+                                      std::vector<ArrayAccess>{}, false, 0));
+      Matmult->append(D);
+    }
+
+    // solvhe(HEf2, NPf): DO j = 1..3: DO i2 = 1..NPf:
+    //   HEf2[8*(i2-1)+j-1] += ...
+    sym::SymbolId HEf2 = Sym.symbol("HEf_s", 0, true);
+    Subroutine *Solvhe = Prog.makeSubroutine("solvhe");
+    {
+      sym::SymbolId J = Sym.symbol("j_s", 0);
+      sym::SymbolId I2 = Sym.symbol("i_s", 0);
+      DoLoop *DJ = Prog.make<DoLoop>("sj", J, c(1), c(3), 1);
+      DoLoop *DI = Prog.make<DoLoop>("si", I2, c(1), s("NPf_s"), 2);
+      const sym::Expr *Off = Sym.addConst(
+          Sym.add(Sym.mulConst(Sym.addConst(Sym.symRef(I2), -1), 8),
+                  Sym.symRef(J)),
+          -1);
+      DI->append(Prog.make<AssignStmt>(ArrayAccess{HEf2, Off},
+                                       std::vector<ArrayAccess>{{HEf2, Off}},
+                                       false, 0));
+      DJ->append(DI);
+      Solvhe->append(DJ);
+    }
+
+    // SOLVH_DO20 (Fig. 1): DO i = 1..N: DO k = 1..IA(i):
+    //   id = IB(i)+k-1; CALL geteu(XE,SYM,NP); CALL matmult(HE(1,id),XE,NS);
+    //   CALL solvhe(HE(1,id), NP).
+    Loop = Prog.make<DoLoop>("SOLVH_do20", I, c(1), s("N"), 1);
+    DoLoop *KL = Prog.make<DoLoop>("SOLVH_do20k", K, c(1),
+                                   Sym.arrayRef(IA, Sym.symRef(I)), 2);
+    const sym::Expr *Id = Sym.addConst(
+        Sym.add(Sym.arrayRef(IB, Sym.symRef(I)), Sym.symRef(K)), -1);
+    const sym::Expr *HEOff = Sym.mulConst(Sym.addConst(Id, -1), 32);
+    KL->append(Prog.make<CallStmt>(
+        Prog.findSubroutine("geteu"),
+        std::vector<CallStmt::ArrayArg>{{XEf, XE, c(0)}},
+        std::vector<CallStmt::ScalarArg>{{Sym.symbol("SYMf"), s("SYM")},
+                                         {Sym.symbol("NPf_g"), s("NP")}}));
+    KL->append(Prog.make<CallStmt>(
+        Prog.findSubroutine("matmult"),
+        std::vector<CallStmt::ArrayArg>{{HEf, HE, HEOff}, {XEf2, XE, c(0)}},
+        std::vector<CallStmt::ScalarArg>{{Sym.symbol("NSf"), s("NS")}}));
+    KL->append(Prog.make<CallStmt>(
+        Prog.findSubroutine("solvhe"),
+        std::vector<CallStmt::ArrayArg>{{HEf2, HE, HEOff}},
+        std::vector<CallStmt::ScalarArg>{{Sym.symbol("NPf_s"), s("NP")}}));
+    Loop->append(KL);
+  }
+};
+
+TEST_F(SolvhTest, XEFlowIndependencePredicate) {
+  // Sec. 1.2: the XE cross-iteration check must hold exactly when
+  // SYM != 1 and NS <= 16*NP (the Fig. 4 predicate).
+  buildSolvh();
+  CivPlan Plan;
+  RegionSummary It = B.summarizeIteration(*Loop, Plan);
+  AccessTriple T = tripleOf(It, XE);
+  // XE per iteration: WF gated by SYM != 1; RW = reads not covered.
+  EXPECT_TRUE(T.RO->isEmptySet());
+
+  LoopSpace L{I, c(1), s("N")};
+  const USR *Find = buildFlowIndepUSR(U, L, T);
+  const USR *Reshaped = usr::reshapeUMEG(U, Find);
+  factor::Factorizer F(U);
+  const pdag::Pred *Pr = pdag::simplify(P, F.factor(Reshaped));
+
+  auto Check = [&](int64_t SYM, int64_t NS, int64_t NP, bool Expect) {
+    sym::Bindings Bd;
+    Bd.setScalar(Sym.symbol("SYM"), SYM);
+    Bd.setScalar(Sym.symbol("NS"), NS);
+    Bd.setScalar(Sym.symbol("NP"), NP);
+    Bd.setScalar(Sym.symbol("N"), 8);
+    sym::ArrayBinding VIA;
+    VIA.Lo = 1;
+    VIA.Vals.assign(8, 2);
+    Bd.setArray(IA, VIA);
+    auto V = pdag::tryEvalPred(Pr, Bd);
+    ASSERT_TRUE(V.has_value());
+    EXPECT_EQ(*V, Expect) << "SYM=" << SYM << " NS=" << NS << " NP=" << NP
+                          << "\n" << Pr->toString(Sym);
+  };
+  Check(0, 16, 1, true);
+  Check(0, 32, 2, true);
+  Check(0, 17, 1, false);
+  Check(1, 16, 1, false); // SYM == 1: XE never written, reads flow across.
+}
+
+TEST_F(SolvhTest, XEOutputIndependenceViaInvariantWF) {
+  // The per-iteration WF of XE is invariant to the outer loop modulo the
+  // inner loop's execution gate (IA(i) >= 1), so XE is privatizable with
+  // static last value (Sec. 1.2): the SLV predicate must succeed at
+  // runtime whenever the last iteration executes the inner loop.
+  buildSolvh();
+  CivPlan Plan;
+  RegionSummary It = B.summarizeIteration(*Loop, Plan);
+  AccessTriple T = tripleOf(It, XE);
+  LoopSpace L{I, c(1), s("N")};
+  SLVPair SLV = buildSLVPair(U, L, T.WF);
+  factor::Factorizer F(U);
+  const pdag::Pred *Pr = F.included(SLV.AllWrites, SLV.LastIter);
+  sym::Bindings Bd;
+  Bd.setScalar(Sym.symbol("SYM"), 0);
+  Bd.setScalar(Sym.symbol("NS"), 16);
+  Bd.setScalar(Sym.symbol("NP"), 1);
+  Bd.setScalar(Sym.symbol("N"), 8);
+  sym::ArrayBinding VIA;
+  VIA.Lo = 1;
+  VIA.Vals.assign(8, 2);
+  Bd.setArray(IA, VIA);
+  auto V = pdag::tryEvalPred(Pr, Bd);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_TRUE(*V);
+  // If the last iteration skips the inner loop, SLV must fail (the last
+  // value does not come from iteration N).
+  VIA.Vals.back() = 0;
+  Bd.setArray(IA, VIA);
+  V = pdag::tryEvalPred(Pr, Bd);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_FALSE(*V);
+}
+
+TEST_F(SolvhTest, HEFlowIndependencePredicate) {
+  // Sec. 1.2: HE's reads (in solvhe) are covered by matmult's writes when
+  // 8*NP < NS + 6.
+  buildSolvh();
+  CivPlan Plan;
+  RegionSummary It = B.summarizeIteration(*Loop, Plan);
+  AccessTriple T = tripleOf(It, HE);
+
+  LoopSpace L{I, c(1), s("N")};
+  const USR *Find = buildFlowIndepUSR(U, L, T);
+  factor::Factorizer F(U);
+  const pdag::Pred *Pr = pdag::simplify(P, F.factor(Find));
+
+  auto Check = [&](int64_t NS, int64_t NP, bool Expect) {
+    sym::Bindings Bd;
+    Bd.setScalar(Sym.symbol("SYM"), 0);
+    Bd.setScalar(Sym.symbol("NS"), NS);
+    Bd.setScalar(Sym.symbol("NP"), NP);
+    Bd.setScalar(Sym.symbol("N"), 4);
+    sym::ArrayBinding VIA, VIB;
+    VIA.Lo = VIB.Lo = 1;
+    VIA.Vals = {2, 2, 2, 2};
+    VIB.Vals = {1, 4, 7, 10}; // Monotone, gap 3 blocks >= IA(i)+1.
+    Bd.setArray(IA, VIA);
+    Bd.setArray(IB, VIB);
+    auto V = pdag::tryEvalPred(Pr, Bd);
+    ASSERT_TRUE(V.has_value());
+    EXPECT_EQ(*V, Expect) << "NS=" << NS << " NP=" << NP;
+  };
+  Check(32, 4, true);  // 32 < 38: solvhe reads inside matmult's writes.
+  Check(32, 5, false); // 40 >= 38.
+}
+
+TEST_F(SolvhTest, HEOutputIndependenceViaMonotonicity) {
+  // Fig. 3(b): HE's cross-iteration write overlap is empty under the
+  // monotonicity predicate AND_i NS <= 32*(IB(i+1)-IA(i)-IB(i)+1).
+  buildSolvh();
+  CivPlan Plan;
+  RegionSummary It = B.summarizeIteration(*Loop, Plan);
+  AccessTriple T = tripleOf(It, HE);
+  // HE is written (WF from matmult) and read-written (solvhe), both under
+  // the same extents; output independence is about the writes.
+  const USR *Writes = U.union2(T.WF, T.RW);
+  LoopSpace L{I, c(1), s("N")};
+  const USR *OInd = buildOutputIndepUSR(U, L, Writes);
+  factor::Factorizer F(U);
+  const pdag::Pred *Pr = pdag::simplify(P, F.factor(OInd));
+  EXPECT_GE(F.stats().MonotonicityRule, 1u);
+
+  auto Check = [&](std::vector<int64_t> IBv, std::vector<int64_t> IAv,
+                   int64_t NS, bool Expect) {
+    sym::Bindings Bd;
+    Bd.setScalar(Sym.symbol("SYM"), 0);
+    Bd.setScalar(Sym.symbol("NS"), NS);
+    Bd.setScalar(Sym.symbol("NP"), 2);
+    Bd.setScalar(Sym.symbol("N"), static_cast<int64_t>(IBv.size()));
+    sym::ArrayBinding VIA, VIB;
+    VIA.Lo = VIB.Lo = 1;
+    VIA.Vals = IAv;
+    VIB.Vals = IBv;
+    Bd.setArray(IA, VIA);
+    Bd.setArray(IB, VIB);
+    auto V = pdag::tryEvalPred(Pr, Bd);
+    ASSERT_TRUE(V.has_value());
+    EXPECT_EQ(*V, Expect);
+  };
+  // Paper predicate: NS <= 32*(IB(i+1)-IA(i)-IB(i)+1).
+  // IB gaps of 3 with IA = 2: slack = 32*(3-2+1) = 64 >= NS.
+  Check({1, 4, 7, 10}, {2, 2, 2, 2}, 64, true);
+  Check({1, 4, 7, 10}, {2, 2, 2, 2}, 65, false);
+  // Overlapping blocks: never independent.
+  Check({1, 2, 3, 4}, {2, 2, 2, 2}, 32, false);
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+//===- tests/support_test.cpp - Support library unit tests ----------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/Hashing.h"
+#include "support/Rng.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+using namespace halo;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Casting
+//===----------------------------------------------------------------------===//
+
+struct Base {
+  enum class Kind { A, B } K;
+  explicit Base(Kind K) : K(K) {}
+};
+struct DerivedA : Base {
+  DerivedA() : Base(Kind::A) {}
+  static bool classof(const Base *B) { return B->K == Base::Kind::A; }
+};
+struct DerivedB : Base {
+  DerivedB() : Base(Kind::B) {}
+  static bool classof(const Base *B) { return B->K == Base::Kind::B; }
+};
+
+TEST(CastingTest, IsaAndDynCast) {
+  DerivedA A;
+  Base *B = &A;
+  EXPECT_TRUE(isa<DerivedA>(B));
+  EXPECT_FALSE(isa<DerivedB>(B));
+  EXPECT_NE(dyn_cast<DerivedA>(B), nullptr);
+  EXPECT_EQ(dyn_cast<DerivedB>(B), nullptr);
+  EXPECT_EQ(cast<DerivedA>(B), &A);
+}
+
+TEST(CastingTest, ConstVariants) {
+  const DerivedB D;
+  const Base *B = &D;
+  EXPECT_TRUE(isa<DerivedB>(B));
+  EXPECT_EQ(cast<DerivedB>(B), &D);
+  EXPECT_EQ(dyn_cast<DerivedA>(B), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Hashing
+//===----------------------------------------------------------------------===//
+
+TEST(HashingTest, CombineIsOrderSensitive) {
+  size_t H1 = 0, H2 = 0;
+  hashCombine(H1, size_t(1));
+  hashCombine(H1, size_t(2));
+  hashCombine(H2, size_t(2));
+  hashCombine(H2, size_t(1));
+  EXPECT_NE(H1, H2);
+}
+
+TEST(HashingTest, RangeHashingMatchesElementwise) {
+  std::vector<int> V{3, 1, 4, 1, 5};
+  size_t HR = 0, HE = 0;
+  hashRange(HR, V.begin(), V.end());
+  for (int X : V)
+    hashCombine(HE, std::hash<int>{}(X));
+  EXPECT_EQ(HR, HE);
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, RangeIsInclusive) {
+  Rng R(7);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.nextInRange(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 5u); // All five values appear.
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, RunAndWait) {
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 64; ++I)
+    Pool.run([&Count] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 64);
+}
+
+TEST(ThreadPoolTest, BlockedVariantPartitionsContiguously) {
+  ThreadPool Pool(4);
+  std::mutex Mu;
+  std::vector<std::pair<int64_t, int64_t>> Blocks;
+  Pool.parallelForBlocked(0, 100, [&](int64_t Lo, int64_t Hi, unsigned) {
+    std::lock_guard<std::mutex> G(Mu);
+    Blocks.emplace_back(Lo, Hi);
+  });
+  std::sort(Blocks.begin(), Blocks.end());
+  int64_t Next = 0;
+  for (auto &[Lo, Hi] : Blocks) {
+    EXPECT_EQ(Lo, Next);
+    EXPECT_GT(Hi, Lo);
+    Next = Hi;
+  }
+  EXPECT_EQ(Next, 100);
+}
+
+TEST(ThreadPoolTest, MoreBlocksThanItemsIsSafe) {
+  ThreadPool Pool(8);
+  std::atomic<int> Count{0};
+  Pool.parallelFor(0, 3, [&](int64_t) { ++Count; });
+  EXPECT_EQ(Count.load(), 3);
+}
+
+TEST(ThreadPoolTest, NestedWaitDoesNotDeadlock) {
+  ThreadPool Pool(2);
+  std::atomic<int> Count{0};
+  Pool.parallelFor(0, 4, [&](int64_t) { ++Count; });
+  Pool.parallelFor(0, 4, [&](int64_t) { ++Count; });
+  EXPECT_EQ(Count.load(), 8);
+}
+
+} // namespace

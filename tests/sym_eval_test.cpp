@@ -1,0 +1,94 @@
+//===- tests/sym_eval_test.cpp - Evaluator unit tests ---------------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sym/Eval.h"
+
+#include <gtest/gtest.h>
+
+using namespace halo;
+using namespace halo::sym;
+
+namespace {
+
+class SymEvalTest : public ::testing::Test {
+protected:
+  Context Ctx;
+  Bindings B;
+  const Expr *c(int64_t V) { return Ctx.intConst(V); }
+  const Expr *s(const std::string &N) { return Ctx.symRef(N); }
+  void bind(const std::string &N, int64_t V) {
+    B.setScalar(Ctx.symbol(N), V);
+  }
+};
+
+TEST_F(SymEvalTest, Constants) { EXPECT_EQ(eval(c(-7), B), -7); }
+
+TEST_F(SymEvalTest, Scalars) {
+  bind("n", 10);
+  EXPECT_EQ(eval(s("n"), B), 10);
+}
+
+TEST_F(SymEvalTest, UnboundScalarFails) {
+  EXPECT_FALSE(tryEval(s("zz"), B).has_value());
+}
+
+TEST_F(SymEvalTest, Polynomial) {
+  bind("n", 4);
+  bind("m", 5);
+  // 3*n*m - 2*n + 1 = 60 - 8 + 1 = 53.
+  const Expr *E = Ctx.add(
+      Ctx.mulConst(Ctx.mul(s("n"), s("m")), 3),
+      Ctx.addConst(Ctx.mulConst(s("n"), -2), 1));
+  EXPECT_EQ(eval(E, B), 53);
+}
+
+TEST_F(SymEvalTest, MinMax) {
+  bind("a", 3);
+  bind("b", 8);
+  EXPECT_EQ(eval(Ctx.min(s("a"), s("b")), B), 3);
+  EXPECT_EQ(eval(Ctx.max(s("a"), s("b")), B), 8);
+}
+
+TEST_F(SymEvalTest, DivModFloorSemantics) {
+  bind("x", -7);
+  EXPECT_EQ(eval(Ctx.floorDiv(s("x"), 2), B), -4);
+  EXPECT_EQ(eval(Ctx.mod(s("x"), 3), B), 2);
+}
+
+TEST_F(SymEvalTest, ArrayRefReadsBinding) {
+  SymbolId IB = Ctx.symbol("IB", 0, /*IsArray=*/true);
+  ArrayBinding A;
+  A.Lo = 1;
+  A.Vals = {10, 20, 30};
+  B.setArray(IB, A);
+  bind("i", 2);
+  EXPECT_EQ(eval(Ctx.arrayRef(IB, s("i")), B), 20);
+  EXPECT_EQ(eval(Ctx.arrayRef(IB, Ctx.addConst(s("i"), 1)), B), 30);
+}
+
+TEST_F(SymEvalTest, ArrayRefOutOfBoundsFails) {
+  SymbolId IB = Ctx.symbol("IB", 0, /*IsArray=*/true);
+  ArrayBinding A;
+  A.Lo = 1;
+  A.Vals = {10};
+  B.setArray(IB, A);
+  EXPECT_FALSE(tryEval(Ctx.arrayRef(IB, c(2)), B).has_value());
+  EXPECT_FALSE(tryEval(Ctx.arrayRef(IB, c(0)), B).has_value());
+}
+
+TEST_F(SymEvalTest, NestedArrayIndex) {
+  // IX(IX(1)) with IX = [2, 99] evaluates to IX(2) = 99.
+  SymbolId IX = Ctx.symbol("IX", 0, /*IsArray=*/true);
+  ArrayBinding A;
+  A.Lo = 1;
+  A.Vals = {2, 99};
+  B.setArray(IX, A);
+  const Expr *Inner = Ctx.arrayRef(IX, c(1));
+  EXPECT_EQ(eval(Ctx.arrayRef(IX, Inner), B), 99);
+}
+
+} // namespace

@@ -1,0 +1,255 @@
+//===- tests/sym_expr_test.cpp - Symbolic algebra unit tests --------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sym/Expr.h"
+
+#include <gtest/gtest.h>
+
+using namespace halo;
+using namespace halo::sym;
+
+namespace {
+
+class SymExprTest : public ::testing::Test {
+protected:
+  Context Ctx;
+  const Expr *c(int64_t V) { return Ctx.intConst(V); }
+  const Expr *s(const std::string &N) { return Ctx.symRef(N); }
+};
+
+TEST_F(SymExprTest, ConstantsAreInterned) {
+  EXPECT_EQ(c(42), c(42));
+  EXPECT_NE(c(42), c(43));
+}
+
+TEST_F(SymExprTest, SymbolsAreInterned) {
+  EXPECT_EQ(s("n"), s("n"));
+  EXPECT_NE(s("n"), s("m"));
+}
+
+TEST_F(SymExprTest, AdditionFoldsConstants) {
+  EXPECT_EQ(Ctx.add(c(2), c(3)), c(5));
+}
+
+TEST_F(SymExprTest, AdditionIsCommutativeStructurally) {
+  const Expr *A = Ctx.add(s("n"), s("m"));
+  const Expr *B = Ctx.add(s("m"), s("n"));
+  EXPECT_EQ(A, B);
+}
+
+TEST_F(SymExprTest, AdditionIsAssociativeStructurally) {
+  const Expr *A = Ctx.add(Ctx.add(s("a"), s("b")), s("c"));
+  const Expr *B = Ctx.add(s("a"), Ctx.add(s("b"), s("c")));
+  EXPECT_EQ(A, B);
+}
+
+TEST_F(SymExprTest, LikeTermsMerge) {
+  // n + n == 2*n and (2*n) - n == n.
+  const Expr *N = s("n");
+  const Expr *TwoN = Ctx.add(N, N);
+  EXPECT_EQ(TwoN, Ctx.mulConst(N, 2));
+  EXPECT_EQ(Ctx.sub(TwoN, N), N);
+}
+
+TEST_F(SymExprTest, SubtractionCancelsToZero) {
+  const Expr *E = Ctx.add(Ctx.mulConst(s("n"), 3), c(7));
+  EXPECT_EQ(Ctx.sub(E, E), c(0));
+}
+
+TEST_F(SymExprTest, MultiplicationDistributesOverAddition) {
+  // (a + b) * c == a*c + b*c.
+  const Expr *L = Ctx.mul(Ctx.add(s("a"), s("b")), s("c"));
+  const Expr *R = Ctx.add(Ctx.mul(s("a"), s("c")), Ctx.mul(s("b"), s("c")));
+  EXPECT_EQ(L, R);
+}
+
+TEST_F(SymExprTest, MultiplicationIsCommutative) {
+  EXPECT_EQ(Ctx.mul(s("a"), s("b")), Ctx.mul(s("b"), s("a")));
+}
+
+TEST_F(SymExprTest, SquareRepresentable) {
+  // i*i is a product with a repeated factor; (i*i) - i*i == 0.
+  const Expr *I = s("i");
+  const Expr *Sq = Ctx.mul(I, I);
+  EXPECT_NE(Sq, I);
+  EXPECT_EQ(Ctx.sub(Sq, Ctx.mul(I, I)), c(0));
+}
+
+TEST_F(SymExprTest, MulByZeroIsZero) {
+  EXPECT_EQ(Ctx.mul(s("n"), c(0)), c(0));
+  EXPECT_EQ(Ctx.mulConst(Ctx.add(s("n"), c(3)), 0), c(0));
+}
+
+TEST_F(SymExprTest, MulByOneIsIdentity) {
+  const Expr *E = Ctx.add(s("n"), c(3));
+  EXPECT_EQ(Ctx.mul(E, c(1)), E);
+}
+
+TEST_F(SymExprTest, MinMaxFoldConstants) {
+  EXPECT_EQ(Ctx.min(c(3), c(5)), c(3));
+  EXPECT_EQ(Ctx.max(c(3), c(5)), c(5));
+}
+
+TEST_F(SymExprTest, MinMaxFoldConstantOffsets) {
+  // min(n, n+3) == n, max(n, n+3) == n+3.
+  const Expr *N = s("n");
+  const Expr *NP3 = Ctx.addConst(N, 3);
+  EXPECT_EQ(Ctx.min(N, NP3), N);
+  EXPECT_EQ(Ctx.max(N, NP3), NP3);
+}
+
+TEST_F(SymExprTest, MinIsCommutativeStructurally) {
+  EXPECT_EQ(Ctx.min(s("a"), s("b")), Ctx.min(s("b"), s("a")));
+}
+
+TEST_F(SymExprTest, FloorDivExact) {
+  // (4n + 8) / 4 == n + 2.
+  const Expr *E = Ctx.add(Ctx.mulConst(s("n"), 4), c(8));
+  EXPECT_EQ(Ctx.floorDiv(E, 4), Ctx.addConst(s("n"), 2));
+}
+
+TEST_F(SymExprTest, FloorDivConstantsRoundTowardNegInfinity) {
+  EXPECT_EQ(Ctx.floorDiv(c(7), 2), c(3));
+  EXPECT_EQ(Ctx.floorDiv(c(-7), 2), c(-4));
+}
+
+TEST_F(SymExprTest, ModOfDivisibleIsZero) {
+  const Expr *E = Ctx.mulConst(s("n"), 6);
+  EXPECT_EQ(Ctx.mod(E, 3), c(0));
+}
+
+TEST_F(SymExprTest, ModConstants) {
+  EXPECT_EQ(Ctx.mod(c(7), 3), c(1));
+  EXPECT_EQ(Ctx.mod(c(-7), 3), c(2)); // Floor semantics: -7 = -3*3 + 2.
+}
+
+TEST_F(SymExprTest, ArrayRefInterned) {
+  SymbolId IB = Ctx.symbol("IB", 0, /*IsArray=*/true);
+  const Expr *I = s("i");
+  EXPECT_EQ(Ctx.arrayRef(IB, I), Ctx.arrayRef(IB, I));
+  EXPECT_NE(Ctx.arrayRef(IB, I), Ctx.arrayRef(IB, Ctx.addConst(I, 1)));
+}
+
+TEST_F(SymExprTest, FreeSymbolsPropagate) {
+  SymbolId IB = Ctx.symbol("IB", 0, /*IsArray=*/true);
+  SymbolId SI = Ctx.symbol("i");
+  const Expr *E = Ctx.add(Ctx.arrayRef(IB, Ctx.symRef(SI)), s("n"));
+  EXPECT_TRUE(E->dependsOn(IB));
+  EXPECT_TRUE(E->dependsOn(SI));
+  EXPECT_TRUE(E->dependsOn(Ctx.symbol("n")));
+  EXPECT_FALSE(E->dependsOn(Ctx.symbol("zz")));
+}
+
+TEST_F(SymExprTest, InvarianceByDefLevel) {
+  SymbolId N = Ctx.symbol("n", /*DefLevel=*/0);
+  SymbolId I = Ctx.symbol("i", /*DefLevel=*/1);
+  const Expr *E = Ctx.add(Ctx.symRef(N), Ctx.symRef(I));
+  EXPECT_TRUE(Ctx.symRef(N)->isInvariantAtDepth(1, Ctx));
+  EXPECT_FALSE(E->isInvariantAtDepth(1, Ctx));
+  EXPECT_TRUE(E->isInvariantAtDepth(2, Ctx));
+}
+
+TEST_F(SymExprTest, ConstValueQueries) {
+  EXPECT_EQ(Ctx.constValue(c(9)).value(), 9);
+  EXPECT_FALSE(Ctx.constValue(s("n")).has_value());
+}
+
+TEST_F(SymExprTest, DefinitelyDivisible) {
+  const Expr *E = Ctx.add(Ctx.mulConst(s("n"), 32), c(64));
+  EXPECT_TRUE(Ctx.definitelyDivisibleBy(E, 32));
+  EXPECT_TRUE(Ctx.definitelyDivisibleBy(E, 8));
+  EXPECT_FALSE(Ctx.definitelyDivisibleBy(Ctx.addConst(E, 1), 32));
+}
+
+TEST_F(SymExprTest, CoeffGcd) {
+  const Expr *E =
+      Ctx.add(Ctx.mulConst(s("n"), 12), Ctx.mulConst(s("m"), 18));
+  EXPECT_EQ(Ctx.coeffGcd(E), 6);
+  EXPECT_EQ(Ctx.coeffGcd(c(5)), 0);
+}
+
+TEST_F(SymExprTest, SplitLinearBasic) {
+  // 3*i*n + 2*m + 7 split on i: A = 3n, B = 2m + 7.
+  SymbolId I = Ctx.symbol("i");
+  const Expr *E = Ctx.add(
+      Ctx.mul(Ctx.mulConst(Ctx.symRef(I), 3), s("n")),
+      Ctx.addConst(Ctx.mulConst(s("m"), 2), 7));
+  auto Split = Ctx.splitLinearIn(E, I);
+  ASSERT_TRUE(Split.has_value());
+  EXPECT_EQ(Split->A, Ctx.mulConst(s("n"), 3));
+  EXPECT_EQ(Split->B, Ctx.addConst(Ctx.mulConst(s("m"), 2), 7));
+}
+
+TEST_F(SymExprTest, SplitLinearQuadraticPeelsOnePower) {
+  // i*i splits as A = i, B = 0 (one power factored out).
+  SymbolId I = Ctx.symbol("i");
+  const Expr *E = Ctx.mul(Ctx.symRef(I), Ctx.symRef(I));
+  auto Split = Ctx.splitLinearIn(E, I);
+  ASSERT_TRUE(Split.has_value());
+  EXPECT_EQ(Split->A, Ctx.symRef(I));
+  EXPECT_EQ(Split->B, c(0));
+}
+
+TEST_F(SymExprTest, SplitLinearFailsInsideOpaqueAtom) {
+  // IB(i) embeds i inside an array subscript: not linear in i.
+  SymbolId IB = Ctx.symbol("IB", 0, /*IsArray=*/true);
+  SymbolId I = Ctx.symbol("i");
+  const Expr *E = Ctx.arrayRef(IB, Ctx.symRef(I));
+  EXPECT_FALSE(Ctx.splitLinearIn(E, I).has_value());
+}
+
+TEST_F(SymExprTest, SplitLinearNoOccurrence) {
+  SymbolId I = Ctx.symbol("i");
+  auto Split = Ctx.splitLinearIn(s("n"), I);
+  ASSERT_TRUE(Split.has_value());
+  EXPECT_EQ(Split->A, c(0));
+  EXPECT_EQ(Split->B, s("n"));
+}
+
+TEST_F(SymExprTest, SubstituteScalar) {
+  // (i + n) with i := 2*k  ==>  2*k + n.
+  SymbolId I = Ctx.symbol("i");
+  const Expr *E = Ctx.add(Ctx.symRef(I), s("n"));
+  std::map<SymbolId, const Expr *> M{{I, Ctx.mulConst(s("k"), 2)}};
+  EXPECT_EQ(Ctx.substitute(E, M),
+            Ctx.add(Ctx.mulConst(s("k"), 2), s("n")));
+}
+
+TEST_F(SymExprTest, SubstituteInsideArrayRef) {
+  SymbolId IB = Ctx.symbol("IB", 0, /*IsArray=*/true);
+  SymbolId I = Ctx.symbol("i");
+  const Expr *E = Ctx.arrayRef(IB, Ctx.addConst(Ctx.symRef(I), 1));
+  std::map<SymbolId, const Expr *> M{{I, s("k")}};
+  EXPECT_EQ(Ctx.substitute(E, M),
+            Ctx.arrayRef(IB, Ctx.addConst(s("k"), 1)));
+}
+
+TEST_F(SymExprTest, SubstituteRebuildCanonicalizes) {
+  // (i - k) with i := k cancels to 0.
+  SymbolId I = Ctx.symbol("i");
+  const Expr *E = Ctx.sub(Ctx.symRef(I), s("k"));
+  std::map<SymbolId, const Expr *> M{{I, s("k")}};
+  EXPECT_EQ(Ctx.substitute(E, M), c(0));
+}
+
+TEST_F(SymExprTest, PrintingIsReadable) {
+  const Expr *E = Ctx.add(Ctx.mulConst(s("NP"), 8), c(-6));
+  EXPECT_EQ(E->toString(Ctx), "8*NP - 6");
+  EXPECT_EQ(c(-3)->toString(Ctx), "-3");
+  SymbolId IB = Ctx.symbol("IB", 0, /*IsArray=*/true);
+  const Expr *R = Ctx.arrayRef(IB, Ctx.addConst(s("i"), 1));
+  EXPECT_EQ(R->toString(Ctx), "IB(i + 1)");
+}
+
+TEST_F(SymExprTest, FreshSymbolsAreUnique) {
+  SymbolId A = Ctx.freshSymbol("k");
+  SymbolId B = Ctx.freshSymbol("k");
+  EXPECT_NE(A, B);
+  EXPECT_NE(Ctx.symbolInfo(A).Name, Ctx.symbolInfo(B).Name);
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+//===- tests/sym_range_test.cpp - Symbolic range bound tests --------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sym/Range.h"
+
+#include <gtest/gtest.h>
+
+using namespace halo;
+using namespace halo::sym;
+
+namespace {
+
+class SymRangeTest : public ::testing::Test {
+protected:
+  Context Ctx;
+  RangeEnv Env;
+  const Expr *c(int64_t V) { return Ctx.intConst(V); }
+  const Expr *s(const std::string &N) { return Ctx.symRef(N); }
+};
+
+TEST_F(SymRangeTest, InvariantExprIsItsOwnBound) {
+  const Expr *E = Ctx.add(s("n"), c(3));
+  EXPECT_EQ(boundExpr(Ctx, E, Env, /*IsLower=*/true).value(), E);
+  EXPECT_EQ(boundExpr(Ctx, E, Env, /*IsLower=*/false).value(), E);
+}
+
+TEST_F(SymRangeTest, PositiveCoefficientUsesMatchingEnd) {
+  // i in [1, N]: lower(2i + 1) = 3, upper = 2N + 1.
+  SymbolId I = Ctx.symbol("i");
+  Env.bind(I, c(1), s("N"));
+  const Expr *E = Ctx.addConst(Ctx.mulConst(Ctx.symRef(I), 2), 1);
+  EXPECT_EQ(boundExpr(Ctx, E, Env, true).value(), c(3));
+  EXPECT_EQ(boundExpr(Ctx, E, Env, false).value(),
+            Ctx.addConst(Ctx.mulConst(s("N"), 2), 1));
+}
+
+TEST_F(SymRangeTest, NegativeCoefficientFlipsEnds) {
+  // i in [1, N]: lower(-i) = -N, upper(-i) = -1.
+  SymbolId I = Ctx.symbol("i");
+  Env.bind(I, c(1), s("N"));
+  const Expr *E = Ctx.neg(Ctx.symRef(I));
+  EXPECT_EQ(boundExpr(Ctx, E, Env, true).value(), Ctx.neg(s("N")));
+  EXPECT_EQ(boundExpr(Ctx, E, Env, false).value(), c(-1));
+}
+
+TEST_F(SymRangeTest, ChainedRanges) {
+  // k in [1, i-1], i in [1, N]: upper(k) = upper(i-1) = N-1.
+  SymbolId I = Ctx.symbol("i");
+  SymbolId K = Ctx.symbol("k");
+  Env.bind(I, c(1), s("N"));
+  Env.bind(K, c(1), Ctx.addConst(Ctx.symRef(I), -1));
+  EXPECT_EQ(boundExpr(Ctx, Ctx.symRef(K), Env, false).value(),
+            Ctx.addConst(s("N"), -1));
+  EXPECT_EQ(boundExpr(Ctx, Ctx.symRef(K), Env, true).value(), c(1));
+}
+
+TEST_F(SymRangeTest, OpaqueAtomFails) {
+  // Bounded symbol inside an array subscript cannot be bounded.
+  SymbolId I = Ctx.symbol("i");
+  SymbolId IB = Ctx.symbol("IB", 0, /*IsArray=*/true);
+  Env.bind(I, c(1), s("N"));
+  const Expr *E = Ctx.arrayRef(IB, Ctx.symRef(I));
+  EXPECT_FALSE(boundExpr(Ctx, E, Env, true).has_value());
+}
+
+TEST_F(SymRangeTest, ProductOfBoundedSymbolsFails) {
+  // i*j with both bounded: conservative failure (sign analysis not done).
+  SymbolId I = Ctx.symbol("i");
+  SymbolId J = Ctx.symbol("j");
+  Env.bind(I, c(1), s("N"));
+  Env.bind(J, c(1), s("M"));
+  const Expr *E = Ctx.mul(Ctx.symRef(I), Ctx.symRef(J));
+  EXPECT_FALSE(boundExpr(Ctx, E, Env, true).has_value());
+}
+
+TEST_F(SymRangeTest, MixedInvariantAndBoundedTerms) {
+  // n - 3i, i in [2, 5]: lower = n - 15, upper = n - 6.
+  SymbolId I = Ctx.symbol("i");
+  Env.bind(I, c(2), c(5));
+  const Expr *E = Ctx.sub(s("n"), Ctx.mulConst(Ctx.symRef(I), 3));
+  EXPECT_EQ(boundExpr(Ctx, E, Env, true).value(), Ctx.addConst(s("n"), -15));
+  EXPECT_EQ(boundExpr(Ctx, E, Env, false).value(), Ctx.addConst(s("n"), -6));
+}
+
+} // namespace

@@ -1,0 +1,203 @@
+//===- tests/usr_transform_test.cpp - USR reshaping tests -----------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+#include "usr/USREval.h"
+#include "usr/USRTransform.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace halo;
+using namespace halo::usr;
+
+namespace {
+
+class UsrTransformTest : public ::testing::Test {
+protected:
+  UsrTransformTest() : P(Sym), U(Sym, P) {}
+  sym::Context Sym;
+  pdag::PredContext P;
+  USRContext U;
+  const sym::Expr *c(int64_t V) { return Sym.intConst(V); }
+  const sym::Expr *s(const std::string &N) { return Sym.symRef(N); }
+};
+
+TEST_F(UsrTransformTest, ViewUMEGDetectsExclusiveGates) {
+  const pdag::Pred *G1 = P.ne(s("SYM"), c(1));
+  const pdag::Pred *G2 = P.eq(s("SYM"), c(1));
+  const USR *S = U.union2(U.gate(G1, U.interval(c(0), c(4))),
+                          U.gate(G2, U.interval(c(8), c(4))));
+  auto V = viewUMEG(U, S);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->Components.size(), 2u);
+  EXPECT_TRUE(V->Ungated->isEmptySet());
+}
+
+TEST_F(UsrTransformTest, ViewUMEGRejectsOverlappingGates) {
+  const pdag::Pred *G1 = P.ge(s("a"), c(0));
+  const pdag::Pred *G2 = P.ge(s("a"), c(5)); // Overlaps G1.
+  const USR *S = U.union2(U.gate(G1, U.interval(c(0), c(4))),
+                          U.gate(G2, U.interval(c(8), c(4))));
+  EXPECT_FALSE(viewUMEG(U, S).has_value());
+}
+
+TEST_F(UsrTransformTest, UMEGSubtractDistributes) {
+  // The Fig. 3(c) / Fig. 4 shape arises from UMEG distribution:
+  //   (g#R u !g#R) - (g#W)  ==>  g#(R - W) u !g#R.
+  const pdag::Pred *G = P.ne(s("SYM"), c(1));
+  const pdag::Pred *NG = P.eq(s("SYM"), c(1));
+  const USR *R = U.interval(c(0), s("NS"));
+  const USR *W = U.interval(c(0), Sym.mulConst(s("NP"), 16));
+  const USR *X = U.union2(U.gate(G, R), U.gate(NG, R));
+  const USR *Y = U.gate(G, W);
+  const USR *D = reshapeUMEG(U, U.subtract(X, Y));
+  // Expected: g#(R - W) u !g#R.
+  const USR *Expected =
+      U.union2(U.gate(G, U.subtract(R, W)), U.gate(NG, R));
+  EXPECT_EQ(D, Expected);
+}
+
+TEST_F(UsrTransformTest, UMEGIntersectKeepsOnlyMatchingGate) {
+  const pdag::Pred *G = P.ne(s("SYM"), c(1));
+  const pdag::Pred *NG = P.eq(s("SYM"), c(1));
+  const USR *A = U.interval(c(0), c(8));
+  const USR *B = U.interval(c(4), c(8));
+  const USR *X = U.union2(U.gate(G, A), U.gate(NG, B));
+  const USR *Y = U.gate(G, U.interval(c(6), c(2)));
+  const USR *D = reshapeUMEG(U, U.intersect(X, Y));
+  // Under NG, Y is invisible: NG-component intersects with empty.
+  sym::Bindings Bind;
+  Bind.setScalar(Sym.symbol("SYM"), 1); // NG holds.
+  auto V = evalUSR(D, Bind);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_TRUE(V->empty());
+  Bind.setScalar(Sym.symbol("SYM"), 0); // G holds: {6,7} visible.
+  V = evalUSR(D, Bind);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(*V, (std::vector<int64_t>{6, 7}));
+}
+
+TEST_F(UsrTransformTest, UMEGPreservesSemantics) {
+  // Property: reshapeUMEG result evaluates identically.
+  Rng R(7);
+  const pdag::Pred *G = P.ne(s("SYM"), c(1));
+  const pdag::Pred *NG = P.eq(s("SYM"), c(1));
+  const USR *X = U.union2(U.gate(G, U.interval(s("a"), c(6))),
+                          U.gate(NG, U.interval(c(0), c(9))));
+  const USR *Y = U.union2(U.gate(G, U.interval(c(2), c(6))),
+                          U.gate(NG, U.interval(s("b"), c(3))));
+  for (USRKind Op : {USRKind::Subtract, USRKind::Intersect}) {
+    const USR *In = Op == USRKind::Subtract ? U.subtract(X, Y)
+                                            : U.intersect(X, Y);
+    const USR *Out = reshapeUMEG(U, In);
+    for (int Trial = 0; Trial < 40; ++Trial) {
+      sym::Bindings B;
+      B.setScalar(Sym.symbol("SYM"), R.nextInRange(0, 2));
+      B.setScalar(Sym.symbol("a"), R.nextInRange(-4, 8));
+      B.setScalar(Sym.symbol("b"), R.nextInRange(-4, 8));
+      auto VI = evalUSR(In, B), VO = evalUSR(Out, B);
+      ASSERT_TRUE(VI.has_value());
+      ASSERT_TRUE(VO.has_value());
+      EXPECT_EQ(*VI, *VO);
+    }
+  }
+}
+
+TEST_F(UsrTransformTest, InvariantOverestimateAggregatesLeaf) {
+  // [32(i-1), 32(i-1)+7] widened over i in [1,N].
+  sym::SymbolId I = Sym.symbol("i", 1);
+  const USR *S = U.interval(
+      Sym.mulConst(Sym.addConst(Sym.symRef(I), -1), 32), c(8));
+  auto O = invariantOverestimate(U, S, I, c(1), s("N"));
+  ASSERT_TRUE(O.has_value());
+  EXPECT_FALSE((*O)->dependsOn(I));
+  // Superset property on concrete instances.
+  sym::Bindings B;
+  B.setScalar(Sym.symbol("N"), 5);
+  auto Wide = evalUSR(*O, B);
+  ASSERT_TRUE(Wide.has_value());
+  std::set<int64_t> WideSet(Wide->begin(), Wide->end());
+  for (int64_t IV = 1; IV <= 5; ++IV) {
+    B.setScalar(I, IV);
+    auto Inst = evalUSR(S, B);
+    ASSERT_TRUE(Inst.has_value());
+    for (int64_t X : *Inst)
+      EXPECT_TRUE(WideSet.count(X));
+  }
+}
+
+TEST_F(UsrTransformTest, InvariantOverestimateDropsVariantGate) {
+  sym::SymbolId I = Sym.symbol("i", 1);
+  sym::SymbolId X = Sym.symbol("X", 0, true);
+  const pdag::Pred *VarGate = P.ne(Sym.arrayRef(X, Sym.symRef(I)), c(1));
+  const USR *S = U.gate(VarGate, U.interval(c(0), s("NS")));
+  auto O = invariantOverestimate(U, S, I, c(1), s("N"));
+  ASSERT_TRUE(O.has_value());
+  EXPECT_EQ(*O, U.interval(c(0), s("NS")));
+}
+
+TEST_F(UsrTransformTest, InvariantOverestimateDropsVariantSubtrahend) {
+  sym::SymbolId I = Sym.symbol("i", 1);
+  const USR *A = U.interval(c(0), s("NS"));
+  const USR *B = U.interval(Sym.symRef(I), c(4));
+  auto O = invariantOverestimate(U, U.subtract(A, B), I, c(1), s("N"));
+  ASSERT_TRUE(O.has_value());
+  EXPECT_EQ(*O, A);
+}
+
+TEST_F(UsrTransformTest, InvariantOverestimateFailsOnIndexArrayLeaf) {
+  sym::SymbolId I = Sym.symbol("i", 1);
+  sym::SymbolId IB = Sym.symbol("IB", 0, true);
+  const USR *S = U.interval(Sym.arrayRef(IB, Sym.symRef(I)), c(4));
+  EXPECT_FALSE(invariantOverestimate(U, S, I, c(1), s("N")).has_value());
+}
+
+TEST_F(UsrTransformTest, InvariantOverestimateWidensInnerRecurrence) {
+  // U_{k=1..i-1} [IB(k),..] over i in [1,N] widens to U_{k=1..N-1}.
+  sym::SymbolId I = Sym.symbol("i", 1);
+  sym::SymbolId K = Sym.symbol("k", 2);
+  sym::SymbolId IB = Sym.symbol("IB", 0, true);
+  const USR *Body = U.interval(Sym.arrayRef(IB, Sym.symRef(K)), c(4));
+  const USR *R = U.recur(K, c(1), Sym.addConst(Sym.symRef(I), -1), Body);
+  auto O = invariantOverestimate(U, R, I, c(1), s("N"));
+  ASSERT_TRUE(O.has_value());
+  const auto *OR = dyn_cast<RecurUSR>(*O);
+  ASSERT_NE(OR, nullptr);
+  EXPECT_EQ(OR->getHi(), Sym.addConst(s("N"), -1));
+}
+
+TEST_F(UsrTransformTest, StripForBoundsRemovesSubtractionAndGates) {
+  sym::SymbolId I = Sym.symbol("i", 1);
+  sym::SymbolId IB = Sym.symbol("IB", 0, true);
+  const USR *A = U.interval(Sym.arrayRef(IB, Sym.symRef(I)), c(8));
+  const USR *Bad = U.interval(c(2), c(2));
+  const pdag::Pred *G = P.ne(Sym.arrayRef(IB, Sym.symRef(I)), c(0));
+  const USR *S =
+      U.recur(I, c(1), s("N"), U.gate(G, U.subtract(A, Bad)));
+  const USR *Stripped = stripForBounds(U, S);
+  // Only recur/leaf remain.
+  const auto *R = dyn_cast<RecurUSR>(Stripped);
+  ASSERT_NE(R, nullptr);
+  EXPECT_TRUE(isa<LeafUSR>(R->getBody()));
+  // Superset check on concrete data.
+  sym::Bindings B;
+  B.setScalar(Sym.symbol("N"), 3);
+  sym::ArrayBinding AB;
+  AB.Lo = 1;
+  AB.Vals = {0, 4, 9};
+  B.setArray(IB, AB);
+  auto VS = evalUSR(S, B);
+  auto VT = evalUSR(Stripped, B);
+  ASSERT_TRUE(VS.has_value() && VT.has_value());
+  std::set<int64_t> TSet(VT->begin(), VT->end());
+  for (int64_t X : *VS)
+    EXPECT_TRUE(TSet.count(X));
+}
+
+} // namespace
