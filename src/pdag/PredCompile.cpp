@@ -1,0 +1,814 @@
+//===- pdag/PredCompile.cpp - Predicate bytecode compiler -----------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pdag/PredCompile.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace halo;
+using namespace halo::pdag;
+
+namespace {
+
+// Tri-state encoding on the predicate stack.
+constexpr uint8_t TriFalse = 0;
+constexpr uint8_t TriTrue = 1;
+constexpr uint8_t TriUnknown = 2;
+
+int64_t floorDivInt(int64_t A, int64_t D) {
+  int64_t Q = A / D;
+  if ((A % D) != 0 && A < 0)
+    --Q;
+  return Q;
+}
+
+// Same semantics as the Divides case of tryEvalPred.
+bool dividesHolds(int64_t DV, int64_t VV, bool Neg) {
+  int64_t Div = DV < 0 ? -DV : DV;
+  bool Holds = Div == 0 ? (VV == 0) : (VV % Div == 0);
+  return Holds != Neg;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Compilation
+//===----------------------------------------------------------------------===//
+
+namespace halo {
+namespace pdag {
+
+class PredCompiler {
+public:
+  PredCompiler(const sym::Context &Ctx, CompiledPred &Out)
+      : Ctx(Ctx), Out(Out) {}
+
+  void compileRoot(const Pred *P) {
+    countRefs(P);
+    compilePred(P, /*AtRoot=*/true);
+    Out.MainCodeEnd = here();
+    emitSubroutines();
+  }
+
+private:
+  uint32_t scalarSlot(sym::SymbolId S) {
+    auto It = ScalarSlotFor.find(S);
+    if (It != ScalarSlotFor.end())
+      return It->second;
+    uint32_t Slot = static_cast<uint32_t>(Out.ScalarSlots.size());
+    Out.ScalarSlots.push_back(S);
+    ScalarSlotFor.emplace(S, Slot);
+    return Slot;
+  }
+
+  uint32_t arraySlot(sym::SymbolId S) {
+    auto It = ArraySlotFor.find(S);
+    if (It != ArraySlotFor.end())
+      return It->second;
+    uint32_t Slot = static_cast<uint32_t>(Out.ArraySlots.size());
+    Out.ArraySlots.push_back(S);
+    ArraySlotFor.emplace(S, Slot);
+    return Slot;
+  }
+
+  void emitX(ExprInstr::Op Op, uint32_t Slot = 0, int64_t Imm = 0,
+             uint32_t Slot2 = 0) {
+    Out.XCode.push_back(ExprInstr{Op, Slot, Slot2, Imm});
+  }
+
+  /// Matches an index of the form `scalar + c` (or a bare scalar); these
+  /// are the A(i) / A(i+1) subscripts that dominate LoopAll bodies and are
+  /// worth a fused load instruction.
+  bool matchAffineIndex(const sym::Expr *E, sym::SymbolId &S,
+                        int64_t &Off) const {
+    if (const auto *R = dyn_cast<sym::SymRefExpr>(E)) {
+      S = R->getSymbol();
+      Off = 0;
+      return true;
+    }
+    const auto *A = dyn_cast<sym::AddExpr>(E);
+    if (!A || A->getTerms().size() != 1)
+      return false;
+    const sym::Monomial &M = A->getTerms().front();
+    const auto *R = dyn_cast<sym::SymRefExpr>(M.Prod);
+    if (!R || M.Coeff != 1)
+      return false;
+    S = R->getSymbol();
+    Off = A->getConstant();
+    return true;
+  }
+
+  /// Emits \p E onto the expression code stream (one pushed value).
+  void emitExpr(const sym::Expr *E) {
+    using sym::ExprKind;
+    // Fold any constant subexpression (canonicalization makes most of
+    // these IntConst already; this catches interned constants reached
+    // through Min/Max/Div/Mod wrappers too).
+    if (auto C = Ctx.constValue(E)) {
+      emitX(ExprInstr::Op::Const, 0, *C);
+      return;
+    }
+    switch (E->getKind()) {
+    case ExprKind::IntConst:
+      emitX(ExprInstr::Op::Const, 0, cast<sym::IntConstExpr>(E)->getValue());
+      return;
+    case ExprKind::SymRef:
+      emitX(ExprInstr::Op::Scalar,
+            scalarSlot(cast<sym::SymRefExpr>(E)->getSymbol()));
+      return;
+    case ExprKind::ArrayRef: {
+      const auto *R = cast<sym::ArrayRefExpr>(E);
+      sym::SymbolId IdxSym;
+      int64_t Off;
+      if (matchAffineIndex(R->getIndex(), IdxSym, Off)) {
+        emitX(ExprInstr::Op::ArrayLoadOff, arraySlot(R->getArray()), Off,
+              scalarSlot(IdxSym));
+        return;
+      }
+      emitExpr(R->getIndex());
+      emitX(ExprInstr::Op::ArrayLoad, arraySlot(R->getArray()));
+      return;
+    }
+    case ExprKind::Min:
+    case ExprKind::Max: {
+      const auto *M = cast<sym::MinMaxExpr>(E);
+      emitExpr(M->getLHS());
+      emitExpr(M->getRHS());
+      emitX(M->isMin() ? ExprInstr::Op::Min : ExprInstr::Op::Max);
+      return;
+    }
+    case ExprKind::FloorDiv:
+    case ExprKind::Mod: {
+      const auto *D = cast<sym::DivModExpr>(E);
+      emitExpr(D->getOperand());
+      emitX(D->isDiv() ? ExprInstr::Op::FloorDiv : ExprInstr::Op::Mod, 0,
+            D->getDivisor());
+      return;
+    }
+    case ExprKind::Mul: {
+      const auto &Factors = cast<sym::MulExpr>(E)->getFactors();
+      emitExpr(Factors.front());
+      for (size_t I = 1; I < Factors.size(); ++I) {
+        emitExpr(Factors[I]);
+        emitX(ExprInstr::Op::Mul);
+      }
+      return;
+    }
+    case ExprKind::Add: {
+      // Accumulate in-place, starting from a unit-coefficient term when
+      // one exists so the common difference shape `a - b` lowers to
+      // [a][b][MulConstAdd -1] with no constant seed. Reordering is safe:
+      // operands are side-effect free and any failing operand fails the
+      // whole expression regardless of order.
+      const auto *A = cast<sym::AddExpr>(E);
+      std::vector<const sym::Monomial *> Terms;
+      Terms.reserve(A->getTerms().size());
+      for (const sym::Monomial &M : A->getTerms())
+        Terms.push_back(&M);
+      for (size_t I = 0; I < Terms.size(); ++I)
+        if (Terms[I]->Coeff == 1) {
+          std::swap(Terms[0], Terms[I]);
+          break;
+        }
+      emitExpr(Terms.front()->Prod);
+      if (Terms.front()->Coeff != 1)
+        emitX(ExprInstr::Op::MulConst, 0, Terms.front()->Coeff);
+      for (size_t I = 1; I < Terms.size(); ++I) {
+        emitExpr(Terms[I]->Prod);
+        emitX(ExprInstr::Op::MulConstAdd, 0, Terms[I]->Coeff);
+      }
+      if (A->getConstant() != 0)
+        emitX(ExprInstr::Op::AddConst, 0, A->getConstant());
+      return;
+    }
+    }
+    halo_unreachable("covered switch");
+  }
+
+  /// Emits \p E as a fresh expression code range.
+  std::pair<uint32_t, uint32_t> compileExpr(const sym::Expr *E) {
+    uint32_t Begin = static_cast<uint32_t>(Out.XCode.size());
+    emitExpr(E);
+    return {Begin, static_cast<uint32_t>(Out.XCode.size())};
+  }
+
+  uint32_t emitP(PredInstr::Op Op, uint32_t A = 0, uint32_t B = 0,
+                 uint32_t C = 0, uint32_t D = 0, uint8_t Aux = 0) {
+    Out.PCode.push_back(PredInstr{Op, A, B, C, D, Aux});
+    return static_cast<uint32_t>(Out.PCode.size() - 1);
+  }
+
+  uint32_t here() const { return static_cast<uint32_t>(Out.PCode.size()); }
+
+  /// DAG analysis: per-node reference counts (deciding which shared
+  /// compound nodes become subroutines) and the set of every LoopAll
+  /// bound variable (the conservative invariance context for code shared
+  /// across call sites).
+  void countRefs(const Pred *P) {
+    if (++RefCount[P] > 1)
+      return; // Children already counted on the first visit.
+    switch (P->getKind()) {
+    case PredKind::And:
+    case PredKind::Or:
+      for (const Pred *C : cast<NaryPred>(P)->getChildren())
+        countRefs(C);
+      return;
+    case PredKind::LoopAll: {
+      const auto *L = cast<LoopAllPred>(P);
+      AllLoopVars.push_back(L->getVar());
+      countRefs(L->getBody());
+      return;
+    }
+    case PredKind::CallSite:
+      countRefs(cast<CallSitePred>(P)->getBody());
+      return;
+    default:
+      return;
+    }
+  }
+
+  /// A multiply-referenced compound node compiles once as a subroutine;
+  /// expanding the interned DAG into a tree can blow code size up by
+  /// orders of magnitude (the UMEG-factorized predicates share heavily).
+  bool isSharedSub(const Pred *P) const {
+    switch (P->getKind()) {
+    case PredKind::And:
+    case PredKind::Or:
+    case PredKind::LoopAll:
+    case PredKind::CallSite: {
+      auto It = RefCount.find(P);
+      return It != RefCount.end() && It->second > 1;
+    }
+    default:
+      return false; // Leaves are at most a couple of instructions.
+    }
+  }
+
+  /// True when \p P reads none of the loop variables it could be
+  /// iterated under. Inside a subroutine body the code is shared across
+  /// call sites with different loop contexts, so the check is against
+  /// every LoopAll variable of the whole predicate.
+  bool isInvariantHere(const Pred *P) const {
+    const std::vector<sym::SymbolId> &Vars =
+        InSubBody ? AllLoopVars : EnclosingVars;
+    for (sym::SymbolId V : Vars)
+      if (P->dependsOn(V))
+        return false;
+    return true;
+  }
+
+  /// Emits a reference to \p P: shared compound nodes become a CallSub to
+  /// their (single) subroutine body, everything else compiles inline.
+  void emitNodeRef(const Pred *P, bool AtRoot) {
+    if (!AtRoot && isSharedSub(P)) {
+      if (Scheduled.insert(P).second)
+        PendingSubs.push_back(P);
+      CallSites.emplace_back(emitP(PredInstr::Op::CallSub), P);
+      return;
+    }
+    compilePred(P, AtRoot);
+  }
+
+  /// Compiles \p P, memoizing it when it is loop-invariant at this site:
+  /// the first evaluation stores the tri-state in a per-evaluation memo
+  /// slot, later iterations jump straight past the sub-predicate's code.
+  void compileChild(const Pred *P) {
+    const bool InLoop = InSubBody ? !AllLoopVars.empty()
+                                  : !EnclosingVars.empty();
+    bool Memoize = InLoop && !P->isTrue() && !P->isFalse() &&
+                   isInvariantHere(P);
+    if (!Memoize) {
+      emitNodeRef(P, /*AtRoot=*/false);
+      return;
+    }
+    uint32_t Slot;
+    auto It = MemoSlotFor.find(P);
+    if (It != MemoSlotFor.end()) {
+      Slot = It->second;
+    } else {
+      Slot = Out.NumMemoSlots++;
+      MemoSlotFor.emplace(P, Slot);
+    }
+    uint32_t Check = emitP(PredInstr::Op::MemoCheck, Slot);
+    emitNodeRef(P, /*AtRoot=*/false);
+    emitP(PredInstr::Op::MemoStore, Slot);
+    Out.PCode[Check].B = here();
+  }
+
+  void emitSubroutines() {
+    if (PendingSubs.empty())
+      return;
+    // Padding so no subroutine entry aliases MainCodeEnd (the run loop's
+    // end-of-code sentinel); never executed.
+    emitP(PredInstr::Op::Ret);
+    InSubBody = true;
+    EnclosingVars.clear();
+    while (!PendingSubs.empty()) {
+      const Pred *P = PendingSubs.front();
+      PendingSubs.pop_front();
+      SubEntry[P] = here();
+      compilePred(P, /*AtRoot=*/false);
+      emitP(PredInstr::Op::Ret);
+    }
+    InSubBody = false;
+    for (const auto &[Ip, P] : CallSites)
+      Out.PCode[Ip].A = SubEntry.at(P);
+    Out.NumSubs = static_cast<uint32_t>(SubEntry.size());
+  }
+
+  void compilePred(const Pred *P, bool AtRoot) {
+    switch (P->getKind()) {
+    case PredKind::True:
+      emitP(PredInstr::Op::PushBool, 0, 0, 0, 0, TriTrue);
+      return;
+    case PredKind::False:
+      emitP(PredInstr::Op::PushBool, 0, 0, 0, 0, TriFalse);
+      return;
+    case PredKind::Cmp: {
+      const auto *C = cast<CmpPred>(P);
+      if (auto V = Ctx.constValue(C->getExpr())) {
+        bool R = false;
+        switch (C->getRel()) {
+        case CmpRel::GE0:
+          R = *V >= 0;
+          break;
+        case CmpRel::EQ0:
+          R = *V == 0;
+          break;
+        case CmpRel::NE0:
+          R = *V != 0;
+          break;
+        }
+        emitP(PredInstr::Op::PushBool, 0, 0, 0, 0, R ? TriTrue : TriFalse);
+        return;
+      }
+      auto [B, E] = compileExpr(C->getExpr());
+      emitP(PredInstr::Op::LeafCmp, B, E, 0, 0,
+            static_cast<uint8_t>(C->getRel()));
+      return;
+    }
+    case PredKind::Divides: {
+      const auto *D = cast<DividesPred>(P);
+      auto DV = Ctx.constValue(D->getDivisor());
+      auto VV = Ctx.constValue(D->getValue());
+      if (DV && VV) {
+        emitP(PredInstr::Op::PushBool, 0, 0, 0, 0,
+              dividesHolds(*DV, *VV, D->isNegated()) ? TriTrue : TriFalse);
+        return;
+      }
+      auto [DB, DE] = compileExpr(D->getDivisor());
+      auto [VB, VE] = compileExpr(D->getValue());
+      emitP(PredInstr::Op::LeafDivides, DB, DE, VB, VE,
+            D->isNegated() ? 1 : 0);
+      return;
+    }
+    case PredKind::And:
+    case PredKind::Or: {
+      const auto *N = cast<NaryPred>(P);
+      const bool IsAnd = N->isAnd();
+      emitP(PredInstr::Op::PushBool, 0, 0, 0, 0, IsAnd ? TriTrue : TriFalse);
+      std::vector<uint32_t> Steps;
+      for (const Pred *C : N->getChildren()) {
+        compileChild(C);
+        Steps.push_back(
+            emitP(IsAnd ? PredInstr::Op::AndStep : PredInstr::Op::OrStep));
+      }
+      for (uint32_t S : Steps)
+        Out.PCode[S].A = here();
+      return;
+    }
+    case PredKind::LoopAll: {
+      const auto *L = cast<LoopAllPred>(P);
+      uint32_t DescIdx = static_cast<uint32_t>(Out.Loops.size());
+      Out.Loops.emplace_back();
+      {
+        CompiledLoop &D = Out.Loops[DescIdx];
+        std::tie(D.LoExprBegin, D.LoExprEnd) = compileExpr(L->getLo());
+        std::tie(D.HiExprBegin, D.HiExprEnd) = compileExpr(L->getHi());
+        D.VarSlot = scalarSlot(L->getVar());
+      }
+      if (AtRoot)
+        Out.RootLoop = static_cast<int32_t>(DescIdx);
+      emitP(PredInstr::Op::LoopBegin, DescIdx);
+      Out.Loops[DescIdx].BodyBegin = here();
+      EnclosingVars.push_back(L->getVar());
+      compileChild(L->getBody());
+      EnclosingVars.pop_back();
+      Out.Loops[DescIdx].StepIp = emitP(PredInstr::Op::LoopStep, DescIdx);
+      Out.Loops[DescIdx].EndIp = here();
+      return;
+    }
+    case PredKind::CallSite:
+      // Opaque barrier for static reasoning only; evaluation passes
+      // through to the body (same as the interpreter).
+      emitNodeRef(cast<CallSitePred>(P)->getBody(), AtRoot);
+      return;
+    }
+    halo_unreachable("covered switch");
+  }
+
+  const sym::Context &Ctx;
+  CompiledPred &Out;
+  std::vector<sym::SymbolId> EnclosingVars;
+  std::vector<sym::SymbolId> AllLoopVars;
+  bool InSubBody = false;
+  std::unordered_map<const Pred *, uint32_t> MemoSlotFor;
+  std::unordered_map<sym::SymbolId, uint32_t> ScalarSlotFor;
+  std::unordered_map<sym::SymbolId, uint32_t> ArraySlotFor;
+  std::unordered_map<const Pred *, uint32_t> RefCount;
+  std::unordered_set<const Pred *> Scheduled;
+  std::deque<const Pred *> PendingSubs;
+  std::vector<std::pair<uint32_t, const Pred *>> CallSites;
+  std::unordered_map<const Pred *, uint32_t> SubEntry;
+};
+
+} // namespace pdag
+} // namespace halo
+
+std::unique_ptr<CompiledPred> CompiledPred::compile(const Pred *P,
+                                                    const sym::Context &Ctx) {
+  std::unique_ptr<CompiledPred> CP(new CompiledPred());
+  CP->Source = P;
+  PredCompiler C(Ctx, *CP);
+  C.compileRoot(P);
+  return CP;
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation
+//===----------------------------------------------------------------------===//
+
+/// Per-evaluation state: resolved symbol slots, memo table and
+/// preallocated evaluation stacks (compile() bounds their depths, so the
+/// hot loop runs on raw pointers with no size checks). Copied per worker
+/// by the parallel evaluator (the copies share the immutable ArrayBinding
+/// storage behind the raw pointers).
+struct CompiledPred::Frame {
+  std::vector<int64_t> ScalarVals;
+  std::vector<uint8_t> ScalarBound;
+  std::vector<const sym::ArrayBinding *> Arrays;
+  std::vector<int8_t> Memo; // -1 unset, else a tri-state.
+  std::vector<int64_t> XStack;
+  std::vector<uint8_t> PStack;
+  struct LoopState {
+    uint32_t Desc;
+    int64_t Cur, Hi;
+    int64_t SavedVal;
+    uint8_t SavedBound;
+  };
+  std::vector<LoopState> LoopStack;
+  std::vector<uint32_t> RetStack;
+  EvalStats Stats;
+};
+
+bool CompiledPred::bindFrame(Frame &F, const sym::Bindings &B) const {
+  F.ScalarVals.assign(ScalarSlots.size(), 0);
+  F.ScalarBound.assign(ScalarSlots.size(), 0);
+  for (size_t I = 0; I < ScalarSlots.size(); ++I)
+    if (auto V = B.scalar(ScalarSlots[I])) {
+      F.ScalarVals[I] = *V;
+      F.ScalarBound[I] = 1;
+    }
+  F.Arrays.resize(ArraySlots.size());
+  for (size_t I = 0; I < ArraySlots.size(); ++I)
+    F.Arrays[I] = B.array(ArraySlots[I]);
+  F.Memo.assign(NumMemoSlots, -1);
+  // Depth bounds: every instruction pushes at most one value; a call
+  // chain never repeats a subroutine (the DAG is acyclic).
+  F.XStack.resize(XCode.size() + 1);
+  F.PStack.resize(PCode.size() + 2);
+  F.LoopStack.resize(Loops.size() + 1);
+  F.RetStack.resize(NumSubs + 1);
+  return true;
+}
+
+std::optional<int64_t> CompiledPred::evalExpr(uint32_t Begin, uint32_t End,
+                                              Frame &F) const {
+  int64_t *S = F.XStack.data();
+  size_t SP = 0;
+  const ExprInstr *Code = XCode.data();
+  const int64_t *Scalars = F.ScalarVals.data();
+  const uint8_t *Bound = F.ScalarBound.data();
+  for (uint32_t Ip = Begin; Ip != End; ++Ip) {
+    const ExprInstr &I = Code[Ip];
+    switch (I.Opcode) {
+    case ExprInstr::Op::Const:
+      S[SP++] = I.Imm;
+      break;
+    case ExprInstr::Op::Scalar:
+      if (!Bound[I.Slot])
+        return std::nullopt;
+      S[SP++] = Scalars[I.Slot];
+      break;
+    case ExprInstr::Op::ArrayLoad: {
+      const sym::ArrayBinding *A = F.Arrays[I.Slot];
+      const int64_t Idx = S[SP - 1];
+      if (!A || !A->inBounds(Idx))
+        return std::nullopt;
+      S[SP - 1] = A->at(Idx);
+      break;
+    }
+    case ExprInstr::Op::ArrayLoadOff: {
+      const sym::ArrayBinding *A = F.Arrays[I.Slot];
+      if (!Bound[I.Slot2])
+        return std::nullopt;
+      const int64_t Idx = Scalars[I.Slot2] + I.Imm;
+      if (!A || !A->inBounds(Idx))
+        return std::nullopt;
+      S[SP++] = A->at(Idx);
+      break;
+    }
+    case ExprInstr::Op::Min: {
+      const int64_t R = S[--SP];
+      S[SP - 1] = std::min(S[SP - 1], R);
+      break;
+    }
+    case ExprInstr::Op::Max: {
+      const int64_t R = S[--SP];
+      S[SP - 1] = std::max(S[SP - 1], R);
+      break;
+    }
+    case ExprInstr::Op::FloorDiv:
+      S[SP - 1] = floorDivInt(S[SP - 1], I.Imm);
+      break;
+    case ExprInstr::Op::Mod: {
+      const int64_t V = S[SP - 1];
+      S[SP - 1] = V - floorDivInt(V, I.Imm) * I.Imm;
+      break;
+    }
+    case ExprInstr::Op::Mul: {
+      const int64_t R = S[--SP];
+      S[SP - 1] *= R;
+      break;
+    }
+    case ExprInstr::Op::MulConst:
+      S[SP - 1] *= I.Imm;
+      break;
+    case ExprInstr::Op::AddConst:
+      S[SP - 1] += I.Imm;
+      break;
+    case ExprInstr::Op::MulConstAdd: {
+      const int64_t V = S[--SP];
+      S[SP - 1] += I.Imm * V;
+      break;
+    }
+    }
+  }
+  assert(SP == 1 && "expression code must leave one value");
+  return S[0];
+}
+
+uint8_t CompiledPred::run(uint32_t IpBegin, uint32_t IpEnd, Frame &F) const {
+  uint8_t *St = F.PStack.data();
+  size_t SP = 0;
+  Frame::LoopState *LoopSt = F.LoopStack.data();
+  size_t LSP = 0;
+  uint32_t *RetSt = F.RetStack.data();
+  size_t RSP = 0;
+  const PredInstr *Code = PCode.data();
+  uint32_t Ip = IpBegin;
+  while (Ip != IpEnd) {
+    const PredInstr &I = Code[Ip];
+    switch (I.Opcode) {
+    case PredInstr::Op::PushBool:
+      St[SP++] = I.Aux;
+      ++Ip;
+      break;
+    case PredInstr::Op::LeafCmp: {
+      auto V = evalExpr(I.A, I.B, F);
+      uint8_t R = TriUnknown;
+      if (V) {
+        ++F.Stats.LeafEvals;
+        switch (static_cast<CmpRel>(I.Aux)) {
+        case CmpRel::GE0:
+          R = *V >= 0 ? TriTrue : TriFalse;
+          break;
+        case CmpRel::EQ0:
+          R = *V == 0 ? TriTrue : TriFalse;
+          break;
+        case CmpRel::NE0:
+          R = *V != 0 ? TriTrue : TriFalse;
+          break;
+        }
+      }
+      St[SP++] = R;
+      ++Ip;
+      break;
+    }
+    case PredInstr::Op::LeafDivides: {
+      auto DV = evalExpr(I.A, I.B, F);
+      auto VV = evalExpr(I.C, I.D, F);
+      uint8_t R = TriUnknown;
+      if (DV && VV) {
+        ++F.Stats.LeafEvals;
+        R = dividesHolds(*DV, *VV, I.Aux != 0) ? TriTrue : TriFalse;
+      }
+      St[SP++] = R;
+      ++Ip;
+      break;
+    }
+    case PredInstr::Op::AndStep: {
+      const uint8_t C = St[--SP];
+      uint8_t &Acc = St[SP - 1];
+      if (C == TriFalse)
+        Acc = TriFalse;
+      else if (C == TriUnknown && Acc == TriTrue)
+        Acc = TriUnknown;
+      Ip = Acc == TriFalse ? I.A : Ip + 1;
+      break;
+    }
+    case PredInstr::Op::OrStep: {
+      const uint8_t C = St[--SP];
+      uint8_t &Acc = St[SP - 1];
+      if (C == TriTrue)
+        Acc = TriTrue;
+      else if (C == TriUnknown && Acc == TriFalse)
+        Acc = TriUnknown;
+      Ip = Acc == TriTrue ? I.A : Ip + 1;
+      break;
+    }
+    case PredInstr::Op::LoopBegin: {
+      const CompiledLoop &L = Loops[I.A];
+      auto Lo = evalExpr(L.LoExprBegin, L.LoExprEnd, F);
+      auto Hi = evalExpr(L.HiExprBegin, L.HiExprEnd, F);
+      if (!Lo || !Hi) {
+        St[SP++] = TriUnknown;
+        Ip = L.EndIp;
+        break;
+      }
+      if (*Lo > *Hi) {
+        St[SP++] = TriTrue;
+        Ip = L.EndIp;
+        break;
+      }
+      LoopSt[LSP++] = Frame::LoopState{I.A, *Lo, *Hi,
+                                       F.ScalarVals[L.VarSlot],
+                                       F.ScalarBound[L.VarSlot]};
+      F.ScalarVals[L.VarSlot] = *Lo;
+      F.ScalarBound[L.VarSlot] = 1;
+      ++F.Stats.LoopIters;
+      Ip = L.BodyBegin;
+      break;
+    }
+    case PredInstr::Op::LoopStep: {
+      const uint8_t R = St[--SP];
+      Frame::LoopState &LS = LoopSt[LSP - 1];
+      const CompiledLoop &L = Loops[LS.Desc];
+      if (R == TriTrue && LS.Cur < LS.Hi) {
+        ++LS.Cur;
+        F.ScalarVals[L.VarSlot] = LS.Cur;
+        ++F.Stats.LoopIters;
+        Ip = L.BodyBegin;
+        break;
+      }
+      F.ScalarVals[L.VarSlot] = LS.SavedVal;
+      F.ScalarBound[L.VarSlot] = LS.SavedBound;
+      --LSP;
+      St[SP++] = R;
+      Ip = L.EndIp;
+      break;
+    }
+    case PredInstr::Op::MemoCheck: {
+      const int8_t M = F.Memo[I.A];
+      if (M >= 0) {
+        ++F.Stats.MemoHits;
+        St[SP++] = static_cast<uint8_t>(M);
+        Ip = I.B;
+      } else {
+        ++Ip;
+      }
+      break;
+    }
+    case PredInstr::Op::MemoStore:
+      F.Memo[I.A] = static_cast<int8_t>(St[SP - 1]);
+      ++Ip;
+      break;
+    case PredInstr::Op::CallSub:
+      RetSt[RSP++] = Ip + 1;
+      Ip = I.A;
+      break;
+    case PredInstr::Op::Ret:
+      Ip = RetSt[--RSP];
+      break;
+    }
+  }
+  assert(SP == 1 && "predicate code must leave one value");
+  return St[SP - 1];
+}
+
+/// Reusable per-thread frame: bindFrame() resizes with assign()/resize(),
+/// so after warm-up repeated evaluations allocate nothing. Safe because
+/// eval()/evalParallel() never re-enter on the same thread (the parallel
+/// workers copy the bound frame into their own locals).
+CompiledPred::Frame &CompiledPred::scratchFrame() {
+  thread_local Frame F;
+  return F;
+}
+
+std::optional<bool> CompiledPred::eval(const sym::Bindings &B,
+                                       EvalStats *Stats) const {
+  Frame &F = scratchFrame();
+  F.Stats = EvalStats();
+  bindFrame(F, B);
+  uint8_t R = run(0, MainCodeEnd, F);
+  F.Stats.CompiledEvals = 1;
+  if (Stats)
+    *Stats += F.Stats;
+  if (R == TriUnknown)
+    return std::nullopt;
+  return R == TriTrue;
+}
+
+std::optional<bool> CompiledPred::evalParallel(const sym::Bindings &B,
+                                               ThreadPool &Pool,
+                                               EvalStats *Stats,
+                                               int64_t MinParallelIters) const {
+  if (RootLoop < 0 || Pool.numThreads() <= 1)
+    return eval(B, Stats);
+
+  Frame &F = scratchFrame();
+  F.Stats = EvalStats();
+  bindFrame(F, B);
+  const CompiledLoop &L = Loops[static_cast<size_t>(RootLoop)];
+  auto Lo = evalExpr(L.LoExprBegin, L.LoExprEnd, F);
+  auto Hi = evalExpr(L.HiExprBegin, L.HiExprEnd, F);
+  if (!Lo || !Hi) {
+    if (Stats)
+      ++Stats->CompiledEvals;
+    return std::nullopt;
+  }
+  if (*Lo > *Hi) {
+    if (Stats)
+      ++Stats->CompiledEvals;
+    return true;
+  }
+  const unsigned NT = Pool.numThreads();
+  if (*Hi - *Lo + 1 < MinParallelIters * static_cast<int64_t>(NT))
+    return eval(B, Stats);
+  // Exact first-failure frontier: a worker may stop as soon as its current
+  // iteration lies beyond the earliest known non-true iteration; every
+  // iteration before the final frontier is therefore fully evaluated, so
+  // the merged result (outcome at the minimal recorded iteration) is
+  // identical to the sequential early-exit semantics of tryEvalPred,
+  // including which of false/unknown decides.
+  std::atomic<int64_t> FirstBad{INT64_MAX};
+  std::vector<uint8_t> Outcome(NT, TriTrue);
+  std::vector<int64_t> BadAt(NT, INT64_MAX);
+  std::vector<EvalStats> WorkerStats(NT);
+
+  Pool.parallelAllOf(
+      *Lo, *Hi + 1,
+      [&](int64_t BLo, int64_t BHi, unsigned W, std::atomic<bool> &) -> bool {
+        Frame FW = F; // Private slots + memo per worker.
+        bool Ok = true;
+        for (int64_t I = BLo; I < BHi; ++I) {
+          if (I > FirstBad.load(std::memory_order_relaxed))
+            break;
+          FW.ScalarVals[L.VarSlot] = I;
+          FW.ScalarBound[L.VarSlot] = 1;
+          ++FW.Stats.LoopIters;
+          uint8_t R = run(L.BodyBegin, L.StepIp, FW);
+          if (R != TriTrue) {
+            Outcome[W] = R;
+            BadAt[W] = I;
+            int64_t Cur = FirstBad.load(std::memory_order_relaxed);
+            while (I < Cur && !FirstBad.compare_exchange_weak(
+                                  Cur, I, std::memory_order_relaxed)) {
+            }
+            Ok = false;
+            break;
+          }
+        }
+        WorkerStats[W] = FW.Stats;
+        return Ok;
+      });
+
+  EvalStats Agg;
+  for (unsigned W = 0; W < NT; ++W)
+    Agg += WorkerStats[W];
+  Agg.CompiledEvals = 1;
+  if (Stats)
+    *Stats += Agg;
+
+  int64_t Best = INT64_MAX;
+  uint8_t R = TriTrue;
+  for (unsigned W = 0; W < NT; ++W)
+    if (BadAt[W] < Best) {
+      Best = BadAt[W];
+      R = Outcome[W];
+    }
+  if (R == TriUnknown)
+    return std::nullopt;
+  return R == TriTrue;
+}

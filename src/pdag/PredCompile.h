@@ -1,0 +1,188 @@
+//===- pdag/PredCompile.h - Predicate bytecode compiler --------*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles an interned Pred DAG into a flat, cache-friendly bytecode and
+/// evaluates it against concrete bindings. This is the compile-once /
+/// run-many half of the runtime cascade machinery: the tree-walking
+/// interpreter in PredEval.h re-dispatches on PredKind and re-resolves
+/// every symbol through hash lookups on each LoopAll iteration, which
+/// dominates the paper's RTov metric for O(N) tests. The compiled form
+/// eliminates both costs:
+///
+///  - every scalar and index-array symbol is resolved to a dense frame
+///    slot once per evaluation (loop variables are written straight into
+///    their slot, never through sym::Bindings),
+///  - leaf expressions are lowered to a stack-machine bytecode with
+///    constant operands folded at compile time,
+///  - and/or short-circuiting and LoopAll early exit become jumps over a
+///    flat instruction array,
+///  - sub-predicates that are invariant w.r.t. every enclosing LoopAll
+///    variable are memoized in a per-evaluation table (evaluated on the
+///    first iteration, served from cache afterwards),
+///  - O(N) LoopAll ranges can be chunk-evaluated across a ThreadPool with
+///    an atomic first-failure frontier, preserving the interpreter's
+///    exact result (including the conservative-unknown cases).
+///
+/// Results agree with tryEvalPred on every input; the property tests in
+/// tests/pred_compile_test.cpp cross-check the two evaluators on random
+/// predicate programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_PDAG_PREDCOMPILE_H
+#define HALO_PDAG_PREDCOMPILE_H
+
+#include "pdag/Pred.h"
+#include "pdag/PredEval.h"
+#include "support/ThreadPool.h"
+#include "sym/Eval.h"
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace halo {
+namespace pdag {
+
+/// One expression-bytecode instruction (operates on an int64 value stack).
+struct ExprInstr {
+  enum class Op : uint8_t {
+    Const,        ///< push Imm
+    Scalar,       ///< push scalar slot Slot (fail when unbound)
+    ArrayLoad,    ///< pop index, push array slot Slot at index (fail OOB)
+    ArrayLoadOff, ///< push array Slot at (scalar Slot2 + Imm) — the fused
+                  ///< form of the ubiquitous A(i), A(i+1) accesses
+    Min,          ///< pop b, a; push min(a, b)
+    Max,          ///< pop b, a; push max(a, b)
+    FloorDiv,     ///< pop a; push floor(a / Imm)
+    Mod,          ///< pop a; push a - Imm * floor(a / Imm)
+    Mul,          ///< pop b, a; push a * b
+    MulConst,     ///< top *= Imm
+    AddConst,     ///< top += Imm
+    MulConstAdd,  ///< pop v; top += Imm * v   (monomial accumulate)
+  };
+  Op Opcode;
+  uint32_t Slot = 0;
+  uint32_t Slot2 = 0;
+  int64_t Imm = 0;
+};
+
+/// One predicate-bytecode instruction (operates on a tri-state stack:
+/// false / true / unknown, where unknown is the conservative result of an
+/// unbound symbol or out-of-bounds array read).
+struct PredInstr {
+  enum class Op : uint8_t {
+    PushBool,    ///< push tri-state Aux (constant-folded sub-predicate)
+    LeafCmp,     ///< eval expr [A,B); push (value rel 0), rel in Aux
+    LeafDivides, ///< eval divisor [A,B) and value [C,D); Aux = negated
+    AndStep,     ///< pop child, conjoin into top; jump A when decided false
+    OrStep,      ///< pop child, disjoin into top; jump A when decided true
+    LoopBegin,   ///< enter LoopAll A (see CompiledLoop)
+    LoopStep,    ///< advance LoopAll A or finish it
+    MemoCheck,   ///< memo slot A set: push cached value and jump B
+    MemoStore,   ///< memo slot A := top of stack
+    CallSub,     ///< call the shared sub-predicate at ip A (DAG sharing:
+                 ///< multiply-referenced nodes compile once, keeping code
+                 ///< size linear in the DAG, not the expanded tree)
+    Ret,         ///< return to the calling site
+  };
+  Op Opcode;
+  uint32_t A = 0, B = 0, C = 0, D = 0;
+  uint8_t Aux = 0;
+};
+
+/// Side table entry for a LoopAll node: bound-variable slot, bound
+/// expressions and the body's instruction range.
+struct CompiledLoop {
+  uint32_t LoExprBegin = 0, LoExprEnd = 0;
+  uint32_t HiExprBegin = 0, HiExprEnd = 0;
+  uint32_t VarSlot = 0;
+  uint32_t BodyBegin = 0; ///< ip of the first body instruction.
+  uint32_t StepIp = 0;    ///< ip of the matching LoopStep.
+  uint32_t EndIp = 0;     ///< ip just past the LoopStep.
+};
+
+/// A predicate compiled to flat bytecode. Immutable after compile();
+/// evaluation is const and thread-compatible (parallel evaluation copies
+/// the resolved frame per worker).
+class CompiledPred {
+public:
+  /// Lowers \p P. \p Ctx must be the symbol context the predicate was
+  /// built against (slot resolution and invariance use its symbol table).
+  static std::unique_ptr<CompiledPred> compile(const Pred *P,
+                                               const sym::Context &Ctx);
+
+  /// Evaluates against \p B on the calling thread. Same result contract
+  /// as tryEvalPred: nullopt when an unbound symbol or out-of-bounds
+  /// array access decides the outcome.
+  std::optional<bool> eval(const sym::Bindings &B,
+                           EvalStats *Stats = nullptr) const;
+
+  /// Evaluates with the root LoopAll range chunked across \p Pool using
+  /// an atomic first-failure frontier; exact same result as eval().
+  /// Fan-out only pays off when every worker gets a chunk that dwarfs the
+  /// dispatch cost, so ranges shorter than MinParallelIters * numThreads
+  /// iterations (and non-LoopAll roots) fall back to the serial path.
+  std::optional<bool> evalParallel(const sym::Bindings &B, ThreadPool &Pool,
+                                   EvalStats *Stats = nullptr,
+                                   int64_t MinParallelIters = 4096) const;
+
+  const Pred *source() const { return Source; }
+  int loopDepth() const { return Source->loopDepth(); }
+  size_t codeSize() const { return PCode.size() + XCode.size(); }
+  size_t numMemoSlots() const { return NumMemoSlots; }
+  /// True when evalParallel can actually fan out (root is a LoopAll).
+  bool hasParallelRoot() const { return RootLoop >= 0; }
+
+  /// Governor ordering key: loop depth dominates, bytecode length breaks
+  /// ties (cheapest-first stage scheduling, Sec. 3.5 cascade ordering).
+  uint64_t costEstimate() const {
+    return (static_cast<uint64_t>(loopDepth()) << 20) +
+           static_cast<uint64_t>(codeSize());
+  }
+
+private:
+  CompiledPred() = default;
+
+  struct Frame;
+  /// Reusable per-thread frame (steady-state evaluations allocate
+  /// nothing); never re-entered on one thread.
+  static Frame &scratchFrame();
+  /// Runs predicate code [IpBegin, IpEnd) on \p F; returns the tri-state
+  /// left on top of the stack.
+  uint8_t run(uint32_t IpBegin, uint32_t IpEnd, Frame &F) const;
+  bool bindFrame(Frame &F, const sym::Bindings &B) const;
+  std::optional<int64_t> evalExpr(uint32_t Begin, uint32_t End,
+                                  Frame &F) const;
+
+  const Pred *Source = nullptr;
+  std::vector<PredInstr> PCode;
+  std::vector<ExprInstr> XCode;
+  std::vector<CompiledLoop> Loops;
+  /// Symbols backing the frame slots (index == slot).
+  std::vector<sym::SymbolId> ScalarSlots;
+  std::vector<sym::SymbolId> ArraySlots;
+  uint32_t NumMemoSlots = 0;
+  /// End of the root predicate's code; shared sub-predicate bodies follow
+  /// (entered only via CallSub).
+  uint32_t MainCodeEnd = 0;
+  /// Number of shared sub-predicate bodies (bounds the call depth: the
+  /// DAG is acyclic, so a call chain never repeats a subroutine).
+  uint32_t NumSubs = 0;
+  /// Index into Loops of the root LoopAll (CallSite wrappers stripped),
+  /// -1 when the root is not a loop.
+  int32_t RootLoop = -1;
+
+  friend class PredCompiler;
+};
+
+} // namespace pdag
+} // namespace halo
+
+#endif // HALO_PDAG_PREDCOMPILE_H

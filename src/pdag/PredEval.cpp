@@ -94,8 +94,14 @@ std::optional<bool> pdag::tryEvalPred(const Pred *P, sym::Bindings &B,
         break;
       }
     }
+    // Restore the caller's binding exactly (erasing when the variable was
+    // unbound): leaking the last iteration value would make the result of
+    // a sibling sub-predicate depend on evaluation order, and diverge
+    // from the compiled evaluator's frame-restore semantics.
     if (Saved)
       B.setScalar(L->getVar(), *Saved);
+    else
+      B.clearScalar(L->getVar());
     if (!Out)
       return std::nullopt;
     return Result && *Out;

@@ -30,9 +30,28 @@ namespace halo {
 namespace pdag {
 
 /// Statistics of one predicate evaluation (for the paper's RTov metric).
+/// Shared between the tree-walking interpreter below and the bytecode
+/// evaluator in PredCompile.h so callers can aggregate either path.
 struct EvalStats {
   uint64_t LeafEvals = 0;
   uint64_t LoopIters = 0;
+  /// Loop-invariant sub-predicate results served from the per-evaluation
+  /// memo table (bytecode evaluator only).
+  uint64_t MemoHits = 0;
+  /// Whole-predicate evaluations routed through compiled bytecode.
+  uint64_t CompiledEvals = 0;
+  /// Whole-predicate evaluations routed through this tree interpreter by
+  /// a caller that had the compiled path available (governor fallback).
+  uint64_t InterpEvals = 0;
+
+  EvalStats &operator+=(const EvalStats &O) {
+    LeafEvals += O.LeafEvals;
+    LoopIters += O.LoopIters;
+    MemoHits += O.MemoHits;
+    CompiledEvals += O.CompiledEvals;
+    InterpEvals += O.InterpEvals;
+    return *this;
+  }
 };
 
 /// Evaluates \p P under \p B. Returns nullopt if a symbol is unbound or an

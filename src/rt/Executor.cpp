@@ -12,10 +12,12 @@
 #include "support/Hashing.h"
 #include "usr/USREval.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <utility>
 
 using namespace halo;
 using namespace halo::rt;
@@ -312,6 +314,7 @@ static bool containsCiv(const Stmt *S) {
 
 void Executor::runCivSlice(const DoLoop &Loop, const summary::CivPlan &Plan,
                            Memory &M, sym::Bindings &B) {
+  (void)M; // The slice touches only control flow, CIVs and index arrays.
   if (Plan.empty())
     return;
   int64_t Lo = sym::eval(Loop.getLo(), B);
@@ -566,22 +569,64 @@ struct ArrayDecision {
   bool ReductionPrivate = false;
 };
 
-/// Evaluates a cascade cheapest-first; returns the stage depth used
-/// (-1 static, -2 all failed).
-int passCascade(const TestCascade &C, sym::Bindings &B, ExecStats &Stats) {
+} // namespace
+
+const pdag::CompiledPred *Executor::compiledFor(const pdag::Pred *P) {
+  auto It = CompileCache.find(P);
+  if (It != CompileCache.end())
+    return It->second.get();
+  auto CP = pdag::CompiledPred::compile(P, Sym);
+  return CompileCache.emplace(P, std::move(CP)).first->second.get();
+}
+
+int Executor::runCascade(const TestCascade &C, sym::Bindings &B,
+                         ThreadPool &Pool, ExecStats &Stats) {
   if (C.StaticallyTrue)
     return -1;
-  for (const pdag::CascadeStage &St : C.Stages) {
+
+  if (!UseCompiledPreds) {
+    // Reference path: the tree-walking interpreter in cascade order.
+    for (const pdag::CascadeStage &St : C.Stages) {
+      pdag::EvalStats ES;
+      ES.InterpEvals = 1;
+      auto V = pdag::tryEvalPred(St.P, B, &ES);
+      Stats.PredicateLeafEvals += ES.LeafEvals;
+      Stats.InterpPredEvals += ES.InterpEvals;
+      if (V && *V)
+        return St.Depth;
+    }
+    return -2;
+  }
+
+  // Compiled path: stages are lowered once (cached across plans and
+  // repeated executions) and re-ordered cheapest-first by the compiled
+  // cost estimate; buildCascade orders by loop depth alone, the bytecode
+  // length refines ties between same-depth stages.
+  std::vector<std::pair<const pdag::CascadeStage *, const pdag::CompiledPred *>>
+      Stages;
+  Stages.reserve(C.Stages.size());
+  for (const pdag::CascadeStage &St : C.Stages)
+    Stages.emplace_back(&St, compiledFor(St.P));
+  if (Stages.size() > 1)
+    std::stable_sort(Stages.begin(), Stages.end(),
+                     [](const auto &A, const auto &B) {
+                       return A.second->costEstimate() <
+                              B.second->costEstimate();
+                     });
+  for (const auto &[St, CP] : Stages) {
     pdag::EvalStats ES;
-    auto V = pdag::tryEvalPred(St.P, B, &ES);
+    // O(1) stages run inline; O(N)+ stages fan their root LoopAll range
+    // out across the pool with the exact early-exit and-reduction.
+    auto V = CP->loopDepth() >= 1 ? CP->evalParallel(B, Pool, &ES)
+                                  : CP->eval(B, &ES);
     Stats.PredicateLeafEvals += ES.LeafEvals;
+    Stats.PredMemoHits += ES.MemoHits;
+    Stats.CompiledPredEvals += ES.CompiledEvals;
     if (V && *V)
-      return St.Depth;
+      return St->Depth;
   }
   return -2;
 }
-
-} // namespace
 
 ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
                                sym::Bindings &B, ThreadPool &Pool,
@@ -638,7 +683,7 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
     };
 
     // Flow independence.
-    int FD = passCascade(AP.Flow, B, Stats);
+    int FD = runCascade(AP.Flow, B, Pool, Stats);
     if (FD == -2 && !ExactEmpty(AP.FlowUSR)) {
       AllOk = false;
       break;
@@ -646,16 +691,16 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
     Stats.CascadeDepthUsed = std::max(Stats.CascadeDepthUsed, FD);
 
     // Output independence, else privatization.
-    int OD = passCascade(AP.Output, B, Stats);
+    int OD = runCascade(AP.Output, B, Pool, Stats);
     if (OD == -2) {
-      int PD = passCascade(AP.Priv, B, Stats);
+      int PD = runCascade(AP.Priv, B, Pool, Stats);
       if (PD == -2 && !ExactEmpty(AP.OutputUSR)) {
         AllOk = false;
         break;
       }
       if (PD != -2) {
         D.Privatize = true;
-        int SD = passCascade(AP.Slv, B, Stats);
+        int SD = runCascade(AP.Slv, B, Pool, Stats);
         if (SD != -2)
           D.UseSLV = true;
         else
@@ -670,13 +715,13 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
     // Reductions.
     if (AP.HasReduction) {
       if (AP.ExtRedUSR) { // EXT-RRED: direct writes coexist.
-        int ED = passCascade(AP.ExtRedFlow, B, Stats);
+        int ED = runCascade(AP.ExtRedFlow, B, Pool, Stats);
         if (ED == -2 && !ExactEmpty(AP.ExtRedUSR)) {
           AllOk = false;
           break;
         }
       }
-      int RD = passCascade(AP.RRed, B, Stats);
+      int RD = runCascade(AP.RRed, B, Pool, Stats);
       D.ReductionPrivate = (RD == -2); // Injective => direct updates.
       if (AP.NeedsBoundsComp && AP.BoundsUSR) {
         double TB = nowSeconds();
@@ -820,11 +865,11 @@ bool Executor::runSpeculative(const LoopPlan &Plan, Memory &M,
     return true;
 
   // Backup every data array (checkpoint for misspeculation).
-  std::map<SymbolId, std::vector<double>> Backup = M.arrays();
+  auto Backup = std::as_const(M).arrays();
 
   // Shadow every data array.
   std::map<SymbolId, std::unique_ptr<Shadow>> Shadows;
-  for (const auto &KV : M.arrays())
+  for (const auto &KV : std::as_const(M).arrays())
     Shadows.emplace(KV.first, std::make_unique<Shadow>(KV.second.size()));
 
   std::atomic<bool> Conflict{false};

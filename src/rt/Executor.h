@@ -27,11 +27,15 @@
 #define HALO_RT_EXECUTOR_H
 
 #include "analysis/Analyzer.h"
+#include "pdag/PredCompile.h"
 #include "support/ThreadPool.h"
 #include "sym/Eval.h"
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 namespace halo {
@@ -39,24 +43,63 @@ namespace rt {
 
 /// Data-array storage (doubles); integer index arrays live in
 /// sym::Bindings.
+///
+/// find() sits on the interpreted-loop hot path (every load/store resolves
+/// its base array through it, from every worker thread), so lookups go
+/// through a hash map with a per-thread last-lookup cache: loop bodies hit
+/// the same handful of arrays on every statement. The cache is validated
+/// against a version stamp drawn from a process-global counter on every
+/// mutation, so a stamp is never reused — not even by a different Memory
+/// instance reincarnated at the same address (stack-allocated Memories in
+/// back-to-back tests would otherwise alias a stale cache entry).
 class Memory {
 public:
+  Memory() = default;
+  Memory(const Memory &) = delete;
+  Memory &operator=(const Memory &) = delete;
+
   std::vector<double> &alloc(sym::SymbolId Id, size_t Elems) {
+    bumpVersion();
     auto &V = Arrays[Id];
     V.assign(Elems, 0.0);
     return V;
   }
   std::vector<double> *find(sym::SymbolId Id) {
+    struct LastLookup {
+      const Memory *M = nullptr;
+      uint64_t Version = 0;
+      sym::SymbolId Id = 0;
+      std::vector<double> *V = nullptr;
+    };
+    thread_local LastLookup Last;
+    const uint64_t Ver = Version.load(std::memory_order_relaxed);
+    if (Last.M == this && Last.Version == Ver && Last.Id == Id)
+      return Last.V;
     auto It = Arrays.find(Id);
-    return It == Arrays.end() ? nullptr : &It->second;
+    std::vector<double> *V = It == Arrays.end() ? nullptr : &It->second;
+    Last = LastLookup{this, Ver, Id, V};
+    return V;
   }
-  const std::map<sym::SymbolId, std::vector<double>> &arrays() const {
+  const std::unordered_map<sym::SymbolId, std::vector<double>> &
+  arrays() const {
     return Arrays;
   }
-  std::map<sym::SymbolId, std::vector<double>> &arrays() { return Arrays; }
+  /// Mutable access invalidates the per-thread lookup caches (callers
+  /// replace whole arrays, e.g. the misspeculation rollback).
+  std::unordered_map<sym::SymbolId, std::vector<double>> &arrays() {
+    bumpVersion();
+    return Arrays;
+  }
 
 private:
-  std::map<sym::SymbolId, std::vector<double>> Arrays;
+  void bumpVersion() {
+    static std::atomic<uint64_t> GlobalVersion{1};
+    Version.store(GlobalVersion.fetch_add(1, std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+  }
+
+  std::unordered_map<sym::SymbolId, std::vector<double>> Arrays;
+  std::atomic<uint64_t> Version{0};
 };
 
 /// How one loop execution was resolved (for RTov and table reporting).
@@ -72,6 +115,14 @@ struct ExecStats {
   bool TLSSucceeded = false;
   int CascadeDepthUsed = -1; ///< Depth of the first successful stage.
   uint64_t PredicateLeafEvals = 0;
+  /// Invariant sub-predicate results served from the bytecode evaluator's
+  /// per-evaluation memo table.
+  uint64_t PredMemoHits = 0;
+  /// Cascade stages evaluated through compiled bytecode vs. through the
+  /// reference tree interpreter (the compiled/interpreted split the RTov
+  /// harness reports).
+  uint64_t CompiledPredEvals = 0;
+  uint64_t InterpPredEvals = 0;
 };
 
 /// Memoization cache for hoisted exact tests (HOIST-USR, Sec. 5): the
@@ -117,15 +168,37 @@ public:
   bool computeBounds(const usr::USR *S, sym::Bindings &B, ThreadPool &Pool,
                      int64_t &Lo, int64_t &Hi);
 
+  /// Switches cascade evaluation between the compiled bytecode evaluator
+  /// (default) and the reference tree interpreter. The interpreter path is
+  /// kept for A/B overhead measurement (bench/rtov_overhead.cpp) and as
+  /// the cross-check oracle in tests.
+  void setUseCompiledPredicates(bool Use) { UseCompiledPreds = Use; }
+  bool useCompiledPredicates() const { return UseCompiledPreds; }
+
+  /// Number of distinct cascade-stage predicates compiled so far (each is
+  /// compiled once and reused across plans and repeated executions).
+  size_t numCompiledPreds() const { return CompileCache.size(); }
+
 private:
   struct ExecState;
   void execStmt(const ir::Stmt *S, ExecState &St);
   bool runSpeculative(const analysis::LoopPlan &Plan, Memory &M,
                       sym::Bindings &B, ThreadPool &Pool, ExecStats &Stats);
 
+  /// Evaluates a cascade cheapest-first (by compiled cost estimate) and
+  /// returns the stage depth used (-1 static, -2 all failed). O(N)+
+  /// stages run through the chunked parallel and-reduction.
+  int runCascade(const analysis::TestCascade &C, sym::Bindings &B,
+                 ThreadPool &Pool, ExecStats &Stats);
+  /// Compile-once cache over interned cascade predicates.
+  const pdag::CompiledPred *compiledFor(const pdag::Pred *P);
+
   ir::Program &Prog;
   usr::USRContext &Ctx;
   sym::Context &Sym;
+  std::unordered_map<const pdag::Pred *, std::unique_ptr<pdag::CompiledPred>>
+      CompileCache;
+  bool UseCompiledPreds = true;
 };
 
 } // namespace rt

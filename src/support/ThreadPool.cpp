@@ -82,6 +82,36 @@ void ThreadPool::parallelFor(int64_t Lo, int64_t Hi,
   });
 }
 
+bool ThreadPool::parallelAllOf(
+    int64_t Lo, int64_t Hi,
+    const std::function<bool(int64_t, int64_t, unsigned, std::atomic<bool> &)>
+        &Body) {
+  std::atomic<bool> Stop{false};
+  if (Lo >= Hi)
+    return true;
+  const int64_t Count = Hi - Lo;
+  if (Workers.empty() || Count == 1)
+    return Body(Lo, Hi, 0, Stop);
+  std::atomic<bool> AllOk{true};
+  const unsigned NumBlocks =
+      static_cast<unsigned>(std::min<int64_t>(NumWorkers, Count));
+  const int64_t Chunk = (Count + NumBlocks - 1) / NumBlocks;
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    const int64_t BLo = Lo + static_cast<int64_t>(B) * Chunk;
+    const int64_t BHi = std::min<int64_t>(BLo + Chunk, Hi);
+    if (BLo >= BHi)
+      break;
+    run([&Body, &Stop, &AllOk, BLo, BHi, B] {
+      if (!Body(BLo, BHi, B, Stop)) {
+        AllOk.store(false, std::memory_order_relaxed);
+        Stop.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  wait();
+  return AllOk.load(std::memory_order_relaxed);
+}
+
 void ThreadPool::parallelForBlocked(
     int64_t Lo, int64_t Hi,
     const std::function<void(int64_t, int64_t, unsigned)> &Body) {

@@ -15,6 +15,7 @@
 #ifndef HALO_SUPPORT_THREADPOOL_H
 #define HALO_SUPPORT_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -58,6 +59,18 @@ public:
   void parallelForBlocked(
       int64_t Lo, int64_t Hi,
       const std::function<void(int64_t, int64_t, unsigned)> &Body);
+
+  /// Chunked parallel and-reduction over [Lo, Hi): Body(BlockLo, BlockHi,
+  /// BlockIndex, Stop) evaluates one contiguous block and returns false to
+  /// fail the reduction. Stop is raised as soon as any block fails so
+  /// sibling blocks can bail out mid-range; every block is still invoked
+  /// (callers that need exact first-failure semantics, like the compiled
+  /// LoopAll evaluator, track their own failure frontier and may ignore
+  /// Stop). Block indices are < numThreads(). Returns true iff every block
+  /// returned true. Single-threaded pools run the whole range inline.
+  bool parallelAllOf(int64_t Lo, int64_t Hi,
+                     const std::function<bool(int64_t, int64_t, unsigned,
+                                              std::atomic<bool> &)> &Body);
 
 private:
   void workerLoop();

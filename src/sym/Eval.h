@@ -44,6 +44,7 @@ struct ArrayBinding {
 class Bindings {
 public:
   void setScalar(SymbolId S, int64_t V) { Scalars[S] = V; }
+  void clearScalar(SymbolId S) { Scalars.erase(S); }
   void setArray(SymbolId S, ArrayBinding A) {
     Arrays[S] = std::make_shared<ArrayBinding>(std::move(A));
   }

@@ -144,4 +144,73 @@ TEST(ThreadPoolTest, NestedWaitDoesNotDeadlock) {
   EXPECT_EQ(Count.load(), 8);
 }
 
+TEST(ThreadPoolTest, ParallelAllOfAllTrueCoversRange) {
+  ThreadPool Pool(4);
+  std::mutex Mu;
+  std::vector<std::pair<int64_t, int64_t>> Blocks;
+  bool Ok = Pool.parallelAllOf(
+      0, 100, [&](int64_t Lo, int64_t Hi, unsigned W, std::atomic<bool> &) {
+        EXPECT_LT(W, Pool.numThreads());
+        std::lock_guard<std::mutex> G(Mu);
+        Blocks.emplace_back(Lo, Hi);
+        return true;
+      });
+  EXPECT_TRUE(Ok);
+  std::sort(Blocks.begin(), Blocks.end());
+  int64_t Next = 0;
+  for (auto &[Lo, Hi] : Blocks) {
+    EXPECT_EQ(Lo, Next);
+    Next = Hi;
+  }
+  EXPECT_EQ(Next, 100);
+}
+
+TEST(ThreadPoolTest, ParallelAllOfFailingBlockFailsReduction) {
+  ThreadPool Pool(4);
+  bool Ok = Pool.parallelAllOf(
+      0, 1000, [&](int64_t Lo, int64_t, unsigned, std::atomic<bool> &) {
+        return Lo != 0; // The first block votes false.
+      });
+  EXPECT_FALSE(Ok);
+}
+
+TEST(ThreadPoolTest, ParallelAllOfRaisesStopForEarlyExit) {
+  ThreadPool Pool(2);
+  std::atomic<bool> SawStop{false};
+  bool Ok = Pool.parallelAllOf(
+      0, 2, [&](int64_t Lo, int64_t, unsigned, std::atomic<bool> &Stop) {
+        if (Lo == 0)
+          return false; // Fails immediately; the pool must raise Stop.
+        // The sibling block spins until it observes the early-exit flag
+        // (bounded so a regression fails instead of hanging).
+        for (long I = 0; I < 2000000000L; ++I)
+          if (Stop.load(std::memory_order_relaxed)) {
+            SawStop = true;
+            return true;
+          }
+        return true;
+      });
+  EXPECT_FALSE(Ok);
+  EXPECT_TRUE(SawStop.load());
+}
+
+TEST(ThreadPoolTest, ParallelAllOfSingleThreadRunsInline) {
+  ThreadPool Pool(1);
+  std::vector<std::pair<int64_t, int64_t>> Blocks;
+  bool Ok = Pool.parallelAllOf(
+      0, 10, [&](int64_t Lo, int64_t Hi, unsigned W, std::atomic<bool> &) {
+        EXPECT_EQ(W, 0u);
+        Blocks.emplace_back(Lo, Hi);
+        return true;
+      });
+  EXPECT_TRUE(Ok);
+  ASSERT_EQ(Blocks.size(), 1u);
+  EXPECT_EQ(Blocks[0], std::make_pair(int64_t(0), int64_t(10)));
+  EXPECT_TRUE(Pool.parallelAllOf(
+      5, 5, [&](int64_t, int64_t, unsigned, std::atomic<bool> &) {
+        ADD_FAILURE() << "empty range must not invoke the body";
+        return false;
+      }));
+}
+
 } // namespace
