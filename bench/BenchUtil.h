@@ -15,6 +15,7 @@
 #ifndef HALO_BENCH_BENCHUTIL_H
 #define HALO_BENCH_BENCHUTIL_H
 
+#include "session/Session.h"
 #include "suite/Suite.h"
 
 #include <chrono>
@@ -41,13 +42,43 @@ struct BenchTiming {
   uint64_t PredMemoHits = 0;
   uint64_t CompiledPredEvals = 0;
   uint64_t InterpPredEvals = 0;
+  /// Frame-pool effectiveness across the best repetition.
+  uint64_t FrameBinds = 0;
+  uint64_t FrameRebindsSkipped = 0;
 };
 
-/// Analyzes every loop of \p B once and executes the whole benchmark
-/// (all measured loops, in order) sequentially and under the plans.
-/// Scale sizes the synthetic datasets so loop granularities are large
-/// enough to amortize thread spawning (the paper makes the same point
-/// about PERFECT-CLUB's outdated small datasets in Sec. 6.2).
+/// Builds a session for \p B sized for \p Threads workers: every bench
+/// harness runs through halo::Session, which owns the plan cache,
+/// compiled cascades, HOIST-USR cache, frame pool and thread pool.
+inline session::Session makeSession(suite::Benchmark &B, unsigned Threads,
+                                    bool CompiledPreds = true) {
+  session::SessionOptions SO;
+  SO.Threads = Threads;
+  SO.UseCompiledPredicates = CompiledPreds;
+  return session::Session(B.prog(), B.usr(), SO);
+}
+
+/// Prepares every measured loop of \p B in \p S once (the paper's static
+/// phase), probing with a dataset at \p Scale.
+inline void prepareBenchmark(session::Session &S, suite::Benchmark &B,
+                             int64_t Scale, bool RuntimeTests = true) {
+  rt::Memory M;
+  sym::Bindings Bd;
+  B.Setup(M, Bd, Scale);
+  for (const suite::LoopSpec &LS : B.Loops) {
+    analysis::AnalyzerOptions Opts;
+    Opts.RuntimeTests = RuntimeTests;
+    Opts.Probe = &Bd;
+    Opts.HoistableContext = LS.Hoistable;
+    S.prepare(*LS.Loop, Opts);
+  }
+}
+
+/// Analyzes every loop of \p B once (into a session) and executes the
+/// whole benchmark (all measured loops, in order) sequentially and under
+/// the plans. Scale sizes the synthetic datasets so loop granularities
+/// are large enough to amortize thread spawning (the paper makes the same
+/// point about PERFECT-CLUB's outdated small datasets in Sec. 6.2).
 inline BenchTiming timeBenchmark(suite::Benchmark &B, unsigned Threads,
                                  int64_t Scale,
                                  bool RuntimeTests = true,
@@ -55,30 +86,13 @@ inline BenchTiming timeBenchmark(suite::Benchmark &B, unsigned Threads,
                                  bool CompiledPreds = true) {
   BenchTiming Out;
 
-  // Plans are compiled once (the paper's static phase).
-  std::vector<analysis::LoopPlan> Plans;
-  {
-    rt::Memory M;
-    sym::Bindings Bd;
-    B.Setup(M, Bd, Scale);
-    for (const suite::LoopSpec &LS : B.Loops) {
-      analysis::AnalyzerOptions Opts;
-      Opts.RuntimeTests = RuntimeTests;
-      Opts.Probe = &Bd;
-      Opts.HoistableContext = LS.Hoistable;
-      analysis::HybridAnalyzer A(B.usr(), B.prog(), Opts);
-      Plans.push_back(A.analyze(*LS.Loop));
-    }
-  }
+  // One long-lived session, as in the paper's runtime: plans, compiled
+  // cascades and pooled frames are set up once and amortized across every
+  // repeated execution below.
+  session::Session S = makeSession(B, Threads, CompiledPreds);
+  prepareBenchmark(S, B, Scale, RuntimeTests);
 
   double SeqBest = 1e30, ParBest = 1e30, OvAtBest = 0;
-  ThreadPool Pool(Threads);
-  rt::HoistCache Hoist;
-  // Long-lived executors, as in the paper's runtime: cascade stages are
-  // compiled on first use and amortized across repeated executions.
-  rt::Executor SeqE(B.prog(), B.usr());
-  rt::Executor ParE(B.prog(), B.usr());
-  ParE.setUseCompiledPredicates(CompiledPreds);
   for (int R = 0; R < Repeats; ++R) {
     {
       rt::Memory M;
@@ -86,7 +100,7 @@ inline BenchTiming timeBenchmark(suite::Benchmark &B, unsigned Threads,
       B.Setup(M, Bd, Scale);
       double T0 = nowSeconds();
       for (const suite::LoopSpec &LS : B.Loops)
-        SeqE.runSequential(*LS.Loop, M, Bd);
+        S.runSequential(*LS.Loop, M, Bd);
       SeqBest = std::min(SeqBest, nowSeconds() - T0);
     }
     {
@@ -96,15 +110,17 @@ inline BenchTiming timeBenchmark(suite::Benchmark &B, unsigned Threads,
       double T0 = nowSeconds();
       double Ov = 0;
       bool TLS = false;
-      uint64_t Memo = 0, Compiled = 0, Interp = 0;
-      for (size_t I = 0; I < B.Loops.size(); ++I) {
-        rt::ExecStats S = ParE.runPlanned(Plans[I], M, Bd, Pool, &Hoist);
-        Ov += S.PredicateSeconds + S.CivSliceSeconds + S.ExactTestSeconds +
-              S.BoundsCompSeconds;
-        TLS |= S.UsedTLS;
-        Memo += S.PredMemoHits;
-        Compiled += S.CompiledPredEvals;
-        Interp += S.InterpPredEvals;
+      uint64_t Memo = 0, Compiled = 0, Interp = 0, Binds = 0, Skips = 0;
+      for (const suite::LoopSpec &LS : B.Loops) {
+        rt::ExecStats St = S.run(*LS.Loop, M, Bd);
+        Ov += St.PredicateSeconds + St.CivSliceSeconds +
+              St.ExactTestSeconds + St.BoundsCompSeconds;
+        TLS |= St.UsedTLS;
+        Memo += St.PredMemoHits;
+        Compiled += St.CompiledPredEvals;
+        Interp += St.InterpPredEvals;
+        Binds += St.FrameBinds;
+        Skips += St.FrameRebindsSkipped;
       }
       double T = nowSeconds() - T0;
       if (T < ParBest) {
@@ -113,6 +129,8 @@ inline BenchTiming timeBenchmark(suite::Benchmark &B, unsigned Threads,
         Out.PredMemoHits = Memo;
         Out.CompiledPredEvals = Compiled;
         Out.InterpPredEvals = Interp;
+        Out.FrameBinds = Binds;
+        Out.FrameRebindsSkipped = Skips;
       }
       Out.AnyTLS |= TLS;
     }

@@ -28,12 +28,13 @@ inline void printTable(const char *Title,
   std::printf("=== %s ===\n", Title);
   std::printf("%-10s %-6s %-16s %-6s %-9s %-26s %-26s %s\n", "BENCH", "SC%",
               "LOOP", "LSC%", "GR(ms)", "COMPUTED", "PAPER", "TECHNIQUES");
-  ThreadPool Pool(Threads);
   for (auto &B : Benches) {
     double RTovPct = 0, ParTotal = 0;
     bool First = true;
     std::string Rows;
-    rt::HoistCache Hoist;
+    // One session per benchmark: analyze-once (with probe data), then
+    // every timed execution below reuses the cached plan.
+    session::Session S = makeSession(*B, Threads);
     for (const suite::LoopSpec &LS : B->Loops) {
       rt::Memory M;
       sym::Bindings Bd;
@@ -41,8 +42,7 @@ inline void printTable(const char *Title,
       analysis::AnalyzerOptions Opts;
       Opts.Probe = &Bd;
       Opts.HoistableContext = LS.Hoistable;
-      analysis::HybridAnalyzer A(B->usr(), B->prog(), Opts);
-      analysis::LoopPlan Plan = A.analyze(*LS.Loop);
+      const analysis::LoopPlan &Plan = S.prepare(*LS.Loop, Opts).Plan;
 
       // Granularity: sequential time of one loop invocation.
       double GrMs;
@@ -50,17 +50,15 @@ inline void printTable(const char *Title,
         rt::Memory M2;
         sym::Bindings B2;
         B->Setup(M2, B2, Scale);
-        rt::Executor E(B->prog(), B->usr());
         double T0 = nowSeconds();
-        E.runSequential(*LS.Loop, M2, B2);
+        S.runSequential(*LS.Loop, M2, B2);
         GrMs = (nowSeconds() - T0) * 1e3;
       }
       // Runtime-test overhead under the plan.
-      rt::Executor E(B->prog(), B->usr());
-      rt::ExecStats S = E.runPlanned(Plan, M, Bd, Pool, &Hoist);
-      ParTotal += S.TotalSeconds;
-      RTovPct += S.PredicateSeconds + S.CivSliceSeconds +
-                 S.ExactTestSeconds + S.BoundsCompSeconds;
+      rt::ExecStats St = S.run(*LS.Loop, M, Bd);
+      ParTotal += St.TotalSeconds;
+      RTovPct += St.PredicateSeconds + St.CivSliceSeconds +
+                 St.ExactTestSeconds + St.BoundsCompSeconds;
 
       char Row[512];
       std::snprintf(Row, sizeof(Row),

@@ -33,8 +33,11 @@ analysis::AnalyzerOptions baseOpts(const sym::Bindings *Probe,
 
 std::string classify(suite::Benchmark &B, const suite::LoopSpec &LS,
                      analysis::AnalyzerOptions Opts) {
-  analysis::HybridAnalyzer A(B.usr(), B.prog(), Opts);
-  return A.analyze(*LS.Loop).classString();
+  // Classification only: a single-worker session (no execution happens).
+  session::SessionOptions SO;
+  SO.Threads = 1;
+  session::Session S(B.prog(), B.usr(), SO);
+  return S.prepare(*LS.Loop, Opts).Plan.classString();
 }
 
 } // namespace

@@ -6,18 +6,26 @@
 // exact tests — the paper's claim is "under 1% of the parallel runtime"
 // except track (47%), gromacs (3.4%) and calculix (8.5%).
 //
-// Two sections:
+// Three sections:
 //  1. a micro-benchmark of one O(N) cascade stage at N = 1e6 comparing the
 //     tree-walking interpreter against the compiled bytecode evaluator
 //     (serial and chunked-parallel), the direct measure of the
 //     compile-once/run-many win;
-//  2. the per-benchmark RTov table, reported for both evaluators so the
+//  2. the analyze-once / execute-many benchmark: the same plan executed
+//     repeatedly through halo::Session, reporting 1st-execution vs
+//     steady-state per-execution predicate overhead (frame binding and
+//     cascade sorting amortize away) with exact result parity against the
+//     reference interpreter path;
+//  3. the per-benchmark RTov table, reported for both evaluators so the
 //     compiled/interpreted split is visible end to end.
 //===----------------------------------------------------------------------===//
 #include "bench/BenchUtil.h"
 
 #include "pdag/PredCompile.h"
 #include "pdag/PredEval.h"
+
+#include <algorithm>
+#include <utility>
 
 using namespace halo;
 using namespace halo::benchutil;
@@ -99,10 +107,165 @@ void microBench() {
               static_cast<unsigned long long>(Stats.MemoHits / Reps));
 }
 
+/// The execute-many fixture: one loop writing three symbolically-strided
+/// arrays (each needs its O(1) predicate s_k >= 1) plus a Fig. 3(b)-style
+/// monotone block write (the O(N) monotonicity predicate over IB). The
+/// cascade therefore evaluates several compiled stages per execution —
+/// exactly the per-execution frame-bind cost the session's pooled frames
+/// amortize away.
+struct ReuseFixture {
+  sym::Context Sym;
+  pdag::PredContext P{Sym};
+  usr::USRContext U{Sym, P};
+  ir::Program Prog{Sym, P};
+  ir::DoLoop *L = nullptr;
+  sym::SymbolId A = 0, IB = 0;
+  sym::SymbolId X[3] = {0, 0, 0};
+  int64_t N = 256;
+
+  ReuseFixture() {
+    ir::Subroutine *Main = Prog.makeSubroutine("main");
+    A = Sym.symbol("A", 0, /*IsArray=*/true);
+    IB = Sym.symbol("IB", 0, /*IsArray=*/true);
+    Main->declareArray(
+        ir::ArrayDecl{A, Sym.mulConst(Sym.symRef("N"), 8), false});
+    Main->declareArray(ir::ArrayDecl{IB, nullptr, true});
+    sym::SymbolId I = Sym.symbol("i", 1);
+    sym::SymbolId J = Sym.symbol("j", 2);
+    L = Prog.make<ir::DoLoop>("blocks", I, Sym.intConst(1), Sym.symRef("N"),
+                              1);
+    for (int K = 0; K < 3; ++K) {
+      std::string Name = "X" + std::to_string(K);
+      X[K] = Sym.symbol(Name, 0, /*IsArray=*/true);
+      Main->declareArray(ir::ArrayDecl{
+          X[K], Sym.mul(Sym.symRef("N"), Sym.symRef("s" + std::to_string(K))),
+          false});
+      // X_k[(i-1) * s_k]: output independence needs s_k >= 1 (O(1)).
+      const sym::Expr *Off = Sym.mul(Sym.addConst(Sym.symRef(I), -1),
+                                     Sym.symRef("s" + std::to_string(K)));
+      L->append(Prog.make<ir::AssignStmt>(
+          ir::ArrayAccess{X[K], Off}, std::vector<ir::ArrayAccess>{}, false,
+          2));
+    }
+    ir::DoLoop *Inner = Prog.make<ir::DoLoop>("blocks_j", J, Sym.intConst(1),
+                                              Sym.intConst(4), 2);
+    const sym::Expr *Off = Sym.addConst(
+        Sym.add(Sym.arrayRef(IB, Sym.symRef(I)), Sym.symRef(J)), -2);
+    Inner->append(Prog.make<ir::AssignStmt>(
+        ir::ArrayAccess{A, Off}, std::vector<ir::ArrayAccess>{}, false, 4));
+    L->append(Inner);
+  }
+
+  void setup(rt::Memory &M, sym::Bindings &B) {
+    B.setScalar(Sym.symbol("N"), N);
+    for (int K = 0; K < 3; ++K) {
+      B.setScalar(Sym.symbol("s" + std::to_string(K)), 1);
+      M.alloc(X[K], static_cast<size_t>(N));
+    }
+    sym::ArrayBinding AB;
+    AB.Lo = 1;
+    for (int64_t K = 0; K < N; ++K)
+      AB.Vals.push_back(1 + K * 4); // Monotone, disjoint blocks.
+    B.setArray(IB, AB);
+    M.alloc(A, static_cast<size_t>(4 * N + 16));
+  }
+
+  session::Session makeSession(unsigned Threads, bool Compiled) {
+    session::SessionOptions SO;
+    SO.Threads = Threads;
+    SO.UseCompiledPredicates = Compiled;
+    return session::Session(Prog, U, SO);
+  }
+};
+
+/// Per-execution predicate overhead of the 1st vs steady-state execution
+/// of one cached plan. The 1st execution of a fresh session pays frame
+/// binding (and worker-frame copies under a multi-thread pool); from the
+/// 2nd on, the bindings stamp is unchanged, so the pooled frames are
+/// reused without any re-binding.
+void sessionReuseBench() {
+  ReuseFixture F;
+  const int KFresh = 50;   // Fresh sessions averaged for the 1st-exec column.
+  const int MSteady = 500; // Executions per session for the steady column.
+
+  std::printf("=== Analyze-once / execute-many: per-execution predicate "
+              "overhead (N=%lld) ===\n",
+              static_cast<long long>(F.N));
+  std::printf("%-8s %-14s %-14s %-9s %-8s %-8s %s\n", "THREADS",
+              "1st-exec(us)", "steady(us)", "speedup", "binds", "reuses",
+              "parity");
+
+  for (unsigned Threads : {1u, 4u}) {
+    // Reference: the tree-walking interpreter path over the same data and
+    // execution count (fresh per-evaluation state by construction).
+    rt::Memory MRef;
+    sym::Bindings BRef;
+    F.setup(MRef, BRef);
+    {
+      session::Session SRef = F.makeSession(Threads, /*Compiled=*/false);
+      for (int E = 0; E < MSteady; ++E)
+        SRef.run(*F.L, MRef, BRef);
+    }
+
+    // 1st-execution column: execution #1 of KFresh fresh sessions.
+    double FirstSum = 0;
+    for (int K = 0; K < KFresh; ++K) {
+      session::Session S = F.makeSession(Threads, /*Compiled=*/true);
+      rt::Memory M;
+      sym::Bindings B;
+      F.setup(M, B);
+      S.prepare(*F.L); // Analyze/compile outside the measured execution.
+      FirstSum += S.run(*F.L, M, B).PredicateSeconds;
+    }
+
+    // Steady-state column: executions 2..MSteady of one session.
+    session::Session S = F.makeSession(Threads, /*Compiled=*/true);
+    rt::Memory M;
+    sym::Bindings B;
+    F.setup(M, B);
+    double SteadySum = 0;
+    uint64_t Binds = 0, Reuses = 0;
+    bool AllParallel = true;
+    for (int E = 0; E < MSteady; ++E) {
+      rt::ExecStats St = S.run(*F.L, M, B);
+      if (E > 0) {
+        SteadySum += St.PredicateSeconds;
+        Binds += St.FrameBinds;
+        Reuses += St.FrameRebindsSkipped;
+      }
+      AllParallel &= St.RanParallel;
+    }
+    if (!AllParallel)
+      std::abort(); // The monotone predicate must pass on every execution.
+
+    // Exact result parity vs. the interpreter reference, on every
+    // written array.
+    bool Parity = true;
+    for (sym::SymbolId Arr : {F.A, F.X[0], F.X[1], F.X[2]}) {
+      const auto &Ref = std::as_const(MRef).arrays().at(Arr);
+      const auto &Got = std::as_const(M).arrays().at(Arr);
+      Parity &= Ref.size() == Got.size() &&
+                std::equal(Ref.begin(), Ref.end(), Got.begin());
+    }
+
+    double FirstUs = 1e6 * FirstSum / KFresh;
+    double SteadyUs = 1e6 * SteadySum / (MSteady - 1);
+    std::printf("%-8u %-14.2f %-14.2f %6.2fx   %-8llu %-8llu %s\n", Threads,
+                FirstUs, SteadyUs, FirstUs / SteadyUs,
+                static_cast<unsigned long long>(Binds),
+                static_cast<unsigned long long>(Reuses),
+                Parity ? "exact" : "MISMATCH");
+    if (!Parity)
+      std::abort();
+  }
+  std::printf("\n");
+}
+
 } // namespace
 
 int main() {
   microBench();
+  sessionReuseBench();
 
   std::printf("=== Runtime-test overhead (RTov, %% of parallel runtime) ===\n");
   std::printf("%-12s %-10s %-10s %-12s %-10s %s\n", "BENCH", "RTov%",

@@ -12,8 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Analyzer.h"
-#include "rt/Executor.h"
+#include "session/Session.h"
 #include "usr/USRTransform.h"
 
 #include <iostream>
@@ -51,8 +50,10 @@ int main() {
       std::vector<ir::ArrayAccess>{}, true, 6));
   L->append(Inner);
 
-  analysis::HybridAnalyzer An(U, Prog);
-  analysis::LoopPlan Plan = An.analyze(*L);
+  session::SessionOptions SO;
+  SO.Threads = 4;
+  session::Session S(Prog, U, SO);
+  const analysis::LoopPlan &Plan = S.prepare(*L).Plan;
   std::cout << "classification: " << Plan.classString() << "\n";
   std::cout << "techniques:     " << Plan.techniqueString() << "\n";
   for (const analysis::ArrayPlan &AP : Plan.Arrays)
@@ -68,10 +69,8 @@ int main() {
       for (int64_t K = 0; K < NRI; ++K)
         SV.Vals.push_back(K % 27);
       B.setArray(SHF, SV);
-      ThreadPool Pool(4);
-      rt::Executor E(Prog, U);
       int64_t Lo = 0, Hi = -1;
-      bool Ok = E.computeBounds(AP.BoundsUSR, B, Pool, Lo, Hi);
+      bool Ok = S.computeBounds(AP.BoundsUSR, B, Lo, Hi);
       std::cout << "runtime bounds: ok=" << Ok << " [" << Lo << ", " << Hi
                 << "] (expected [0, 80])\n";
     }

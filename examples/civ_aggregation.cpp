@@ -13,8 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Analyzer.h"
-#include "rt/Executor.h"
+#include "session/Session.h"
 
 #include <iostream>
 
@@ -50,8 +49,10 @@ int main() {
   If->appendThen(Prog.make<ir::CivIncrStmt>(Civ, Sym.intConst(3)));
   L->append(If);
 
-  analysis::HybridAnalyzer An(U, Prog);
-  analysis::LoopPlan Plan = An.analyze(*L);
+  session::SessionOptions SO;
+  SO.Threads = 4;
+  session::Session S(Prog, U, SO);
+  const analysis::LoopPlan &Plan = S.prepare(*L).Plan;
   std::cout << "classification: " << Plan.classString() << "\n";
   std::cout << "techniques:     " << Plan.techniqueString() << "\n";
   std::cout << "CIVs discovered: " << Plan.Civ.Civs.size()
@@ -74,11 +75,9 @@ int main() {
     CV.Vals.push_back(K % 2); // Half the iterations pack a record.
   B.setArray(CND, CV);
   M.alloc(X, static_cast<size_t>(4 * N));
-  ThreadPool Pool(4);
-  rt::Executor E(Prog, U);
-  rt::ExecStats S = E.runPlanned(Plan, M, B, Pool);
-  std::cout << "parallel=" << S.RanParallel << ", CIV-COMP slice took "
-            << S.CivSliceSeconds * 1e3 << " ms of " << S.TotalSeconds * 1e3
+  rt::ExecStats St = S.run(*L, M, B);
+  std::cout << "parallel=" << St.RanParallel << ", CIV-COMP slice took "
+            << St.CivSliceSeconds * 1e3 << " ms of " << St.TotalSeconds * 1e3
             << " ms total (the track-style overhead)\n";
   return 0;
 }

@@ -13,9 +13,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Analyzer.h"
 #include "pdag/PredEval.h"
-#include "rt/Executor.h"
+#include "session/Session.h"
 
 #include <iostream>
 
@@ -46,11 +45,16 @@ int main() {
       ir::ArrayAccess{A, Off}, std::vector<ir::ArrayAccess>{}, false, 16));
   L->append(Inner);
 
-  analysis::HybridAnalyzer An(U, Prog);
-  analysis::LoopPlan Plan = An.analyze(*L);
+  // One session: the loop is analyzed once, then executed under its
+  // cached plan against two different datasets below.
+  session::SessionOptions SO;
+  SO.Threads = 4;
+  session::Session S(Prog, U, SO);
+  const session::PreparedLoop &PL = S.prepare(*L);
+  const analysis::LoopPlan &Plan = PL.Plan;
   std::cout << "classification: " << Plan.classString() << "\n";
   std::cout << "monotonicity rule fired "
-            << An.lastFactorStats().MonotonicityRule << " time(s)\n";
+            << PL.FactorStats.MonotonicityRule << " time(s)\n";
 
   for (const analysis::ArrayPlan &AP : Plan.Arrays)
     for (const pdag::CascadeStage &St : AP.Output.Stages)
@@ -67,12 +71,10 @@ int main() {
     AB.Vals = std::move(IBVals);
     B.setArray(IB, AB);
     M.alloc(A, static_cast<size_t>(8 * N + 16));
-    ThreadPool Pool(4);
-    rt::Executor E(Prog, U);
-    rt::ExecStats S = E.runPlanned(Plan, M, B, Pool);
+    rt::ExecStats St = S.run(*L, M, B);
     std::cout << What << ": ran "
-              << (S.RanParallel ? "PARALLEL" : "sequential")
-              << (S.UsedTLS ? " (speculative)" : "") << "\n";
+              << (St.RanParallel ? "PARALLEL" : "sequential")
+              << (St.UsedTLS ? " (speculative)" : "") << "\n";
   };
   // Monotone with gaps >= 4: the predicate passes, the loop runs DOALL.
   Run({1, 6, 11, 16, 21, 26, 31, 36}, "monotone IB  ");

@@ -19,8 +19,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Analyzer.h"
-#include "rt/Executor.h"
+#include "session/Session.h"
 
 #include <iostream>
 
@@ -51,13 +50,11 @@ int main() {
       ir::ArrayAccess{A, Sym.arrayRef(QIdx, Sym.symRef(I))},
       std::vector<ir::ArrayAccess>{}, true, 12));
 
-  analysis::HybridAnalyzer An(U, Prog,
-                              [] {
-                                analysis::AnalyzerOptions O;
-                                O.HoistableContext = true;
-                                return O;
-                              }());
-  analysis::LoopPlan Plan = An.analyze(*L);
+  session::SessionOptions SO;
+  SO.Threads = 4;
+  SO.Analyzer.HoistableContext = true;
+  session::Session S(Prog, U, SO);
+  const analysis::LoopPlan &Plan = S.prepare(*L).Plan;
   std::cout << "classification: " << Plan.classString() << "\n";
   std::cout << "techniques:     " << Plan.techniqueString() << "\n";
   for (const analysis::ArrayPlan &AP : Plan.Arrays) {
@@ -80,12 +77,10 @@ int main() {
     B.setArray(PIdx, PV);
     B.setArray(QIdx, QV);
     M.alloc(A, static_cast<size_t>(4 * N));
-    ThreadPool Pool(4);
-    rt::Executor E(Prog, U);
-    rt::HoistCache Hoist;
-    rt::ExecStats S = E.runPlanned(Plan, M, B, Pool, &Hoist);
-    std::cout << What << ": parallel=" << S.RanParallel
-              << " exact-test=" << S.UsedExactTest << "\n";
+    // The session supplies the HOIST-USR cache, pooled frames and pool.
+    rt::ExecStats St = S.run(*L, M, B);
+    std::cout << What << ": parallel=" << St.RanParallel
+              << " exact-test=" << St.UsedExactTest << "\n";
   };
   Run(1, "injective Q (direct shared updates)");
   Run(0, "colliding Q (private copies + merge)");

@@ -716,11 +716,8 @@ CompiledPred::Frame &CompiledPred::scratchFrame() {
   return F;
 }
 
-std::optional<bool> CompiledPred::eval(const sym::Bindings &B,
-                                       EvalStats *Stats) const {
-  Frame &F = scratchFrame();
-  F.Stats = EvalStats();
-  bindFrame(F, B);
+std::optional<bool> CompiledPred::runMainOnFrame(Frame &F,
+                                                 EvalStats *Stats) const {
   uint8_t R = run(0, MainCodeEnd, F);
   F.Stats.CompiledEvals = 1;
   if (Stats)
@@ -730,32 +727,110 @@ std::optional<bool> CompiledPred::eval(const sym::Bindings &B,
   return R == TriTrue;
 }
 
-std::optional<bool> CompiledPred::evalParallel(const sym::Bindings &B,
-                                               ThreadPool &Pool,
-                                               EvalStats *Stats,
-                                               int64_t MinParallelIters) const {
-  if (RootLoop < 0 || Pool.numThreads() <= 1)
-    return eval(B, Stats);
-
+std::optional<bool> CompiledPred::eval(const sym::Bindings &B,
+                                       EvalStats *Stats) const {
   Frame &F = scratchFrame();
   F.Stats = EvalStats();
   bindFrame(F, B);
+  return runMainOnFrame(F, Stats);
+}
+
+//===----------------------------------------------------------------------===//
+// Pooled frames (analyze-once / execute-many)
+//===----------------------------------------------------------------------===//
+
+CompiledPred::PooledFrame::PooledFrame() = default;
+CompiledPred::PooledFrame::~PooledFrame() = default;
+CompiledPred::PooledFrame::PooledFrame(PooledFrame &&) noexcept = default;
+CompiledPred::PooledFrame &
+CompiledPred::PooledFrame::operator=(PooledFrame &&) noexcept = default;
+
+bool CompiledPred::bindPooled(PooledFrame &PF, const sym::Bindings &B) const {
+  if (!PF.Main)
+    PF.Main = std::make_unique<Frame>();
+  const sym::BindingsStamp S = B.stamp();
+  // Stamp equality guarantees B is the same live object, unmutated since
+  // the frame was bound: the scalar values, array pointers and memo
+  // entries in the frame are all still exact.
+  if (PF.BoundTo == this && PF.Stamp == S)
+    return true;
+  bindFrame(*PF.Main, B);
+  PF.BoundTo = this;
+  PF.Stamp = S;
+  PF.WorkersValid = false;
+  return false;
+}
+
+std::optional<bool> CompiledPred::evalPooled(PooledFrame &PF,
+                                             const sym::Bindings &B,
+                                             EvalStats *Stats) const {
+  const bool Reused = bindPooled(PF, B);
+  Frame &F = *PF.Main;
+  F.Stats = EvalStats();
+  if (Reused)
+    F.Stats.FrameRebindsSkipped = 1;
+  else
+    F.Stats.FrameBinds = 1;
+  return runMainOnFrame(F, Stats);
+}
+
+std::optional<bool>
+CompiledPred::evalParallelPooled(PooledFrame &PF, const sym::Bindings &B,
+                                 ThreadPool &Pool, EvalStats *Stats,
+                                 int64_t MinParallelIters) const {
+  if (RootLoop < 0 || Pool.numThreads() <= 1)
+    return evalPooled(PF, B, Stats);
+  const bool Reused = bindPooled(PF, B);
+  Frame &F = *PF.Main;
+  F.Stats = EvalStats();
+  if (Reused)
+    F.Stats.FrameRebindsSkipped = 1;
+  else
+    F.Stats.FrameBinds = 1;
+  return evalParallelImpl(F, &PF, Pool, Stats, MinParallelIters);
+}
+
+std::optional<bool> CompiledPred::evalParallelImpl(
+    Frame &F, PooledFrame *PF, ThreadPool &Pool, EvalStats *Stats,
+    int64_t MinParallelIters) const {
   const CompiledLoop &L = Loops[static_cast<size_t>(RootLoop)];
   auto Lo = evalExpr(L.LoExprBegin, L.LoExprEnd, F);
   auto Hi = evalExpr(L.HiExprBegin, L.HiExprEnd, F);
   if (!Lo || !Hi) {
-    if (Stats)
-      ++Stats->CompiledEvals;
+    if (Stats) {
+      F.Stats.CompiledEvals = 1;
+      *Stats += F.Stats;
+    }
     return std::nullopt;
   }
   if (*Lo > *Hi) {
-    if (Stats)
-      ++Stats->CompiledEvals;
+    if (Stats) {
+      F.Stats.CompiledEvals = 1;
+      *Stats += F.Stats;
+    }
     return true;
   }
   const unsigned NT = Pool.numThreads();
   if (*Hi - *Lo + 1 < MinParallelIters * static_cast<int64_t>(NT))
-    return eval(B, Stats);
+    return runMainOnFrame(F, Stats);
+
+  // Pooled worker frames are copy-assigned from the bound main frame on
+  // (re)bind so their buffers keep capacity, and simply reused when the
+  // stamp is unchanged — worker-local mutations (the root loop variable
+  // slot, warm memo entries) stay valid under the same bindings.
+  if (PF) {
+    if (PF->Workers.size() < NT) {
+      PF->Workers.resize(NT);
+      PF->WorkersValid = false;
+    }
+    if (!PF->WorkersValid || PF->WorkersBoundFor < NT) {
+      for (unsigned W = 0; W < NT; ++W)
+        PF->Workers[W] = F;
+      PF->WorkersBoundFor = NT;
+      PF->WorkersValid = true;
+    }
+  }
+
   // Exact first-failure frontier: a worker may stop as soon as its current
   // iteration lies beyond the earliest known non-true iteration; every
   // iteration before the final frontier is therefore fully evaluated, so
@@ -770,7 +845,11 @@ std::optional<bool> CompiledPred::evalParallel(const sym::Bindings &B,
   Pool.parallelAllOf(
       *Lo, *Hi + 1,
       [&](int64_t BLo, int64_t BHi, unsigned W, std::atomic<bool> &) -> bool {
-        Frame FW = F; // Private slots + memo per worker.
+        Frame ScratchW; // Private slots + memo per worker (scratch mode).
+        if (!PF)
+          ScratchW = F;
+        Frame &FW = PF ? PF->Workers[W] : ScratchW;
+        FW.Stats = EvalStats();
         bool Ok = true;
         for (int64_t I = BLo; I < BHi; ++I) {
           if (I > FirstBad.load(std::memory_order_relaxed))
@@ -798,6 +877,8 @@ std::optional<bool> CompiledPred::evalParallel(const sym::Bindings &B,
   for (unsigned W = 0; W < NT; ++W)
     Agg += WorkerStats[W];
   Agg.CompiledEvals = 1;
+  Agg.FrameBinds = F.Stats.FrameBinds;
+  Agg.FrameRebindsSkipped = F.Stats.FrameRebindsSkipped;
   if (Stats)
     *Stats += Agg;
 
@@ -811,4 +892,16 @@ std::optional<bool> CompiledPred::evalParallel(const sym::Bindings &B,
   if (R == TriUnknown)
     return std::nullopt;
   return R == TriTrue;
+}
+
+std::optional<bool> CompiledPred::evalParallel(const sym::Bindings &B,
+                                               ThreadPool &Pool,
+                                               EvalStats *Stats,
+                                               int64_t MinParallelIters) const {
+  if (RootLoop < 0 || Pool.numThreads() <= 1)
+    return eval(B, Stats);
+  Frame &F = scratchFrame();
+  F.Stats = EvalStats();
+  bindFrame(F, B);
+  return evalParallelImpl(F, nullptr, Pool, Stats, MinParallelIters);
 }

@@ -112,7 +112,40 @@ struct CompiledLoop {
 /// evaluation is const and thread-compatible (parallel evaluation copies
 /// the resolved frame per worker).
 class CompiledPred {
+  struct Frame; // Private evaluation state, defined in PredCompile.cpp.
+
 public:
+  /// Caller-owned reusable evaluation frame — the analyze-once /
+  /// execute-many entry point. The first evalPooled()/evalParallelPooled()
+  /// call binds every symbol slot from the bindings; later calls against a
+  /// bindings object whose stamp is unchanged skip allocation *and* symbol
+  /// re-binding, and keep the invariant-sub-predicate memo table warm (its
+  /// entries depend only on the bindings, so they stay valid for as long
+  /// as the stamp does). A frame belongs to one CompiledPred at a time
+  /// (re-binding on first use by another is automatic) and must not be
+  /// used from two threads concurrently.
+  class PooledFrame {
+  public:
+    PooledFrame();
+    ~PooledFrame();
+    PooledFrame(PooledFrame &&) noexcept;
+    PooledFrame &operator=(PooledFrame &&) noexcept;
+    PooledFrame(const PooledFrame &) = delete;
+    PooledFrame &operator=(const PooledFrame &) = delete;
+
+  private:
+    friend class CompiledPred;
+    std::unique_ptr<Frame> Main;
+    /// Per-worker scratch copies for evalParallelPooled (copy-assigned
+    /// from the bound main frame, so steady-state reuse keeps their
+    /// buffer capacity).
+    std::vector<Frame> Workers;
+    const CompiledPred *BoundTo = nullptr;
+    sym::BindingsStamp Stamp;
+    unsigned WorkersBoundFor = 0; ///< Worker count the copies match.
+    bool WorkersValid = false;    ///< Copies match the current Stamp.
+  };
+
   /// Lowers \p P. \p Ctx must be the symbol context the predicate was
   /// built against (slot resolution and invariance use its symbol table).
   static std::unique_ptr<CompiledPred> compile(const Pred *P,
@@ -133,6 +166,20 @@ public:
                                    EvalStats *Stats = nullptr,
                                    int64_t MinParallelIters = 4096) const;
 
+  /// eval() against a caller-owned pooled frame: binds the frame on first
+  /// use (or whenever \p B's stamp changed since the last bind) and skips
+  /// re-binding otherwise. Exact same result contract as eval().
+  std::optional<bool> evalPooled(PooledFrame &PF, const sym::Bindings &B,
+                                 EvalStats *Stats = nullptr) const;
+
+  /// evalParallel() against a caller-owned pooled frame: the bound main
+  /// frame and the per-worker copies are all reused across evaluations
+  /// with an unchanged bindings stamp. Exact same result as eval().
+  std::optional<bool>
+  evalParallelPooled(PooledFrame &PF, const sym::Bindings &B, ThreadPool &Pool,
+                     EvalStats *Stats = nullptr,
+                     int64_t MinParallelIters = 4096) const;
+
   const Pred *source() const { return Source; }
   int loopDepth() const { return Source->loopDepth(); }
   size_t codeSize() const { return PCode.size() + XCode.size(); }
@@ -150,7 +197,6 @@ public:
 private:
   CompiledPred() = default;
 
-  struct Frame;
   /// Reusable per-thread frame (steady-state evaluations allocate
   /// nothing); never re-entered on one thread.
   static Frame &scratchFrame();
@@ -158,6 +204,19 @@ private:
   /// left on top of the stack.
   uint8_t run(uint32_t IpBegin, uint32_t IpEnd, Frame &F) const;
   bool bindFrame(Frame &F, const sym::Bindings &B) const;
+  /// Binds (or reuses) the pooled main frame for \p B; returns true when
+  /// the bind was skipped because the bindings stamp is unchanged.
+  bool bindPooled(PooledFrame &PF, const sym::Bindings &B) const;
+  /// Runs the root code on an already-bound frame and folds F.Stats into
+  /// \p Stats (the shared tail of eval/evalPooled).
+  std::optional<bool> runMainOnFrame(Frame &F, EvalStats *Stats) const;
+  /// The one copy of the chunked-parallel protocol (exact first-failure
+  /// frontier) shared by evalParallel and evalParallelPooled. \p F must
+  /// already be bound; workers copy it per call (scratch mode, \p PF
+  /// null) or live pooled inside \p PF.
+  std::optional<bool> evalParallelImpl(Frame &F, PooledFrame *PF,
+                                       ThreadPool &Pool, EvalStats *Stats,
+                                       int64_t MinParallelIters) const;
   std::optional<int64_t> evalExpr(uint32_t Begin, uint32_t End,
                                   Frame &F) const;
 

@@ -43,6 +43,13 @@ struct EvalStats {
   /// Whole-predicate evaluations routed through this tree interpreter by
   /// a caller that had the compiled path available (governor fallback).
   uint64_t InterpEvals = 0;
+  /// Full symbol-slot binds performed by the *pooled* entry points (they
+  /// only rebind when the bindings stamp changed; the scratch-frame
+  /// eval/evalParallel paths bind every time and report neither counter).
+  uint64_t FrameBinds = 0;
+  /// Pooled evaluations that skipped re-binding entirely because the
+  /// bindings were unchanged since the frame was last bound.
+  uint64_t FrameRebindsSkipped = 0;
 
   EvalStats &operator+=(const EvalStats &O) {
     LeafEvals += O.LeafEvals;
@@ -50,6 +57,8 @@ struct EvalStats {
     MemoHits += O.MemoHits;
     CompiledEvals += O.CompiledEvals;
     InterpEvals += O.InterpEvals;
+    FrameBinds += O.FrameBinds;
+    FrameRebindsSkipped += O.FrameRebindsSkipped;
     return *this;
   }
 };

@@ -1,0 +1,60 @@
+//===- rt/CompiledCascade.cpp - Plan-time cascade compilation -------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/CompiledCascade.h"
+
+#include <algorithm>
+
+using namespace halo;
+using namespace halo::rt;
+
+const pdag::CompiledPred *PredCompileCache::get(const pdag::Pred *P) {
+  auto It = Cache.find(P);
+  if (It != Cache.end())
+    return It->second.get();
+  auto CP = pdag::CompiledPred::compile(P, Sym);
+  return Cache.emplace(P, std::move(CP)).first->second.get();
+}
+
+CompiledCascade CompiledCascade::build(const analysis::TestCascade &C,
+                                       PredCompileCache &Cache) {
+  CompiledCascade Out;
+  Out.StaticallyTrue = C.StaticallyTrue;
+  if (C.StaticallyTrue)
+    return Out;
+  Out.Stages.reserve(C.Stages.size());
+  for (const pdag::CascadeStage &St : C.Stages)
+    Out.Stages.push_back(Stage{&St, Cache.get(St.P)});
+  // Cheapest-first by compiled cost estimate: buildCascade orders by loop
+  // depth alone, the bytecode length refines ties between same-depth
+  // stages. Done once here, at plan time.
+  if (Out.Stages.size() > 1)
+    std::stable_sort(Out.Stages.begin(), Out.Stages.end(),
+                     [](const Stage &A, const Stage &B) {
+                       return A.Code->costEstimate() < B.Code->costEstimate();
+                     });
+  return Out;
+}
+
+PlanCascades PlanCascades::build(const analysis::LoopPlan &Plan,
+                                 PredCompileCache &Cache) {
+  PlanCascades Out;
+  Out.Arrays.resize(Plan.Arrays.size());
+  for (size_t I = 0; I < Plan.Arrays.size(); ++I) {
+    const analysis::ArrayPlan &AP = Plan.Arrays[I];
+    if (AP.ReadOnly)
+      continue;
+    ArrayCascades &AC = Out.Arrays[I];
+    AC.Flow = CompiledCascade::build(AP.Flow, Cache);
+    AC.Output = CompiledCascade::build(AP.Output, Cache);
+    AC.Priv = CompiledCascade::build(AP.Priv, Cache);
+    AC.Slv = CompiledCascade::build(AP.Slv, Cache);
+    AC.RRed = CompiledCascade::build(AP.RRed, Cache);
+    AC.ExtRedFlow = CompiledCascade::build(AP.ExtRedFlow, Cache);
+  }
+  return Out;
+}

@@ -1,0 +1,101 @@
+//===- rt/CompiledCascade.h - Plan-time cascade compilation ----*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile-once half of the governor's cascade machinery, hoisted out
+/// of rt::Executor so it can be shared and amortized by the session layer:
+///
+///  - PredCompileCache: interned-predicate -> bytecode, compiled once,
+///  - CompiledCascade:  one TestCascade's stage vector, built and
+///    cost-ordered once at *plan* time (not per execution),
+///  - PlanCascades:     every cascade of a LoopPlan, index-aligned with
+///    Plan.Arrays,
+///  - FramePool:        per-predicate pooled evaluation frames so repeated
+///    executions skip frame allocation and symbol re-binding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_RT_COMPILEDCASCADE_H
+#define HALO_RT_COMPILEDCASCADE_H
+
+#include "analysis/Analyzer.h"
+#include "pdag/PredCompile.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace halo {
+namespace rt {
+
+/// Compile-once cache over interned cascade predicates. Stage predicates
+/// recur across loops (shared sub-equations, repeated analysis), so the
+/// cache is keyed by predicate identity and shared session-wide.
+class PredCompileCache {
+public:
+  explicit PredCompileCache(const sym::Context &Sym) : Sym(Sym) {}
+
+  const pdag::CompiledPred *get(const pdag::Pred *P);
+  size_t size() const { return Cache.size(); }
+
+private:
+  const sym::Context &Sym;
+  std::unordered_map<const pdag::Pred *, std::unique_ptr<pdag::CompiledPred>>
+      Cache;
+};
+
+/// One TestCascade lowered to bytecode with the stage vector cost-ordered
+/// (cheapest compiled stage first) once, at plan time. The governor then
+/// just walks Stages on every execution. Stage sources point into the
+/// TestCascade the cascade was built from, which must outlive it (the
+/// session stores both inside one PreparedLoop).
+struct CompiledCascade {
+  struct Stage {
+    const pdag::CascadeStage *Source = nullptr;
+    const pdag::CompiledPred *Code = nullptr;
+  };
+  std::vector<Stage> Stages;
+  bool StaticallyTrue = false;
+
+  static CompiledCascade build(const analysis::TestCascade &C,
+                               PredCompileCache &Cache);
+};
+
+/// Every runtime cascade of one LoopPlan, compiled and ordered at plan
+/// time; index-aligned with Plan.Arrays (read-only arrays get empty
+/// entries).
+struct PlanCascades {
+  struct ArrayCascades {
+    CompiledCascade Flow, Output, Priv, Slv, RRed, ExtRedFlow;
+  };
+  std::vector<ArrayCascades> Arrays;
+
+  static PlanCascades build(const analysis::LoopPlan &Plan,
+                            PredCompileCache &Cache);
+};
+
+/// Pooled per-predicate evaluation frames. One frame per compiled
+/// predicate suffices for a single-governor session: serial evaluations
+/// run on the calling thread, and parallel evaluations keep their
+/// per-worker scratch copies inside the frame.
+class FramePool {
+public:
+  pdag::CompiledPred::PooledFrame &frameFor(const pdag::CompiledPred *CP) {
+    return Frames[CP];
+  }
+  size_t size() const { return Frames.size(); }
+
+private:
+  std::unordered_map<const pdag::CompiledPred *,
+                     pdag::CompiledPred::PooledFrame>
+      Frames;
+};
+
+} // namespace rt
+} // namespace halo
+
+#endif // HALO_RT_COMPILEDCASCADE_H

@@ -1,4 +1,4 @@
-//===- rt/Executor.cpp - Runtime: conditional parallel execution ----------===//
+//===- rt/Executor.cpp - Runtime: the execution governor ------------------===//
 //
 // Part of HALO, a reproduction of "Logical Inference Techniques for Loop
 // Parallelization" (Oancea & Rauchwerger, PLDI 2012).
@@ -9,7 +9,6 @@
 
 #include "pdag/PredEval.h"
 #include "support/Error.h"
-#include "support/Hashing.h"
 #include "usr/USREval.h"
 
 #include <algorithm>
@@ -35,486 +34,30 @@ double nowSeconds() {
       .count();
 }
 
-/// Deterministic synthetic per-statement work (models loop granularity).
-double spinWork(unsigned N, double Seed) {
-  double X = Seed;
-  for (unsigned K = 0; K < N; ++K)
-    X = X * 1.0000001 + 1e-9;
-  return X;
-}
-
-/// LRPD shadow state for one array (Sec. 5 / [25]): last-writer iteration
-/// per element plus a global conflict flag.
-struct Shadow {
-  std::unique_ptr<std::atomic<int64_t>[]> Writer; // -1 none.
-  std::unique_ptr<std::atomic<int64_t>[]> Reader; // -1 none (exposed).
-  size_t Size = 0;
-
-  explicit Shadow(size_t N) : Size(N) {
-    Writer.reset(new std::atomic<int64_t>[N]);
-    Reader.reset(new std::atomic<int64_t>[N]);
-    for (size_t I = 0; I < N; ++I) {
-      Writer[I].store(-1, std::memory_order_relaxed);
-      Reader[I].store(-1, std::memory_order_relaxed);
-    }
-  }
-};
-
 } // namespace
 
 //===----------------------------------------------------------------------===//
-// Execution state
+// Interpreter substrate delegation
 //===----------------------------------------------------------------------===//
-
-struct Executor::ExecState {
-  Memory &M;
-  sym::Bindings B;
-
-  /// Call-site array aliasing: formal -> (array, offset) at call time.
-  std::map<SymbolId, std::pair<SymbolId, int64_t>> Alias;
-
-  /// Privatization redirects: base array -> thread-private buffer.
-  std::map<SymbolId, std::vector<double> *> Redirect;
-  /// Reduction private buffers (additive, zero-initialized).
-  std::map<SymbolId, std::vector<double> *> RedBuf;
-  /// Per-element write masks for SLV arrays.
-  std::map<SymbolId, std::vector<uint8_t> *> WrittenMask;
-  /// DLV tracking: last writing iteration + value per element.
-  struct DlvBuf {
-    std::vector<int64_t> LastIter;
-    std::vector<double> Val;
-  };
-  std::map<SymbolId, DlvBuf *> Dlv;
-
-  /// LRPD shadows (speculative runs only).
-  std::map<SymbolId, Shadow *> Shadows;
-  std::atomic<bool> *Conflict = nullptr;
-
-  int64_t CurrentIter = 0;
-
-  explicit ExecState(Memory &M, const sym::Bindings &Bind) : M(M), B(Bind) {}
-
-  /// Resolves a (possibly formal) array + offset through the alias chain.
-  std::pair<SymbolId, int64_t> resolve(SymbolId Arr, int64_t Off) const {
-    auto It = Alias.find(Arr);
-    while (It != Alias.end()) {
-      Off += It->second.second;
-      Arr = It->second.first;
-      It = Alias.find(Arr);
-    }
-    return {Arr, Off};
-  }
-
-  double load(SymbolId Arr, int64_t Off) {
-    auto [Base, Idx] = resolve(Arr, Off);
-    if (auto SIt = Shadows.find(Base); SIt != Shadows.end()) {
-      Shadow &S = *SIt->second;
-      if (Idx >= 0 && static_cast<size_t>(Idx) < S.Size) {
-        int64_t W = S.Writer[Idx].load(std::memory_order_relaxed);
-        if (W == -1) {
-          // Exposed read (no write seen yet in this iteration's view).
-          S.Reader[Idx].store(CurrentIter, std::memory_order_relaxed);
-        } else if (W != CurrentIter) {
-          Conflict->store(true, std::memory_order_relaxed);
-        }
-      }
-    }
-    std::vector<double> *V = nullptr;
-    if (auto RIt = Redirect.find(Base); RIt != Redirect.end())
-      V = RIt->second;
-    else
-      V = M.find(Base);
-    assert(V && "load from unallocated array");
-    assert(Idx >= 0 && static_cast<size_t>(Idx) < V->size() &&
-           "array load out of bounds");
-    return (*V)[Idx];
-  }
-
-  void store(SymbolId Arr, int64_t Off, double Val, bool IsReduction) {
-    auto [Base, Idx] = resolve(Arr, Off);
-    if (auto SIt = Shadows.find(Base); SIt != Shadows.end()) {
-      Shadow &S = *SIt->second;
-      if (Idx >= 0 && static_cast<size_t>(Idx) < S.Size) {
-        int64_t Expected = -1;
-        if (!S.Writer[Idx].compare_exchange_strong(
-                Expected, CurrentIter, std::memory_order_relaxed) &&
-            Expected != CurrentIter)
-          Conflict->store(true, std::memory_order_relaxed);
-        int64_t R = S.Reader[Idx].load(std::memory_order_relaxed);
-        if (R != -1 && R != CurrentIter)
-          Conflict->store(true, std::memory_order_relaxed);
-      }
-    }
-    if (IsReduction) {
-      if (auto RIt = RedBuf.find(Base); RIt != RedBuf.end()) {
-        auto &V = *RIt->second;
-        assert(Idx >= 0 && static_cast<size_t>(Idx) < V.size());
-        V[Idx] += Val;
-        return;
-      }
-      // Direct (injective) reduction update on the shared array.
-      std::vector<double> *V = M.find(Base);
-      assert(V && Idx >= 0 && static_cast<size_t>(Idx) < V->size());
-      (*V)[Idx] += Val;
-      return;
-    }
-    std::vector<double> *V = nullptr;
-    if (auto RIt = Redirect.find(Base); RIt != Redirect.end())
-      V = RIt->second;
-    else
-      V = M.find(Base);
-    assert(V && "store to unallocated array");
-    assert(Idx >= 0 && static_cast<size_t>(Idx) < V->size() &&
-           "array store out of bounds");
-    (*V)[Idx] = Val;
-    if (auto WIt = WrittenMask.find(Base); WIt != WrittenMask.end())
-      (*WIt->second)[Idx] = 1;
-    if (auto DIt = Dlv.find(Base); DIt != Dlv.end()) {
-      DlvBuf &D = *DIt->second;
-      D.LastIter[Idx] = CurrentIter;
-      D.Val[Idx] = Val;
-    }
-  }
-};
-
-//===----------------------------------------------------------------------===//
-// Core interpreter
-//===----------------------------------------------------------------------===//
-
-void Executor::execStmt(const Stmt *S, ExecState &St) {
-  switch (S->getKind()) {
-  case StmtKind::Assign: {
-    const auto *A = cast<AssignStmt>(S);
-    double V = 1.0;
-    for (const ArrayAccess &R : A->getReads()) {
-      int64_t Off = sym::eval(R.Offset, St.B);
-      V += 0.5 * St.load(R.Array, Off);
-    }
-    if (A->getWorkCost())
-      V = spinWork(A->getWorkCost(), V);
-    if (A->getWrite()) {
-      int64_t Off = sym::eval(A->getWrite()->Offset, St.B);
-      St.store(A->getWrite()->Array, Off, V, A->isReduction());
-    }
-    return;
-  }
-  case StmtKind::DoLoop: {
-    const auto *L = cast<DoLoop>(S);
-    int64_t Lo = sym::eval(L->getLo(), St.B);
-    int64_t Hi = sym::eval(L->getHi(), St.B);
-    auto Saved = St.B.scalar(L->getVar());
-    for (int64_t I = Lo; I <= Hi; ++I) {
-      St.B.setScalar(L->getVar(), I);
-      for (const Stmt *C : L->getBody())
-        execStmt(C, St);
-    }
-    if (Saved)
-      St.B.setScalar(L->getVar(), *Saved);
-    return;
-  }
-  case StmtKind::If: {
-    const auto *I = cast<IfStmt>(S);
-    bool C = pdag::evalPred(I->getCond(), St.B);
-    const auto &Branch = C ? I->getThen() : I->getElse();
-    for (const Stmt *T : Branch)
-      execStmt(T, St);
-    return;
-  }
-  case StmtKind::Call: {
-    const auto *C = cast<CallStmt>(S);
-    // Bind formal scalars (evaluated in the caller's state).
-    std::vector<std::pair<SymbolId, std::optional<int64_t>>> SavedScalars;
-    for (const CallStmt::ScalarArg &A : C->getScalarArgs()) {
-      SavedScalars.emplace_back(A.Formal, St.B.scalar(A.Formal));
-      St.B.setScalar(A.Formal, sym::eval(A.Actual, St.B));
-    }
-    // Extend the alias map for formal arrays.
-    std::vector<std::pair<SymbolId, std::optional<std::pair<SymbolId, int64_t>>>>
-        SavedAlias;
-    for (const CallStmt::ArrayArg &A : C->getArrayArgs()) {
-      auto It = St.Alias.find(A.Formal);
-      SavedAlias.emplace_back(
-          A.Formal, It == St.Alias.end()
-                        ? std::nullopt
-                        : std::optional<std::pair<SymbolId, int64_t>>(
-                              It->second));
-      St.Alias[A.Formal] = {A.Actual, sym::eval(A.Offset, St.B)};
-    }
-    for (const Stmt *T : C->getCallee()->getBody())
-      execStmt(T, St);
-    for (auto &KV : SavedAlias) {
-      if (KV.second)
-        St.Alias[KV.first] = *KV.second;
-      else
-        St.Alias.erase(KV.first);
-    }
-    for (auto &KV : SavedScalars) {
-      if (KV.second)
-        St.B.setScalar(KV.first, *KV.second);
-      // (Unbound formals simply keep the callee value; harmless.)
-    }
-    return;
-  }
-  case StmtKind::CivIncr: {
-    const auto *CI = cast<CivIncrStmt>(S);
-    int64_t Cur = St.B.scalar(CI->getCiv()).value_or(0);
-    St.B.setScalar(CI->getCiv(), Cur + sym::eval(CI->getAmount(), St.B));
-    return;
-  }
-  }
-  halo_unreachable("covered switch");
-}
 
 void Executor::runStmts(const std::vector<const Stmt *> &Stmts, Memory &M,
                         sym::Bindings &B) {
-  ExecState St(M, B);
-  for (const Stmt *S : Stmts)
-    execStmt(S, St);
-  B = St.B; // Propagate scalar updates (CIV values etc.).
+  interpStmts(Stmts, M, B);
 }
 
 void Executor::runSequential(const DoLoop &Loop, Memory &M,
                              sym::Bindings &B) {
-  ExecState St(M, B);
-  execStmt(&Loop, St);
-  B = St.B;
-}
-
-//===----------------------------------------------------------------------===//
-// CIV-COMP slice
-//===----------------------------------------------------------------------===//
-
-/// True when the subtree contains any CIV update.
-static bool containsCiv(const Stmt *S) {
-  switch (S->getKind()) {
-  case StmtKind::CivIncr:
-    return true;
-  case StmtKind::Assign:
-  case StmtKind::Call:
-    return false;
-  case StmtKind::DoLoop: {
-    for (const Stmt *C : cast<DoLoop>(S)->getBody())
-      if (containsCiv(C))
-        return true;
-    return false;
-  }
-  case StmtKind::If: {
-    const auto *I = cast<IfStmt>(S);
-    for (const Stmt *C : I->getThen())
-      if (containsCiv(C))
-        return true;
-    for (const Stmt *C : I->getElse())
-      if (containsCiv(C))
-        return true;
-    return false;
-  }
-  }
-  halo_unreachable("covered switch");
+  interpSequential(Loop, M, B);
 }
 
 void Executor::runCivSlice(const DoLoop &Loop, const summary::CivPlan &Plan,
                            Memory &M, sym::Bindings &B) {
-  (void)M; // The slice touches only control flow, CIVs and index arrays.
-  if (Plan.empty())
-    return;
-  int64_t Lo = sym::eval(Loop.getLo(), B);
-  int64_t Hi = sym::eval(Loop.getHi(), B);
-  int64_t N = Hi - Lo + 1;
-  if (N < 0)
-    N = 0;
-
-  std::map<SymbolId, std::vector<int64_t>> Entry;   // Civ -> values.
-  std::map<SymbolId, std::vector<int64_t>> JoinVal; // JoinArr -> values.
-  for (const summary::CivDesc &D : Plan.Civs)
-    Entry[D.Civ].assign(static_cast<size_t>(N) + 1, 0);
-  for (const summary::CivJoin &J : Plan.Joins)
-    JoinVal[J.JoinArr].assign(static_cast<size_t>(N), 0);
-
-  sym::Bindings Slice = B;
-  // Walks only control flow and CIV updates; records joins.
-  std::function<void(const Stmt *, int64_t)> Walk =
-      [&](const Stmt *S, int64_t IterIdx) {
-        switch (S->getKind()) {
-        case StmtKind::Assign:
-        case StmtKind::Call:
-          return;
-        case StmtKind::CivIncr: {
-          const auto *CI = cast<CivIncrStmt>(S);
-          int64_t Cur = Slice.scalar(CI->getCiv()).value_or(0);
-          Slice.setScalar(CI->getCiv(),
-                          Cur + sym::eval(CI->getAmount(), Slice));
-          return;
-        }
-        case StmtKind::DoLoop: {
-          const auto *L = cast<DoLoop>(S);
-          if (!containsCiv(L))
-            return;
-          int64_t L2 = sym::eval(L->getLo(), Slice);
-          int64_t H2 = sym::eval(L->getHi(), Slice);
-          for (int64_t J = L2; J <= H2; ++J) {
-            Slice.setScalar(L->getVar(), J);
-            for (const Stmt *C : L->getBody())
-              Walk(C, IterIdx);
-          }
-          return;
-        }
-        case StmtKind::If: {
-          const auto *I = cast<IfStmt>(S);
-          bool C = pdag::evalPred(I->getCond(), Slice);
-          for (const Stmt *T : C ? I->getThen() : I->getElse())
-            Walk(T, IterIdx);
-          // Record joined CIV values for this iteration.
-          for (const summary::CivJoin &J : Plan.Joins)
-            if (J.At == I)
-              JoinVal[J.JoinArr][static_cast<size_t>(IterIdx)] =
-                  Slice.scalar(J.Civ).value_or(0);
-          return;
-        }
-        }
-        halo_unreachable("covered switch");
-      };
-
-  for (int64_t I = Lo; I <= Hi; ++I) {
-    size_t Idx = static_cast<size_t>(I - Lo);
-    for (const summary::CivDesc &D : Plan.Civs)
-      Entry[D.Civ][Idx] = Slice.scalar(D.Civ).value_or(0);
-    Slice.setScalar(Loop.getVar(), I);
-    for (const Stmt *S : Loop.getBody())
-      Walk(S, static_cast<int64_t>(Idx));
-  }
-  for (const summary::CivDesc &D : Plan.Civs)
-    Entry[D.Civ][static_cast<size_t>(N)] = Slice.scalar(D.Civ).value_or(0);
-
-  // Publish the pseudo arrays (1-based on the iteration index).
-  for (const summary::CivDesc &D : Plan.Civs) {
-    sym::ArrayBinding A;
-    A.Lo = Lo;
-    A.Vals = std::move(Entry[D.Civ]);
-    B.setArray(D.EntryArr, std::move(A));
-  }
-  for (const summary::CivJoin &J : Plan.Joins) {
-    sym::ArrayBinding A;
-    A.Lo = Lo;
-    A.Vals = std::move(JoinVal[J.JoinArr]);
-    B.setArray(J.JoinArr, std::move(A));
-  }
-}
-
-//===----------------------------------------------------------------------===//
-// BOUNDS-COMP
-//===----------------------------------------------------------------------===//
-
-static bool boundsOf(const usr::USR *S, sym::Bindings &B, int64_t &Lo,
-                     int64_t &Hi, bool &Any) {
-  using namespace halo::usr;
-  switch (S->getKind()) {
-  case USRKind::Empty:
-    return true;
-  case USRKind::Leaf: {
-    for (const lmad::LMAD &L : cast<LeafUSR>(S)->getLMADs()) {
-      auto Off = sym::tryEval(L.offset(), B);
-      if (!Off)
-        return false;
-      int64_t Max = *Off;
-      bool Empty = false;
-      for (const lmad::Dim &D : L.dims()) {
-        auto Sp = sym::tryEval(D.Span, B);
-        if (!Sp)
-          return false;
-        if (*Sp < 0)
-          Empty = true;
-        else
-          Max += *Sp;
-      }
-      if (Empty)
-        continue;
-      Lo = Any ? std::min(Lo, *Off) : *Off;
-      Hi = Any ? std::max(Hi, Max) : Max;
-      Any = true;
-    }
-    return true;
-  }
-  case USRKind::Union: {
-    for (const usr::USR *C : cast<UnionUSR>(S)->getChildren())
-      if (!boundsOf(C, B, Lo, Hi, Any))
-        return false;
-    return true;
-  }
-  case USRKind::CallSite:
-    return boundsOf(cast<CallSiteUSR>(S)->getChild(), B, Lo, Hi, Any);
-  case USRKind::Recur: {
-    const auto *R = cast<RecurUSR>(S);
-    auto L2 = sym::tryEval(R->getLo(), B);
-    auto H2 = sym::tryEval(R->getHi(), B);
-    if (!L2 || !H2)
-      return false;
-    auto Saved = B.scalar(R->getVar());
-    bool Ok = true;
-    for (int64_t I = *L2; I <= *H2 && Ok; ++I) {
-      B.setScalar(R->getVar(), I);
-      Ok = boundsOf(R->getBody(), B, Lo, Hi, Any);
-    }
-    if (Saved)
-      B.setScalar(R->getVar(), *Saved);
-    return Ok;
-  }
-  case USRKind::Intersect:
-  case USRKind::Subtract:
-  case USRKind::Gate:
-    halo_unreachable("bounds USR must be stripped (stripForBounds)");
-  }
-  halo_unreachable("covered switch");
+  interpCivSlice(Loop, Plan, M, B);
 }
 
 bool Executor::computeBounds(const usr::USR *S, sym::Bindings &B,
                              ThreadPool &Pool, int64_t &Lo, int64_t &Hi) {
-  // Parallel MIN/MAX reduction over the top-level recurrence (Fig. 7a).
-  if (const auto *R = dyn_cast<usr::RecurUSR>(S)) {
-    auto L2 = sym::tryEval(R->getLo(), B);
-    auto H2 = sym::tryEval(R->getHi(), B);
-    if (L2 && H2 && *H2 >= *L2) {
-      unsigned NB = Pool.numThreads();
-      std::vector<int64_t> Los(NB, 0), His(NB, 0);
-      std::vector<uint8_t> Anys(NB, 0), Oks(NB, 1);
-      Pool.parallelForBlocked(
-          *L2, *H2 + 1, [&](int64_t BLo, int64_t BHi, unsigned T) {
-            sym::Bindings Local = B;
-            int64_t L3 = 0, H3 = 0;
-            bool Any = false, Ok = true;
-            for (int64_t I = BLo; I < BHi && Ok; ++I) {
-              Local.setScalar(R->getVar(), I);
-              Ok = boundsOf(R->getBody(), Local, L3, H3, Any);
-            }
-            Los[T] = L3;
-            His[T] = H3;
-            Anys[T] = Any;
-            Oks[T] = Ok;
-          });
-      bool Any = false;
-      for (unsigned T = 0; T < NB; ++T) {
-        if (!Oks[T])
-          return false;
-        if (!Anys[T])
-          continue;
-        Lo = Any ? std::min(Lo, Los[T]) : Los[T];
-        Hi = Any ? std::max(Hi, His[T]) : His[T];
-        Any = true;
-      }
-      if (!Any) {
-        Lo = 0;
-        Hi = -1;
-      }
-      return true;
-    }
-  }
-  bool Any = false;
-  if (!boundsOf(S, B, Lo, Hi, Any))
-    return false;
-  if (!Any) {
-    Lo = 0;
-    Hi = -1;
-  }
-  return true;
+  return interpBounds(S, B, Pool, Lo, Hi);
 }
 
 //===----------------------------------------------------------------------===//
@@ -525,33 +68,53 @@ std::optional<bool> HoistCache::emptiness(const usr::USR *S,
                                           sym::Bindings &B,
                                           const sym::Context &Ctx,
                                           bool &WasHit) {
-  // Hash the values of the USR's free symbols (scalars + index arrays).
+  // Hash the values of the USR's free symbols (scalars + index arrays)
+  // twice with independent mixings: H keys the cache, H2 verifies the hit
+  // so a primary collision cannot silently return a wrong emptiness
+  // answer. Both streams are framed — each symbol contributes its id and
+  // each array its length before the values — so boundary-shifted inputs
+  // (values migrating between adjacent arrays, or a value moving from
+  // one unbound scalar's slot to another's) can never alias one stream.
   size_t H = 0;
+  uint64_t H2 = 0x9e3779b97f4a7c15ULL;
+  auto mix2 = [&H2](uint64_t V) {
+    H2 = (H2 ^ V) * 0x100000001b3ULL; // FNV-1a-style, distinct from H.
+  };
   for (sym::SymbolId Id : S->freeSymbols()) {
     const sym::Symbol &Info = Ctx.symbolInfo(Id);
+    hashCombine(H, static_cast<size_t>(Id));
+    mix2(static_cast<uint64_t>(Id));
     if (Info.IsArray) {
       const sym::ArrayBinding *A = B.array(Id);
       if (!A)
         return std::nullopt;
+      hashCombine(H, A->Vals.size());
       hashCombine(H, static_cast<size_t>(A->Lo));
       hashRange(H, A->Vals.begin(), A->Vals.end());
+      mix2(static_cast<uint64_t>(A->Vals.size()));
+      mix2(static_cast<uint64_t>(A->Lo));
+      for (int64_t V : A->Vals)
+        mix2(static_cast<uint64_t>(V));
     } else {
       auto V = B.scalar(Id);
       if (!V)
         continue; // Bound variables of inner recurrences.
       hashCombine(H, static_cast<size_t>(*V));
+      mix2(static_cast<uint64_t>(*V));
     }
   }
-  auto Key = std::make_pair(S, static_cast<uint64_t>(H));
-  auto It = Cache.find(Key);
-  if (It != Cache.end()) {
+  Key K{S, static_cast<uint64_t>(H)};
+  auto It = Cache.find(K);
+  if (It != Cache.end() && It->second.Verify == H2) {
     WasHit = true;
-    return It->second;
+    return It->second.Empty;
   }
+  if (It != Cache.end())
+    ++Collisions; // Same primary hash, different inputs: re-evaluate.
   WasHit = false;
   auto V = usr::evalUSREmpty(S, B);
   if (V)
-    Cache.emplace(Key, *V);
+    Cache[K] = Entry{H2, *V}; // Most recent inputs win the slot.
   return V;
 }
 
@@ -571,66 +134,68 @@ struct ArrayDecision {
 
 } // namespace
 
-const pdag::CompiledPred *Executor::compiledFor(const pdag::Pred *P) {
-  auto It = CompileCache.find(P);
-  if (It != CompileCache.end())
-    return It->second.get();
-  auto CP = pdag::CompiledPred::compile(P, Sym);
-  return CompileCache.emplace(P, std::move(CP)).first->second.get();
-}
-
-int Executor::runCascade(const TestCascade &C, sym::Bindings &B,
-                         ThreadPool &Pool, ExecStats &Stats) {
+int Executor::runCascade(const TestCascade &C, const CompiledCascade *Pre,
+                         sym::Bindings &B, ThreadPool &Pool,
+                         ExecStats &Stats, FramePool *Frames) {
   if (C.StaticallyTrue)
     return -1;
 
   if (!UseCompiledPreds) {
-    // Reference path: the tree-walking interpreter in cascade order.
+    // Reference path: the tree-walking interpreter in cascade order. Each
+    // stage evaluation is counted here by the governor (symmetric with
+    // the compiled branch below).
     for (const pdag::CascadeStage &St : C.Stages) {
       pdag::EvalStats ES;
-      ES.InterpEvals = 1;
       auto V = pdag::tryEvalPred(St.P, B, &ES);
       Stats.PredicateLeafEvals += ES.LeafEvals;
-      Stats.InterpPredEvals += ES.InterpEvals;
+      ++Stats.InterpPredEvals;
       if (V && *V)
         return St.Depth;
     }
     return -2;
   }
 
-  // Compiled path: stages are lowered once (cached across plans and
-  // repeated executions) and re-ordered cheapest-first by the compiled
-  // cost estimate; buildCascade orders by loop depth alone, the bytecode
-  // length refines ties between same-depth stages.
-  std::vector<std::pair<const pdag::CascadeStage *, const pdag::CompiledPred *>>
-      Stages;
-  Stages.reserve(C.Stages.size());
-  for (const pdag::CascadeStage &St : C.Stages)
-    Stages.emplace_back(&St, compiledFor(St.P));
-  if (Stages.size() > 1)
-    std::stable_sort(Stages.begin(), Stages.end(),
-                     [](const auto &A, const auto &B) {
-                       return A.second->costEstimate() <
-                              B.second->costEstimate();
-                     });
-  for (const auto &[St, CP] : Stages) {
+  // Compiled path. With a plan-time cascade (session executions) the
+  // stage vector is already built and cost-ordered; the standalone path
+  // lowers through the executor's own cache and sorts per call.
+  CompiledCascade Local;
+  if (!Pre) {
+    Local = CompiledCascade::build(C, OwnCompile);
+    Pre = &Local;
+  }
+  for (const CompiledCascade::Stage &St : Pre->Stages) {
     pdag::EvalStats ES;
     // O(1) stages run inline; O(N)+ stages fan their root LoopAll range
     // out across the pool with the exact early-exit and-reduction.
-    auto V = CP->loopDepth() >= 1 ? CP->evalParallel(B, Pool, &ES)
-                                  : CP->eval(B, &ES);
+    // Pooled frames (when the session provides a pool) skip per-execution
+    // frame allocation and, with unchanged bindings, symbol re-binding.
+    std::optional<bool> V;
+    if (Frames) {
+      auto &PF = Frames->frameFor(St.Code);
+      V = St.Code->loopDepth() >= 1
+              ? St.Code->evalParallelPooled(PF, B, Pool, &ES)
+              : St.Code->evalPooled(PF, B, &ES);
+    } else {
+      V = St.Code->loopDepth() >= 1 ? St.Code->evalParallel(B, Pool, &ES)
+                                    : St.Code->eval(B, &ES);
+    }
     Stats.PredicateLeafEvals += ES.LeafEvals;
     Stats.PredMemoHits += ES.MemoHits;
-    Stats.CompiledPredEvals += ES.CompiledEvals;
+    Stats.FrameBinds += ES.FrameBinds;
+    Stats.FrameRebindsSkipped += ES.FrameRebindsSkipped;
+    ++Stats.CompiledPredEvals;
     if (V && *V)
-      return St->Depth;
+      return St.Source->Depth;
   }
   return -2;
 }
 
 ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
                                sym::Bindings &B, ThreadPool &Pool,
-                               HoistCache *Hoist) {
+                               HoistCache *Hoist, const PlanCascades *Pre,
+                               FramePool *Frames) {
+  assert((!Pre || Pre->Arrays.size() == Plan.Arrays.size()) &&
+         "plan cascades must be built from this plan");
   ExecStats Stats;
   double T0 = nowSeconds();
   const DoLoop &Loop = *Plan.Loop;
@@ -640,9 +205,7 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
   if (Plan.Class == analysis::LoopClass::StaticSeq ||
       (!Plan.RuntimeTestsEnabled &&
        Plan.Class != analysis::LoopClass::StaticPar)) {
-    ExecState St(M, B);
-    execStmt(&Loop, St);
-    B = St.B;
+    interpSequential(Loop, M, B);
     Stats.TotalSeconds = nowSeconds() - T0;
     return Stats;
   }
@@ -650,7 +213,7 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
   // CIV-COMP.
   if (!Plan.Civ.empty()) {
     double TS = nowSeconds();
-    runCivSlice(Loop, Plan.Civ, M, B);
+    interpCivSlice(Loop, Plan.Civ, M, B);
     Stats.CivSliceSeconds = nowSeconds() - TS;
   }
 
@@ -658,9 +221,15 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
   std::map<SymbolId, ArrayDecision> Decisions;
   bool AllOk = true;
   double TP = nowSeconds();
-  for (const ArrayPlan &AP : Plan.Arrays) {
+  for (size_t PI = 0; PI < Plan.Arrays.size(); ++PI) {
+    const ArrayPlan &AP = Plan.Arrays[PI];
     if (AP.ReadOnly)
       continue;
+    const PlanCascades::ArrayCascades *AC = Pre ? &Pre->Arrays[PI] : nullptr;
+    auto Casc = [&](const TestCascade &C,
+                    const CompiledCascade *CC) -> int {
+      return runCascade(C, CC, B, Pool, Stats, Frames);
+    };
     ArrayDecision D;
     // Exact USR evaluation is deployed only when its cost amortizes
     // across repeated executions (Sec. 5: "If we can amortize the cost of
@@ -683,7 +252,7 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
     };
 
     // Flow independence.
-    int FD = runCascade(AP.Flow, B, Pool, Stats);
+    int FD = Casc(AP.Flow, AC ? &AC->Flow : nullptr);
     if (FD == -2 && !ExactEmpty(AP.FlowUSR)) {
       AllOk = false;
       break;
@@ -691,16 +260,16 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
     Stats.CascadeDepthUsed = std::max(Stats.CascadeDepthUsed, FD);
 
     // Output independence, else privatization.
-    int OD = runCascade(AP.Output, B, Pool, Stats);
+    int OD = Casc(AP.Output, AC ? &AC->Output : nullptr);
     if (OD == -2) {
-      int PD = runCascade(AP.Priv, B, Pool, Stats);
+      int PD = Casc(AP.Priv, AC ? &AC->Priv : nullptr);
       if (PD == -2 && !ExactEmpty(AP.OutputUSR)) {
         AllOk = false;
         break;
       }
       if (PD != -2) {
         D.Privatize = true;
-        int SD = runCascade(AP.Slv, B, Pool, Stats);
+        int SD = Casc(AP.Slv, AC ? &AC->Slv : nullptr);
         if (SD != -2)
           D.UseSLV = true;
         else
@@ -715,18 +284,18 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
     // Reductions.
     if (AP.HasReduction) {
       if (AP.ExtRedUSR) { // EXT-RRED: direct writes coexist.
-        int ED = runCascade(AP.ExtRedFlow, B, Pool, Stats);
+        int ED = Casc(AP.ExtRedFlow, AC ? &AC->ExtRedFlow : nullptr);
         if (ED == -2 && !ExactEmpty(AP.ExtRedUSR)) {
           AllOk = false;
           break;
         }
       }
-      int RD = runCascade(AP.RRed, B, Pool, Stats);
+      int RD = Casc(AP.RRed, AC ? &AC->RRed : nullptr);
       D.ReductionPrivate = (RD == -2); // Injective => direct updates.
       if (AP.NeedsBoundsComp && AP.BoundsUSR) {
         double TB = nowSeconds();
         int64_t BL = 0, BH = -1;
-        (void)computeBounds(AP.BoundsUSR, B, Pool, BL, BH);
+        (void)interpBounds(AP.BoundsUSR, B, Pool, BL, BH);
         Stats.BoundsCompSeconds += nowSeconds() - TB;
       }
     }
@@ -793,7 +362,7 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
             St.CurrentIter = I;
             St.B.setScalar(Loop.getVar(), I);
             for (const Stmt *C : Loop.getBody())
-              execStmt(C, St);
+              interpStmt(C, St);
           }
           LastChunkEnd[T] = BHi - 1;
         });
@@ -843,9 +412,7 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
     Stats.TotalSeconds = nowSeconds() - T0;
     return Stats;
   }
-  ExecState St(M, B);
-  execStmt(&Loop, St);
-  B = St.B;
+  interpSequential(Loop, M, B);
   Stats.TotalSeconds = nowSeconds() - T0;
   return Stats;
 }
@@ -891,7 +458,7 @@ bool Executor::runSpeculative(const LoopPlan &Plan, Memory &M,
                               St.CurrentIter = I;
                               St.B.setScalar(Loop.getVar(), I);
                               for (const Stmt *C : Loop.getBody())
-                                execStmt(C, St);
+                                interpStmt(C, St);
                             }
                           });
 

@@ -1,4 +1,4 @@
-//===- rt/Executor.h - Runtime: conditional parallel execution -*- C++ -*-===//
+//===- rt/Executor.h - Runtime: the execution governor ---------*- C++ -*-===//
 //
 // Part of HALO, a reproduction of "Logical Inference Techniques for Loop
 // Parallelization" (Oancea & Rauchwerger, PLDI 2012).
@@ -6,20 +6,20 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The execution substrate standing in for the paper's OpenMP runtime
-/// (Sec. 5). The same mini-IR that was analyzed is interpreted here:
+/// The runtime *governor* standing in for the paper's OpenMP runtime
+/// (Sec. 5): under a LoopPlan it precomputes CIV values (CIV-COMP),
+/// evaluates the predicate cascades cheapest-first, decides per-array
+/// strategies (shared / privatized / SLV / DLV / reduction private copies
+/// / direct reduction), falls back to exact USR evaluation (optionally
+/// memoized — HOIST-USR) or LRPD speculation, and finally executes the
+/// loop across a thread pool with the chosen techniques.
 ///
-///  - sequentially (the baseline timing),
-///  - or under a LoopPlan: the runtime *governor* precomputes CIV values
-///    (CIV-COMP), evaluates the predicate cascades cheapest-first, decides
-///    per-array strategies (shared / privatized / SLV / DLV / reduction
-///    private copies / direct reduction), falls back to exact USR
-///    evaluation (optionally memoized — HOIST-USR) or LRPD speculation,
-///    and finally executes the loop across a thread pool with the chosen
-///    techniques.
-///
-/// Interpretation cost applies equally to sequential and parallel
-/// executions, so normalized timings (Figs. 10-13) retain their shape.
+/// Plain statement interpretation lives in the substrate layer
+/// (rt/Interp.h); plan-time cascade compilation and frame pooling in
+/// rt/CompiledCascade.h. A standalone Executor compiles cascades lazily
+/// through its own cache; the session layer (session/Session.h) instead
+/// hands in pre-built PlanCascades and a FramePool so repeated executions
+/// of the same plan do no per-execution setup at all.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,80 +27,20 @@
 #define HALO_RT_EXECUTOR_H
 
 #include "analysis/Analyzer.h"
-#include "pdag/PredCompile.h"
+#include "rt/CompiledCascade.h"
+#include "rt/Interp.h"
+#include "rt/Memory.h"
+#include "support/Hashing.h"
 #include "support/ThreadPool.h"
 #include "sym/Eval.h"
 
-#include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 namespace halo {
 namespace rt {
-
-/// Data-array storage (doubles); integer index arrays live in
-/// sym::Bindings.
-///
-/// find() sits on the interpreted-loop hot path (every load/store resolves
-/// its base array through it, from every worker thread), so lookups go
-/// through a hash map with a per-thread last-lookup cache: loop bodies hit
-/// the same handful of arrays on every statement. The cache is validated
-/// against a version stamp drawn from a process-global counter on every
-/// mutation, so a stamp is never reused — not even by a different Memory
-/// instance reincarnated at the same address (stack-allocated Memories in
-/// back-to-back tests would otherwise alias a stale cache entry).
-class Memory {
-public:
-  Memory() = default;
-  Memory(const Memory &) = delete;
-  Memory &operator=(const Memory &) = delete;
-
-  std::vector<double> &alloc(sym::SymbolId Id, size_t Elems) {
-    bumpVersion();
-    auto &V = Arrays[Id];
-    V.assign(Elems, 0.0);
-    return V;
-  }
-  std::vector<double> *find(sym::SymbolId Id) {
-    struct LastLookup {
-      const Memory *M = nullptr;
-      uint64_t Version = 0;
-      sym::SymbolId Id = 0;
-      std::vector<double> *V = nullptr;
-    };
-    thread_local LastLookup Last;
-    const uint64_t Ver = Version.load(std::memory_order_relaxed);
-    if (Last.M == this && Last.Version == Ver && Last.Id == Id)
-      return Last.V;
-    auto It = Arrays.find(Id);
-    std::vector<double> *V = It == Arrays.end() ? nullptr : &It->second;
-    Last = LastLookup{this, Ver, Id, V};
-    return V;
-  }
-  const std::unordered_map<sym::SymbolId, std::vector<double>> &
-  arrays() const {
-    return Arrays;
-  }
-  /// Mutable access invalidates the per-thread lookup caches (callers
-  /// replace whole arrays, e.g. the misspeculation rollback).
-  std::unordered_map<sym::SymbolId, std::vector<double>> &arrays() {
-    bumpVersion();
-    return Arrays;
-  }
-
-private:
-  void bumpVersion() {
-    static std::atomic<uint64_t> GlobalVersion{1};
-    Version.store(GlobalVersion.fetch_add(1, std::memory_order_relaxed) + 1,
-                  std::memory_order_relaxed);
-  }
-
-  std::unordered_map<sym::SymbolId, std::vector<double>> Arrays;
-  std::atomic<uint64_t> Version{0};
-};
 
 /// How one loop execution was resolved (for RTov and table reporting).
 struct ExecStats {
@@ -120,14 +60,26 @@ struct ExecStats {
   uint64_t PredMemoHits = 0;
   /// Cascade stages evaluated through compiled bytecode vs. through the
   /// reference tree interpreter (the compiled/interpreted split the RTov
-  /// harness reports).
+  /// harness reports). Each stage evaluation is counted exactly once, by
+  /// the governor, on whichever path it took — the two columns are
+  /// symmetric and cannot double-count.
   uint64_t CompiledPredEvals = 0;
   uint64_t InterpPredEvals = 0;
+  /// Frame-pooling effectiveness (session executions only): full symbol
+  /// binds vs. evaluations that reused the pooled frame unchanged.
+  uint64_t FrameBinds = 0;
+  uint64_t FrameRebindsSkipped = 0;
 };
 
 /// Memoization cache for hoisted exact tests (HOIST-USR, Sec. 5): the
 /// emptiness result of an independence USR is reused across repeated
 /// executions with identical relevant inputs.
+///
+/// Keyed by (USR identity, hash of the relevant bindings); every entry
+/// additionally stores an independent verification hash of the same
+/// inputs, so a primary-hash collision is detected and answered by
+/// falling back to exact evaluation instead of silently returning the
+/// colliding entry's emptiness answer.
 class HoistCache {
 public:
   /// Returns the cached emptiness answer, or evaluates and caches it.
@@ -135,15 +87,40 @@ public:
   std::optional<bool> emptiness(const usr::USR *S, sym::Bindings &B,
                                 const sym::Context &Ctx, bool &WasHit);
 
+  size_t size() const { return Cache.size(); }
+  /// Primary-hash collisions detected via the verification hash (the
+  /// silent-wrong-answer case before it carried one).
+  uint64_t collisions() const { return Collisions; }
+
 private:
-  std::map<std::pair<const usr::USR *, uint64_t>, bool> Cache;
+  struct Key {
+    const usr::USR *S;
+    uint64_t Hash;
+    bool operator==(const Key &O) const {
+      return S == O.S && Hash == O.Hash;
+    }
+  };
+  struct KeyHasher {
+    size_t operator()(const Key &K) const {
+      size_t H = std::hash<const usr::USR *>{}(K.S);
+      hashCombine(H, static_cast<size_t>(K.Hash));
+      return H;
+    }
+  };
+  struct Entry {
+    uint64_t Verify; ///< Independent hash of the same inputs.
+    bool Empty;
+  };
+  std::unordered_map<Key, Entry, KeyHasher> Cache;
+  uint64_t Collisions = 0;
 };
 
-/// Interprets programs and executes analyzed loops under their plans.
+/// Executes analyzed loops under their plans (and plain programs through
+/// the interpreter substrate).
 class Executor {
 public:
   Executor(ir::Program &Prog, usr::USRContext &Ctx)
-      : Prog(Prog), Ctx(Ctx), Sym(Ctx.symCtx()) {}
+      : Prog(Prog), Ctx(Ctx), Sym(Ctx.symCtx()), OwnCompile(Ctx.symCtx()) {}
 
   /// Plain sequential interpretation of a statement list.
   void runStmts(const std::vector<const ir::Stmt *> &Stmts, Memory &M,
@@ -154,9 +131,14 @@ public:
 
   /// Hybrid execution under a plan: predicate cascades, technique
   /// selection, exact-test / TLS fallback, parallel interpretation.
+  /// \p Pre and \p Frames are the session-provided plan-time artifacts:
+  /// when present, cascade stage vectors are neither rebuilt nor
+  /// re-sorted per execution and predicate frames are pooled.
   ExecStats runPlanned(const analysis::LoopPlan &Plan, Memory &M,
                        sym::Bindings &B, ThreadPool &Pool,
-                       HoistCache *Hoist = nullptr);
+                       HoistCache *Hoist = nullptr,
+                       const PlanCascades *Pre = nullptr,
+                       FramePool *Frames = nullptr);
 
   /// CIV-COMP: precomputes civ@pre / join pseudo-arrays into \p B by a
   /// sequential slice of the loop (only control flow and CIV updates).
@@ -175,29 +157,28 @@ public:
   void setUseCompiledPredicates(bool Use) { UseCompiledPreds = Use; }
   bool useCompiledPredicates() const { return UseCompiledPreds; }
 
-  /// Number of distinct cascade-stage predicates compiled so far (each is
-  /// compiled once and reused across plans and repeated executions).
-  size_t numCompiledPreds() const { return CompileCache.size(); }
+  /// Number of distinct cascade-stage predicates compiled by this
+  /// executor's own lazy cache (standalone use; sessions compile through
+  /// their shared PredCompileCache instead).
+  size_t numCompiledPreds() const { return OwnCompile.size(); }
 
 private:
-  struct ExecState;
-  void execStmt(const ir::Stmt *S, ExecState &St);
   bool runSpeculative(const analysis::LoopPlan &Plan, Memory &M,
                       sym::Bindings &B, ThreadPool &Pool, ExecStats &Stats);
 
   /// Evaluates a cascade cheapest-first (by compiled cost estimate) and
   /// returns the stage depth used (-1 static, -2 all failed). O(N)+
-  /// stages run through the chunked parallel and-reduction.
-  int runCascade(const analysis::TestCascade &C, sym::Bindings &B,
-                 ThreadPool &Pool, ExecStats &Stats);
-  /// Compile-once cache over interned cascade predicates.
-  const pdag::CompiledPred *compiledFor(const pdag::Pred *P);
+  /// stages run through the chunked parallel and-reduction. \p Pre is the
+  /// plan-time compiled cascade when the caller has one.
+  int runCascade(const analysis::TestCascade &C, const CompiledCascade *Pre,
+                 sym::Bindings &B, ThreadPool &Pool, ExecStats &Stats,
+                 FramePool *Frames);
 
   ir::Program &Prog;
   usr::USRContext &Ctx;
   sym::Context &Sym;
-  std::unordered_map<const pdag::Pred *, std::unique_ptr<pdag::CompiledPred>>
-      CompileCache;
+  /// Lazy compile-once cache for standalone (non-session) use.
+  PredCompileCache OwnCompile;
   bool UseCompiledPreds = true;
 };
 

@@ -1,0 +1,80 @@
+//===- session/Session.cpp - Analyze-once / execute-many sessions ---------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "session/Session.h"
+
+using namespace halo;
+using namespace halo::session;
+
+Session::Session(ir::Program &Prog, usr::USRContext &Ctx, SessionOptions O)
+    : Prog(Prog), Ctx(Ctx), Opts(std::move(O)), Pool(Opts.Threads),
+      Exec(Prog, Ctx), Compile(Ctx.symCtx()) {
+  Exec.setUseCompiledPredicates(Opts.UseCompiledPredicates);
+}
+
+PreparedLoop &Session::prepareWith(const ir::DoLoop &Loop,
+                                   const analysis::AnalyzerOptions &AOpts) {
+  auto PL = std::make_unique<PreparedLoop>();
+  analysis::HybridAnalyzer A(Ctx, Prog, AOpts);
+  PL->Plan = A.analyze(Loop);
+  PL->FactorStats = A.lastFactorStats();
+  // Built against the plan in its final (heap) location: cascade stages
+  // keep pointers into Plan.Arrays.
+  PL->Cascades = rt::PlanCascades::build(PL->Plan, Compile);
+  auto &Slot = Plans[&Loop];
+  Slot = std::move(PL);
+  return *Slot;
+}
+
+const PreparedLoop &Session::prepare(const ir::DoLoop &Loop) {
+  auto It = Plans.find(&Loop);
+  if (It != Plans.end())
+    return *It->second;
+  return prepareWith(Loop, Opts.Analyzer);
+}
+
+const PreparedLoop &Session::prepare(const ir::DoLoop &Loop,
+                                     const analysis::AnalyzerOptions &AOpts) {
+  return prepareWith(Loop, AOpts);
+}
+
+void Session::invalidate(const ir::DoLoop &Loop) { Plans.erase(&Loop); }
+
+rt::ExecStats Session::run(const ir::DoLoop &Loop, rt::Memory &M,
+                           sym::Bindings &B) {
+  auto It = Plans.find(&Loop);
+  PreparedLoop &PL =
+      It != Plans.end() ? *It->second : prepareWith(Loop, Opts.Analyzer);
+  ++PL.Executions;
+  return Exec.runPlanned(PL.Plan, M, B, Pool, &Hoist, &PL.Cascades,
+                         &Frames);
+}
+
+std::vector<rt::ExecStats> Session::runBatch(const ir::DoLoop &Loop,
+                                             rt::Memory &M, sym::Bindings &B,
+                                             unsigned Repeats) {
+  std::vector<rt::ExecStats> Out;
+  Out.reserve(Repeats);
+  for (unsigned R = 0; R < Repeats; ++R)
+    Out.push_back(run(Loop, M, B));
+  return Out;
+}
+
+void Session::runSequential(const ir::DoLoop &Loop, rt::Memory &M,
+                            sym::Bindings &B) {
+  Exec.runSequential(Loop, M, B);
+}
+
+void Session::runStmts(const std::vector<const ir::Stmt *> &Stmts,
+                       rt::Memory &M, sym::Bindings &B) {
+  Exec.runStmts(Stmts, M, B);
+}
+
+bool Session::computeBounds(const usr::USR *S, sym::Bindings &B, int64_t &Lo,
+                            int64_t &Hi) {
+  return Exec.computeBounds(S, B, Pool, Lo, Hi);
+}

@@ -1,0 +1,140 @@
+//===- session/Session.h - Analyze-once / execute-many sessions -*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// halo::session::Session owns the full analyze-once / execute-many
+/// lifecycle for one program — the amortization argument behind HOIST-USR
+/// (Sec. 5) turned into an API. A session holds, across executions:
+///
+///  - the LoopPlan cache: each ir::DoLoop is analyzed lazily on first use
+///    and the plan reused for every later execution,
+///  - the predicate compile cache (PredCompileCache) shared by all loops,
+///  - per-TestCascade *pre-sorted* compiled cascades: stage vectors built
+///    and cost-ordered once at plan time, never per execution,
+///  - the HOIST-USR exact-test memo cache,
+///  - the thread pool,
+///  - pooled per-predicate CompiledPred frames, so repeated executions
+///    skip frame allocation and, when the bindings are unchanged, symbol
+///    re-binding of loop-invariant slots entirely.
+///
+/// run() executes one loop under its cached plan; runBatch() executes it
+/// M times back-to-back (the serve-heavy-repeated-traffic shape). See
+/// src/session/README.md for the lifecycle walkthrough.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SESSION_SESSION_H
+#define HALO_SESSION_SESSION_H
+
+#include "analysis/Analyzer.h"
+#include "rt/Executor.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace halo {
+namespace session {
+
+struct SessionOptions {
+  /// Worker threads of the session-owned pool.
+  unsigned Threads = 4;
+  /// Route cascade evaluation through compiled bytecode (default) or the
+  /// reference tree interpreter (A/B measurement, parity oracle).
+  bool UseCompiledPredicates = true;
+  /// Default analyzer options for plans prepared without explicit
+  /// options. Per-loop knobs (probe bindings, hoistable context) go
+  /// through prepare(Loop, Opts).
+  analysis::AnalyzerOptions Analyzer;
+};
+
+/// One loop's analyze-once artifacts: the plan, its cascades compiled and
+/// cost-ordered at plan time, the analysis-time factorization stats, and
+/// an execution count for reporting.
+struct PreparedLoop {
+  analysis::LoopPlan Plan;
+  rt::PlanCascades Cascades;
+  factor::FactorStats FactorStats;
+  uint64_t Executions = 0;
+};
+
+/// The analyze-once / execute-many driver for one program.
+class Session {
+public:
+  Session(ir::Program &Prog, usr::USRContext &Ctx,
+          SessionOptions Opts = SessionOptions());
+
+  /// Returns the cached plan for \p Loop, analyzing it (with the
+  /// session's default analyzer options) on first use. The returned
+  /// reference stays valid until the loop's entry is replaced by a
+  /// prepare(Loop, Opts) re-analysis or dropped by invalidate().
+  const PreparedLoop &prepare(const ir::DoLoop &Loop);
+
+  /// Analyzes \p Loop with explicit options and (re)caches the result.
+  /// Always re-analyzes: call it once up front when a loop needs
+  /// non-default options, then run() against the cache. Replacing the
+  /// entry destroys the previous PreparedLoop — references returned by
+  /// earlier prepare() calls for the same loop are invalidated.
+  const PreparedLoop &prepare(const ir::DoLoop &Loop,
+                              const analysis::AnalyzerOptions &Opts);
+
+  /// Drops the cached plan (e.g. after the program was mutated),
+  /// invalidating references previously returned by prepare() for it.
+  void invalidate(const ir::DoLoop &Loop);
+
+  /// Executes \p Loop under its cached plan (preparing it on first use):
+  /// cascades pre-sorted at plan time, pooled frames, HOIST-USR cache.
+  rt::ExecStats run(const ir::DoLoop &Loop, rt::Memory &M, sym::Bindings &B);
+
+  /// Executes \p Loop \p Repeats times back-to-back against the same
+  /// memory and bindings; returns per-execution stats. Execution 2..N is
+  /// the steady state the session exists for: zero per-execution
+  /// re-setup.
+  std::vector<rt::ExecStats> runBatch(const ir::DoLoop &Loop, rt::Memory &M,
+                                      sym::Bindings &B, unsigned Repeats);
+
+  /// Sequential interpretation (the timing baseline), through the same
+  /// substrate the planned path uses.
+  void runSequential(const ir::DoLoop &Loop, rt::Memory &M,
+                     sym::Bindings &B);
+
+  /// Plain sequential interpretation of a statement list.
+  void runStmts(const std::vector<const ir::Stmt *> &Stmts, rt::Memory &M,
+                sym::Bindings &B);
+
+  /// BOUNDS-COMP against the session pool (Fig. 7a).
+  bool computeBounds(const usr::USR *S, sym::Bindings &B, int64_t &Lo,
+                     int64_t &Hi);
+
+  ThreadPool &pool() { return Pool; }
+  rt::Executor &executor() { return Exec; }
+  rt::HoistCache &hoistCache() { return Hoist; }
+  const SessionOptions &options() const { return Opts; }
+  size_t numPreparedLoops() const { return Plans.size(); }
+  size_t numCompiledPreds() const { return Compile.size(); }
+  size_t numPooledFrames() const { return Frames.size(); }
+
+private:
+  PreparedLoop &prepareWith(const ir::DoLoop &Loop,
+                            const analysis::AnalyzerOptions &Opts);
+
+  ir::Program &Prog;
+  usr::USRContext &Ctx;
+  SessionOptions Opts;
+  ThreadPool Pool;
+  rt::Executor Exec;
+  rt::PredCompileCache Compile;
+  rt::HoistCache Hoist;
+  rt::FramePool Frames;
+  std::unordered_map<const ir::DoLoop *, std::unique_ptr<PreparedLoop>>
+      Plans;
+};
+
+} // namespace session
+} // namespace halo
+
+#endif // HALO_SESSION_SESSION_H

@@ -394,6 +394,41 @@ TEST(PredCompilePropertyTest, CompiledAgreesWithInterpreter) {
   }
 }
 
+TEST(PredCompilePropertyTest, PooledFramesMatchInterpreterUnderRebinding) {
+  // The analyze-once / execute-many entry point: pooled frames must agree
+  // with the reference interpreter whether the bindings changed since the
+  // last evaluation (full re-bind) or not (re-bind skipped, memo warm).
+  sym::Context Sym;
+  PredContext P(Sym);
+  Rng R(777);
+  RandomPredGen Gen(Sym, P, R);
+  ThreadPool Pool(3);
+  for (int Case = 0; Case < 300; ++Case) {
+    const Pred *Pr = Gen.genPred(3, 2);
+    auto CP = CompiledPred::compile(Pr, Sym);
+    CompiledPred::PooledFrame PF, PFP;
+    sym::Bindings B1 = Gen.genBindings();
+    sym::Bindings B2 = Gen.genBindings();
+    for (int Round = 0; Round < 4; ++Round) {
+      sym::Bindings &B = (Round % 2) ? B2 : B1;
+      auto Ref = tryEvalPred(Pr, B);
+      EvalStats SBind, SReuse;
+      ASSERT_EQ(CP->evalPooled(PF, B, &SBind), Ref)
+          << "case " << Case << ": " << Pr->toString(Sym);
+      // Nothing touched B since: the re-bind must be skipped and the
+      // result unchanged.
+      ASSERT_EQ(CP->evalPooled(PF, B, &SReuse), Ref);
+      EXPECT_EQ(SReuse.FrameBinds, 0u);
+      EXPECT_EQ(SReuse.FrameRebindsSkipped, 1u);
+      // Parallel pooled path, twice: the second call reuses the
+      // per-worker frame copies.
+      ASSERT_EQ(CP->evalParallelPooled(PFP, B, Pool, nullptr, 1), Ref)
+          << "case " << Case << " (parallel): " << Pr->toString(Sym);
+      ASSERT_EQ(CP->evalParallelPooled(PFP, B, Pool, nullptr, 1), Ref);
+    }
+  }
+}
+
 TEST(PredCompilePropertyTest, RepeatedEvalIsDeterministic) {
   sym::Context Sym;
   PredContext P(Sym);

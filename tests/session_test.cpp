@@ -1,0 +1,385 @@
+//===- tests/session_test.cpp - Session layer unit & parity tests ---------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+// The analyze-once / execute-many contract: Session::run against a cached
+// plan (pre-sorted compiled cascades + pooled frames, 2nd..Nth execution)
+// must produce bit-identical Memory/Bindings and the same ExecStats
+// classification as building a fresh HybridAnalyzer + Executor for every
+// single execution.
+//
+//===----------------------------------------------------------------------===//
+
+#include "session/Session.h"
+
+#include "support/Rng.h"
+#include "suite/Suite.h"
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace halo;
+
+namespace {
+
+/// Bitwise memory equality (doubles compared as bytes: "bit-identical").
+void expectMemoryEq(const rt::Memory &A, const rt::Memory &B,
+                    const char *What) {
+  ASSERT_EQ(A.arrays().size(), B.arrays().size()) << What;
+  for (const auto &KV : A.arrays()) {
+    auto It = B.arrays().find(KV.first);
+    ASSERT_NE(It, B.arrays().end()) << What;
+    ASSERT_EQ(KV.second.size(), It->second.size()) << What;
+    if (!KV.second.empty())
+      EXPECT_EQ(std::memcmp(KV.second.data(), It->second.data(),
+                            KV.second.size() * sizeof(double)),
+                0)
+          << What;
+  }
+}
+
+void expectStatsEq(const rt::ExecStats &S, const rt::ExecStats &R,
+                   const char *What) {
+  EXPECT_EQ(S.RanParallel, R.RanParallel) << What;
+  EXPECT_EQ(S.UsedTLS, R.UsedTLS) << What;
+  EXPECT_EQ(S.TLSSucceeded, R.TLSSucceeded) << What;
+  EXPECT_EQ(S.UsedExactTest, R.UsedExactTest) << What;
+  EXPECT_EQ(S.CascadeDepthUsed, R.CascadeDepthUsed) << What;
+}
+
+/// The randomized multi-loop program: a symbolically-strided write loop
+/// (O(1) predicate), a monotone block-write loop (O(N) predicate over an
+/// index array), an irregular subscripted-subscript loop (hoistable exact
+/// test), and a subscripted reduction (RRED injectivity).
+struct SessionFixture : ::testing::Test {
+  suite::Benchmark B;
+  suite::BenchBuilder BB{B};
+  ir::DoLoop *Strided = nullptr, *Blocks = nullptr, *Irregular = nullptr,
+             *Reduce = nullptr;
+  sym::SymbolId XS, XB, XI, XR, IB, IDX, JDX, Q;
+  int64_t N = 200;
+
+  SessionFixture() {
+    XS = BB.dataArray("XS", BB.Sym.mulConst(BB.s("N"), 4));
+    XB = BB.dataArray("XB", BB.Sym.mulConst(BB.s("N"), 8));
+    XI = BB.dataArray("XI", BB.Sym.mulConst(BB.s("N"), 2));
+    XR = BB.dataArray("XR", BB.Sym.mulConst(BB.s("N"), 2));
+    IB = BB.indexArray("IB");
+    IDX = BB.indexArray("IDX");
+    JDX = BB.indexArray("JDX");
+    Q = BB.indexArray("Q");
+    Strided = suite::makeSymbolicStrideLoop(BB, "strided", "i", XS, "s",
+                                            BB.s("N"), 0);
+    Blocks = suite::makeMonotonicBlockLoop(BB, "blocks", "i", XB, IB,
+                                           BB.c(4), BB.s("N"), 0);
+    Irregular = suite::makeIrregularLoop(BB, "irr", "i", XI, IDX, JDX,
+                                         BB.s("N"), 0);
+    Reduce = BB.loop("reduce", "i", BB.c(1), BB.s("N"), 1);
+    Reduce->append(BB.reduce(
+        XR, BB.Sym.arrayRef(Q, BB.sv(BB.Sym.symbol("i", 1)))));
+  }
+
+  analysis::AnalyzerOptions optsFor(const ir::DoLoop *L) {
+    analysis::AnalyzerOptions O;
+    O.HoistableContext = (L == Irregular);
+    return O;
+  }
+
+  /// Applies one randomized dataset mutation identically to both worlds.
+  /// Sometimes leaves the bindings untouched so steady-state frame reuse
+  /// is exercised; sometimes flips data so predicates pass/fail and the
+  /// session must rebind.
+  void mutate(Rng &R, sym::Bindings &BS, sym::Bindings &BR, rt::Memory &MS,
+              rt::Memory &MR, bool First) {
+    if (First) {
+      for (sym::Bindings *Bd : {&BS, &BR})
+        Bd->setScalar(BB.Sym.symbol("N"), N);
+      for (rt::Memory *M : {&MS, &MR}) {
+        M->alloc(XS, static_cast<size_t>(4 * N));
+        M->alloc(XB, static_cast<size_t>(8 * N + 16));
+        M->alloc(XI, static_cast<size_t>(2 * N));
+        M->alloc(XR, static_cast<size_t>(2 * N));
+      }
+    }
+    if (First || R.chance(1, 2)) {
+      int64_t S = R.nextInRange(1, 3);
+      for (sym::Bindings *Bd : {&BS, &BR})
+        Bd->setScalar(BB.Sym.symbol("s"), S);
+    }
+    if (First || R.chance(1, 2)) {
+      // Monotone with gaps >= 4 (predicate passes) or overlapping
+      // (predicate fails -> LRPD speculation -> conflict -> sequential).
+      bool Monotone = R.chance(2, 3);
+      sym::ArrayBinding A;
+      A.Lo = 1;
+      for (int64_t K = 0; K < N; ++K)
+        A.Vals.push_back(Monotone ? 1 + K * R.nextInRange(4, 5)
+                                  : 1 + K * 2);
+      BS.setArray(IB, A);
+      BR.setArray(IB, A);
+    }
+    if (First || R.chance(1, 3)) {
+      // Irregular subscripts: disjoint (exact test proves independence)
+      // or colliding.
+      bool Disjoint = R.chance(1, 2);
+      sym::ArrayBinding AI, AJ;
+      AI.Lo = AJ.Lo = 1;
+      for (int64_t K = 0; K < N; ++K) {
+        AI.Vals.push_back(Disjoint ? K : R.nextInRange(0, N - 1));
+        AJ.Vals.push_back(Disjoint ? N + K : R.nextInRange(0, N - 1));
+      }
+      BS.setArray(IDX, AI);
+      BR.setArray(IDX, AI);
+      BS.setArray(JDX, AJ);
+      BR.setArray(JDX, AJ);
+    }
+    if (First || R.chance(1, 3)) {
+      // Reduction targets: monotone ramp (injective -> direct updates)
+      // or a permutation (injective but not provably so -> private
+      // copies) or colliding.
+      int Mode = static_cast<int>(R.nextBelow(3));
+      sym::ArrayBinding AQ;
+      if (Mode == 1) {
+        AQ = suite::permutationArray(N, R.next());
+      } else {
+        AQ.Lo = 1;
+        for (int64_t K = 0; K < N; ++K)
+          AQ.Vals.push_back(Mode == 0 ? K : K / 2);
+      }
+      BS.setArray(Q, AQ);
+      BR.setArray(Q, AQ);
+    }
+  }
+};
+
+TEST_F(SessionFixture, CachedPlansMatchFreshAnalyzerExecutorPerExecution) {
+  const unsigned Threads = 2;
+  session::SessionOptions SO;
+  SO.Threads = Threads;
+  session::Session S(B.prog(), B.usr(), SO);
+  for (ir::DoLoop *L : {Strided, Blocks, Irregular, Reduce})
+    S.prepare(*L, optsFor(L));
+
+  ThreadPool RefPool(Threads);
+  rt::Memory MS, MR;
+  sym::Bindings BS, BR;
+  Rng R(0xC0FFEE);
+  for (int E = 0; E < 8; ++E) {
+    mutate(R, BS, BR, MS, MR, E == 0);
+    for (ir::DoLoop *L : {Strided, Blocks, Irregular, Reduce}) {
+      rt::ExecStats St = S.run(*L, MS, BS);
+
+      // Reference: every execution re-analyzes and re-executes from
+      // scratch (fresh analyzer, fresh executor, fresh HOIST cache).
+      analysis::HybridAnalyzer A(B.usr(), B.prog(), optsFor(L));
+      analysis::LoopPlan Plan = A.analyze(*L);
+      rt::Executor Ex(B.prog(), B.usr());
+      rt::HoistCache Hoist;
+      rt::ExecStats Rs = Ex.runPlanned(Plan, MR, BR, RefPool, &Hoist);
+
+      expectStatsEq(St, Rs, L->getLabel().c_str());
+      expectMemoryEq(MS, MR, L->getLabel().c_str());
+      // Scalars the executions may update must agree too.
+      EXPECT_EQ(BS.scalar(BB.Sym.symbol("s")), BR.scalar(BB.Sym.symbol("s")));
+      EXPECT_EQ(BS.scalar(BB.Sym.symbol("N")), BR.scalar(BB.Sym.symbol("N")));
+    }
+  }
+  EXPECT_EQ(S.numPreparedLoops(), 4u);
+  EXPECT_GT(S.numCompiledPreds(), 0u);
+}
+
+TEST_F(SessionFixture, SteadyStateSkipsFrameRebindsAndStaysExact) {
+  session::SessionOptions SO;
+  SO.Threads = 1;
+  session::Session S(B.prog(), B.usr(), SO);
+
+  rt::Memory MS, MR;
+  sym::Bindings BS, BR;
+  Rng R(7);
+  mutate(R, BS, BR, MS, MR, true);
+
+  // Execution 1 binds every stage frame; 2..N with untouched bindings
+  // must skip every re-bind and still match a fresh executor bit-for-bit.
+  rt::ExecStats First = S.run(*Blocks, MS, BS);
+  EXPECT_GT(First.FrameBinds, 0u);
+  ThreadPool RefPool(1);
+  {
+    analysis::HybridAnalyzer A(B.usr(), B.prog(), optsFor(Blocks));
+    analysis::LoopPlan Plan = A.analyze(*Blocks);
+    rt::Executor Ex(B.prog(), B.usr());
+    Ex.runPlanned(Plan, MR, BR, RefPool);
+  }
+  for (int E = 0; E < 5; ++E) {
+    rt::ExecStats St = S.run(*Blocks, MS, BS);
+    EXPECT_EQ(St.FrameBinds, 0u);
+    EXPECT_GT(St.FrameRebindsSkipped, 0u);
+    analysis::HybridAnalyzer A(B.usr(), B.prog(), optsFor(Blocks));
+    analysis::LoopPlan Plan = A.analyze(*Blocks);
+    rt::Executor Ex(B.prog(), B.usr());
+    Ex.runPlanned(Plan, MR, BR, RefPool);
+    expectMemoryEq(MS, MR, "steady state");
+  }
+
+  // Mutating the bindings must force a full re-bind (and stay exact).
+  BS.setScalar(BB.Sym.symbol("s"), 2);
+  BR.setScalar(BB.Sym.symbol("s"), 2);
+  rt::ExecStats Rebound = S.run(*Blocks, MS, BS);
+  EXPECT_GT(Rebound.FrameBinds, 0u);
+}
+
+TEST_F(SessionFixture, MultiThreadedCascadeThroughSessionMatchesReference) {
+  // N large enough that the root LoopAll range clears the
+  // MinParallelIters * numThreads threshold of the chunked parallel
+  // and-reduction (4096 * 4), so parallelAllOf really runs fanned out.
+  N = 20000;
+  const unsigned Threads = 4;
+  session::SessionOptions SO;
+  SO.Threads = Threads;
+  session::Session S(B.prog(), B.usr(), SO);
+
+  rt::Memory MS, MR;
+  sym::Bindings BS, BR;
+  Rng R(42);
+  mutate(R, BS, BR, MS, MR, true);
+  // Force the monotone dataset so the O(N) predicate passes and the loop
+  // runs parallel through the session on every execution.
+  sym::ArrayBinding A;
+  A.Lo = 1;
+  for (int64_t K = 0; K < N; ++K)
+    A.Vals.push_back(1 + K * 4);
+  BS.setArray(IB, A);
+  BR.setArray(IB, A);
+
+  ThreadPool RefPool(Threads);
+  for (int E = 0; E < 3; ++E) {
+    rt::ExecStats St = S.run(*Blocks, MS, BS);
+    EXPECT_TRUE(St.RanParallel);
+    EXPECT_FALSE(St.UsedTLS);
+    analysis::HybridAnalyzer An(B.usr(), B.prog(), optsFor(Blocks));
+    analysis::LoopPlan Plan = An.analyze(*Blocks);
+    rt::Executor Ex(B.prog(), B.usr());
+    rt::ExecStats Rs = Ex.runPlanned(Plan, MR, BR, RefPool);
+    expectStatsEq(St, Rs, "parallel blocks");
+    expectMemoryEq(MS, MR, "parallel blocks");
+  }
+}
+
+TEST_F(SessionFixture, RunBatchReportsEveryExecution) {
+  session::SessionOptions SO;
+  SO.Threads = 2;
+  session::Session S(B.prog(), B.usr(), SO);
+  rt::Memory MS, MR;
+  sym::Bindings BS, BR;
+  Rng R(3);
+  mutate(R, BS, BR, MS, MR, true);
+
+  auto Stats = S.runBatch(*Strided, MS, BS, 5);
+  ASSERT_EQ(Stats.size(), 5u);
+  EXPECT_EQ(S.prepare(*Strided).Executions, 5u);
+  // Batch executions after the first reuse the pooled frames.
+  for (size_t E = 1; E < Stats.size(); ++E)
+    EXPECT_GT(Stats[E].FrameRebindsSkipped, 0u);
+
+  ThreadPool RefPool(2);
+  for (int E = 0; E < 5; ++E) {
+    analysis::HybridAnalyzer A(B.usr(), B.prog(), optsFor(Strided));
+    analysis::LoopPlan Plan = A.analyze(*Strided);
+    rt::Executor Ex(B.prog(), B.usr());
+    Ex.runPlanned(Plan, MR, BR, RefPool);
+  }
+  expectMemoryEq(MS, MR, "batch");
+}
+
+TEST_F(SessionFixture, InterpreterPathSessionIsExactOracle) {
+  // A session on the reference tree-interpreter path must agree with the
+  // compiled-cascade session on every dataset (the A/B harness contract).
+  session::SessionOptions SO;
+  SO.Threads = 2;
+  session::Session SC(B.prog(), B.usr(), SO);
+  SO.UseCompiledPredicates = false;
+  session::Session SI(B.prog(), B.usr(), SO);
+
+  rt::Memory MS, MR;
+  sym::Bindings BS, BR;
+  Rng R(99);
+  for (int E = 0; E < 6; ++E) {
+    mutate(R, BS, BR, MS, MR, E == 0);
+    for (ir::DoLoop *L : {Strided, Blocks, Reduce}) {
+      rt::ExecStats A = SC.run(*L, MS, BS);
+      rt::ExecStats I = SI.run(*L, MR, BR);
+      // (CascadeDepthUsed is excluded: the compiled path re-orders
+      // same-outcome stages cheapest-first, the interpreter keeps
+      // cascade order.)
+      EXPECT_EQ(A.RanParallel, I.RanParallel) << L->getLabel();
+      EXPECT_EQ(A.UsedTLS, I.UsedTLS) << L->getLabel();
+      EXPECT_EQ(A.TLSSucceeded, I.TLSSucceeded) << L->getLabel();
+      expectMemoryEq(MS, MR, L->getLabel().c_str());
+      EXPECT_EQ(I.CompiledPredEvals, 0u) << "oracle ran compiled stages";
+      EXPECT_EQ(A.InterpPredEvals, 0u) << "session fell back to interp";
+    }
+  }
+}
+
+TEST(SessionHoistCacheTest, VerifiedHitsStayCorrectAcrossDatasets) {
+  // The HOIST-USR cache must serve hits only for identical relevant
+  // inputs (verified, collision-safe) and re-evaluate otherwise:
+  // alternating datasets through one session must match a fresh analysis
+  // + executor every time.
+  suite::Benchmark B;
+  suite::BenchBuilder BB(B);
+  const int64_t N = 64;
+  sym::SymbolId XI = BB.dataArray("XI", BB.Sym.mulConst(BB.s("N"), 4));
+  sym::SymbolId IDX = BB.indexArray("IDX");
+  sym::SymbolId JDX = BB.indexArray("JDX");
+  ir::DoLoop *L =
+      suite::makeIrregularLoop(BB, "irr", "i", XI, IDX, JDX, BB.s("N"), 0);
+
+  analysis::AnalyzerOptions Opts;
+  Opts.HoistableContext = true;
+  session::SessionOptions SO;
+  SO.Threads = 2;
+  session::Session S(B.prog(), B.usr(), SO);
+  S.prepare(*L, Opts);
+
+  auto dataset = [&](int Which, sym::Bindings &Bd) {
+    sym::ArrayBinding AI, AJ;
+    AI.Lo = AJ.Lo = 1;
+    for (int64_t K = 0; K < N; ++K) {
+      AI.Vals.push_back(K);
+      AJ.Vals.push_back(Which == 0 ? N + K : 2 * N + K);
+    }
+    Bd.setScalar(BB.Sym.symbol("N"), N);
+    Bd.setArray(IDX, AI);
+    Bd.setArray(JDX, AJ);
+  };
+
+  ThreadPool RefPool(2);
+  rt::Memory MS, MR;
+  sym::Bindings BS, BR;
+  for (rt::Memory *M : {&MS, &MR})
+    M->alloc(XI, static_cast<size_t>(4 * N));
+  size_t SizeAfterBothDatasets = 0;
+  for (int E = 0; E < 6; ++E) {
+    dataset(E % 2, BS);
+    dataset(E % 2, BR);
+    rt::ExecStats St = S.run(*L, MS, BS);
+    EXPECT_TRUE(St.UsedExactTest);
+    analysis::HybridAnalyzer A(B.usr(), B.prog(), Opts);
+    analysis::LoopPlan Plan = A.analyze(*L);
+    rt::Executor Ex(B.prog(), B.usr());
+    rt::HoistCache Fresh;
+    rt::ExecStats Rs = Ex.runPlanned(Plan, MR, BR, RefPool, &Fresh);
+    expectStatsEq(St, Rs, "hoist");
+    expectMemoryEq(MS, MR, "hoist");
+    if (E == 1)
+      SizeAfterBothDatasets = S.hoistCache().size();
+  }
+  // Repeats of the two datasets are pure hits: no new entries, and the
+  // verification hash never fired (no collisions).
+  EXPECT_GT(S.hoistCache().size(), 0u);
+  EXPECT_EQ(S.hoistCache().size(), SizeAfterBothDatasets);
+  EXPECT_EQ(S.hoistCache().collisions(), 0u);
+}
+
+} // namespace
