@@ -45,6 +45,11 @@ struct BenchTiming {
   /// Frame-pool effectiveness across the best repetition.
   uint64_t FrameBinds = 0;
   uint64_t FrameRebindsSkipped = 0;
+  /// Exact-test (HOIST-USR) evaluations by engine, and the enumeration
+  /// work the compiled interval-run engine avoided.
+  uint64_t CompiledUSREvals = 0;
+  uint64_t InterpUSREvals = 0;
+  uint64_t USRPointsAvoided = 0;
 };
 
 /// Builds a session for \p B sized for \p Threads workers: every bench
@@ -55,6 +60,9 @@ inline session::Session makeSession(suite::Benchmark &B, unsigned Threads,
   session::SessionOptions SO;
   SO.Threads = Threads;
   SO.UseCompiledPredicates = CompiledPreds;
+  // The A/B toggle selects the fully-interpreted runtime: tree-walking
+  // predicates and point-materializing exact tests together.
+  SO.UseCompiledUSRs = CompiledPreds;
   return session::Session(B.prog(), B.usr(), SO);
 }
 
@@ -111,6 +119,7 @@ inline BenchTiming timeBenchmark(suite::Benchmark &B, unsigned Threads,
       double Ov = 0;
       bool TLS = false;
       uint64_t Memo = 0, Compiled = 0, Interp = 0, Binds = 0, Skips = 0;
+      uint64_t UsrC = 0, UsrI = 0, UsrAvoided = 0;
       for (const suite::LoopSpec &LS : B.Loops) {
         rt::ExecStats St = S.run(*LS.Loop, M, Bd);
         Ov += St.PredicateSeconds + St.CivSliceSeconds +
@@ -121,6 +130,9 @@ inline BenchTiming timeBenchmark(suite::Benchmark &B, unsigned Threads,
         Interp += St.InterpPredEvals;
         Binds += St.FrameBinds;
         Skips += St.FrameRebindsSkipped;
+        UsrC += St.CompiledUSREvals;
+        UsrI += St.InterpUSREvals;
+        UsrAvoided += St.USRPointsAvoided;
       }
       double T = nowSeconds() - T0;
       if (T < ParBest) {
@@ -131,6 +143,9 @@ inline BenchTiming timeBenchmark(suite::Benchmark &B, unsigned Threads,
         Out.InterpPredEvals = Interp;
         Out.FrameBinds = Binds;
         Out.FrameRebindsSkipped = Skips;
+        Out.CompiledUSREvals = UsrC;
+        Out.InterpUSREvals = UsrI;
+        Out.USRPointsAvoided = UsrAvoided;
       }
       Out.AnyTLS |= TLS;
     }

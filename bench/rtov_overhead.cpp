@@ -23,6 +23,8 @@
 
 #include "pdag/PredCompile.h"
 #include "pdag/PredEval.h"
+#include "usr/USRCompile.h"
+#include "usr/USREval.h"
 
 #include <algorithm>
 #include <utility>
@@ -261,15 +263,81 @@ void sessionReuseBench() {
   std::printf("\n");
 }
 
+/// The compiled-USR half of the compile-once story: the HOIST-USR
+/// emptiness test on the Fig. 3(b)-style OIND equation, interpreted
+/// (point materialization, Θ(N²) on the triangular prefix) vs the
+/// interval-run bytecode engine. Aborts on an answer mismatch — this is
+/// the CI-smoke parity check for the compiled exact-test path.
+void usrMicroBench() {
+  sym::Context Sym;
+  pdag::PredContext P(Sym);
+  usr::USRContext U(Sym, P);
+  const int64_t N = 2048;
+  sym::SymbolId I = Sym.symbol("i", 1);
+  sym::SymbolId K = Sym.symbol("k", 2);
+  sym::SymbolId IB = Sym.symbol("IB", 0, /*IsArray=*/true);
+  auto WF = [&](sym::SymbolId V) {
+    return U.interval(
+        Sym.mulConst(Sym.addConst(Sym.arrayRef(IB, Sym.symRef(V)), -1), 32),
+        Sym.intConst(32));
+  };
+  const usr::USR *Prior =
+      U.recur(K, Sym.intConst(1), Sym.addConst(Sym.symRef(I), -1), WF(K));
+  const usr::USR *OInd = U.recur(I, Sym.intConst(1), Sym.symRef("N"),
+                                 U.intersect(WF(I), Prior));
+
+  sym::Bindings B;
+  B.setScalar(Sym.symbol("N"), N);
+  sym::ArrayBinding A;
+  A.Lo = 1;
+  for (int64_t X = 0; X < N; ++X)
+    A.Vals.push_back(1 + X * 2); // Monotone, disjoint blocks: empty OIND.
+  B.setArray(IB, A);
+
+  sym::Bindings BI = B;
+  double T0 = nowSeconds();
+  auto InterpAns = usr::evalUSREmpty(OInd, BI);
+  double Interp = nowSeconds() - T0;
+
+  auto CU = usr::CompiledUSR::compile(OInd, Sym);
+  usr::CompiledUSR::PooledFrame PF;
+  usr::USREvalStats St;
+  double Best = 1e30;
+  std::optional<bool> Ans;
+  for (int R = 0; R < 3; ++R) {
+    sym::Bindings BC = B; // Fresh stamp per repetition: no frame reuse.
+    St = usr::USREvalStats();
+    T0 = nowSeconds();
+    Ans = CU->evalEmptyPooled(PF, BC, 1u << 22, &St);
+    Best = std::min(Best, nowSeconds() - T0);
+  }
+  if (!InterpAns || InterpAns != Ans)
+    std::abort(); // Compiled/interpreted emptiness must agree.
+
+  std::printf("=== HOIST-USR exact test, Fig. 3(b) OIND at N=%lld ===\n",
+              static_cast<long long>(N));
+  std::printf("%-26s %10s %10s\n", "EVALUATOR", "ms", "speedup");
+  std::printf("%-26s %10.2f %10s\n", "interpreted evalUSREmpty",
+              1e3 * Interp, "1.00x");
+  std::printf("%-26s %10.2f %9.0fx\n", "compiled interval runs", 1e3 * Best,
+              Interp / Best);
+  std::printf("runs/eval=%llu, points-avoided/eval=%llu, answer=%s\n\n",
+              static_cast<unsigned long long>(St.RunsProduced),
+              static_cast<unsigned long long>(St.PointsAvoided),
+              *Ans ? "empty (independent)" : "not-empty");
+}
+
 } // namespace
 
 int main() {
   microBench();
   sessionReuseBench();
+  usrMicroBench();
 
   std::printf("=== Runtime-test overhead (RTov, %% of parallel runtime) ===\n");
-  std::printf("%-12s %-10s %-10s %-12s %-10s %s\n", "BENCH", "RTov%",
-              "interpRTov%", "paper-RTov%", "memo-hits", "NOTE");
+  std::printf("%-12s %-10s %-10s %-12s %-10s %-6s %-6s %-12s %s\n", "BENCH",
+              "RTov%", "interpRTov%", "paper-RTov%", "memo-hits", "usrC",
+              "usrI", "usr-avoided", "NOTE");
   const std::map<std::string, const char *> PaperRTov = {
       {"flo52", "0%"},   {"bdna", "0%"},     {"arc2d", ".2%"},
       {"dyfesm", ".3%"}, {"mdg", "0%"},      {"trfd", "0%"},
@@ -284,10 +352,19 @@ int main() {
       continue;
     BenchTiming T = timeBenchmark(*B, 4, 8, true);
     BenchTiming TI = timeBenchmark(*B, 4, 8, true, 3, /*CompiledPreds=*/false);
-    std::printf("%-12s %-10.2f %-10.2f %-12s %-10llu %s\n", B->Name.c_str(),
-                100.0 * T.TestOverheadSec / T.ParSeconds,
+    // Both engine paths must be governor-counted symmetrically: the
+    // compiled session never falls back to interpreted exact tests and
+    // vice versa.
+    if (T.InterpUSREvals != 0 || TI.CompiledUSREvals != 0)
+      std::abort();
+    std::printf("%-12s %-10.2f %-10.2f %-12s %-10llu %-6llu %-6llu %-12llu "
+                "%s\n",
+                B->Name.c_str(), 100.0 * T.TestOverheadSec / T.ParSeconds,
                 100.0 * TI.TestOverheadSec / TI.ParSeconds, It->second,
                 static_cast<unsigned long long>(T.PredMemoHits),
+                static_cast<unsigned long long>(T.CompiledUSREvals),
+                static_cast<unsigned long long>(TI.InterpUSREvals),
+                static_cast<unsigned long long>(T.USRPointsAvoided),
                 T.AnyTLS ? "TLS used" : "");
   }
   return 0;

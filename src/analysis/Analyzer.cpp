@@ -8,6 +8,7 @@
 #include "analysis/Analyzer.h"
 
 #include "pdag/PredEval.h"
+#include "usr/USRCompile.h"
 #include "usr/USREval.h"
 #include "usr/USRTransform.h"
 
@@ -318,7 +319,11 @@ LoopPlan HybridAnalyzer::analyze(const ir::DoLoop &Loop) {
       if (!S || !Opts.Probe)
         return std::nullopt;
       sym::Bindings B = *Opts.Probe;
-      return usr::evalUSREmpty(S, B);
+      // Classification only needs the emptiness answer, and probe
+      // datasets can be large: run the compiled interval-run engine
+      // (parity-tested against evalUSREmpty) instead of materializing
+      // the probe's point sets.
+      return usr::CompiledUSR::compile(S, Sym)->evalEmpty(B);
     };
 
     // Flow side.

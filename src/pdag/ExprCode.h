@@ -1,0 +1,113 @@
+//===- pdag/ExprCode.h - Shared expression bytecode ------------*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The slot-resolved expression bytecode shared by the two compile-once
+/// runtime engines: the predicate compiler (pdag/PredCompile.h) and the
+/// USR interval-run compiler (usr/USRCompile.h). Both lower sym::Expr
+/// trees into the same flat stack-machine code so that evaluation never
+/// touches a sym::Bindings hash table: every scalar and index-array symbol
+/// is resolved to a dense frame slot once per binding, and constants are
+/// folded at compile time.
+///
+///  - ExprCodeBuilder interns symbol slots and emits canonical expressions
+///    into a caller-owned code/slot-table triple (each compiled object owns
+///    its own tables; the builder is compile-time only).
+///  - runExprCode executes a [Begin, End) range against bound slot arrays;
+///    it returns nullopt when an unbound scalar or out-of-bounds array
+///    read decides the value (the same conservative contract as
+///    sym::tryEval).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_PDAG_EXPRCODE_H
+#define HALO_PDAG_EXPRCODE_H
+
+#include "sym/Eval.h"
+#include "sym/Expr.h"
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace halo {
+namespace pdag {
+
+/// One expression-bytecode instruction (operates on an int64 value stack).
+struct ExprInstr {
+  enum class Op : uint8_t {
+    Const,        ///< push Imm
+    Scalar,       ///< push scalar slot Slot (fail when unbound)
+    ArrayLoad,    ///< pop index, push array slot Slot at index (fail OOB)
+    ArrayLoadOff, ///< push array Slot at (scalar Slot2 + Imm) — the fused
+                  ///< form of the ubiquitous A(i), A(i+1) accesses
+    Min,          ///< pop b, a; push min(a, b)
+    Max,          ///< pop b, a; push max(a, b)
+    FloorDiv,     ///< pop a; push floor(a / Imm)
+    Mod,          ///< pop a; push a - Imm * floor(a / Imm)
+    Mul,          ///< pop b, a; push a * b
+    MulConst,     ///< top *= Imm
+    AddConst,     ///< top += Imm
+    MulConstAdd,  ///< pop v; top += Imm * v   (monomial accumulate)
+  };
+  Op Opcode;
+  uint32_t Slot = 0;
+  uint32_t Slot2 = 0;
+  int64_t Imm = 0;
+};
+
+/// Emits canonical sym::Expr trees as expression bytecode into a
+/// caller-owned code vector, interning scalar/array symbols into the
+/// caller's slot tables (slot index == position in the table). One builder
+/// serves one compiled object; evaluation state is bound separately.
+class ExprCodeBuilder {
+public:
+  ExprCodeBuilder(const sym::Context &Ctx, std::vector<ExprInstr> &Code,
+                  std::vector<sym::SymbolId> &ScalarSlots,
+                  std::vector<sym::SymbolId> &ArraySlots)
+      : Ctx(Ctx), Code(Code), ScalarSlots(ScalarSlots),
+        ArraySlots(ArraySlots) {}
+
+  /// Emits \p E as a fresh code range; returns [Begin, End).
+  std::pair<uint32_t, uint32_t> compile(const sym::Expr *E);
+
+  uint32_t scalarSlot(sym::SymbolId S);
+  uint32_t arraySlot(sym::SymbolId S);
+
+private:
+  void emit(ExprInstr::Op Op, uint32_t Slot = 0, int64_t Imm = 0,
+            uint32_t Slot2 = 0) {
+    Code.push_back(ExprInstr{Op, Slot, Slot2, Imm});
+  }
+  void emitExpr(const sym::Expr *E);
+  bool matchAffineIndex(const sym::Expr *E, sym::SymbolId &S,
+                        int64_t &Off) const;
+
+  const sym::Context &Ctx;
+  std::vector<ExprInstr> &Code;
+  std::vector<sym::SymbolId> &ScalarSlots;
+  std::vector<sym::SymbolId> &ArraySlots;
+  std::unordered_map<sym::SymbolId, uint32_t> ScalarSlotFor;
+  std::unordered_map<sym::SymbolId, uint32_t> ArraySlotFor;
+};
+
+/// Executes expression code [Begin, End) of \p Code against bound slot
+/// arrays. \p Stack must have room for the range's maximal depth (every
+/// instruction pushes at most one value, so code-length + 1 always
+/// suffices). Returns nullopt on an unbound scalar or out-of-bounds read.
+std::optional<int64_t> runExprCode(const ExprInstr *Code, uint32_t Begin,
+                                   uint32_t End, const int64_t *Scalars,
+                                   const uint8_t *Bound,
+                                   const sym::ArrayBinding *const *Arrays,
+                                   int64_t *Stack);
+
+} // namespace pdag
+} // namespace halo
+
+#endif // HALO_PDAG_EXPRCODE_H

@@ -26,13 +26,6 @@ constexpr uint8_t TriFalse = 0;
 constexpr uint8_t TriTrue = 1;
 constexpr uint8_t TriUnknown = 2;
 
-int64_t floorDivInt(int64_t A, int64_t D) {
-  int64_t Q = A / D;
-  if ((A % D) != 0 && A < 0)
-    --Q;
-  return Q;
-}
-
 // Same semantics as the Divides case of tryEvalPred.
 bool dividesHolds(int64_t DV, int64_t VV, bool Neg) {
   int64_t Div = DV < 0 ? -DV : DV;
@@ -52,7 +45,8 @@ namespace pdag {
 class PredCompiler {
 public:
   PredCompiler(const sym::Context &Ctx, CompiledPred &Out)
-      : Ctx(Ctx), Out(Out) {}
+      : Ctx(Ctx), Out(Out),
+        XB(Ctx, Out.XCode, Out.ScalarSlots, Out.ArraySlots) {}
 
   void compileRoot(const Pred *P) {
     countRefs(P);
@@ -62,145 +56,12 @@ public:
   }
 
 private:
-  uint32_t scalarSlot(sym::SymbolId S) {
-    auto It = ScalarSlotFor.find(S);
-    if (It != ScalarSlotFor.end())
-      return It->second;
-    uint32_t Slot = static_cast<uint32_t>(Out.ScalarSlots.size());
-    Out.ScalarSlots.push_back(S);
-    ScalarSlotFor.emplace(S, Slot);
-    return Slot;
-  }
+  uint32_t scalarSlot(sym::SymbolId S) { return XB.scalarSlot(S); }
 
-  uint32_t arraySlot(sym::SymbolId S) {
-    auto It = ArraySlotFor.find(S);
-    if (It != ArraySlotFor.end())
-      return It->second;
-    uint32_t Slot = static_cast<uint32_t>(Out.ArraySlots.size());
-    Out.ArraySlots.push_back(S);
-    ArraySlotFor.emplace(S, Slot);
-    return Slot;
-  }
-
-  void emitX(ExprInstr::Op Op, uint32_t Slot = 0, int64_t Imm = 0,
-             uint32_t Slot2 = 0) {
-    Out.XCode.push_back(ExprInstr{Op, Slot, Slot2, Imm});
-  }
-
-  /// Matches an index of the form `scalar + c` (or a bare scalar); these
-  /// are the A(i) / A(i+1) subscripts that dominate LoopAll bodies and are
-  /// worth a fused load instruction.
-  bool matchAffineIndex(const sym::Expr *E, sym::SymbolId &S,
-                        int64_t &Off) const {
-    if (const auto *R = dyn_cast<sym::SymRefExpr>(E)) {
-      S = R->getSymbol();
-      Off = 0;
-      return true;
-    }
-    const auto *A = dyn_cast<sym::AddExpr>(E);
-    if (!A || A->getTerms().size() != 1)
-      return false;
-    const sym::Monomial &M = A->getTerms().front();
-    const auto *R = dyn_cast<sym::SymRefExpr>(M.Prod);
-    if (!R || M.Coeff != 1)
-      return false;
-    S = R->getSymbol();
-    Off = A->getConstant();
-    return true;
-  }
-
-  /// Emits \p E onto the expression code stream (one pushed value).
-  void emitExpr(const sym::Expr *E) {
-    using sym::ExprKind;
-    // Fold any constant subexpression (canonicalization makes most of
-    // these IntConst already; this catches interned constants reached
-    // through Min/Max/Div/Mod wrappers too).
-    if (auto C = Ctx.constValue(E)) {
-      emitX(ExprInstr::Op::Const, 0, *C);
-      return;
-    }
-    switch (E->getKind()) {
-    case ExprKind::IntConst:
-      emitX(ExprInstr::Op::Const, 0, cast<sym::IntConstExpr>(E)->getValue());
-      return;
-    case ExprKind::SymRef:
-      emitX(ExprInstr::Op::Scalar,
-            scalarSlot(cast<sym::SymRefExpr>(E)->getSymbol()));
-      return;
-    case ExprKind::ArrayRef: {
-      const auto *R = cast<sym::ArrayRefExpr>(E);
-      sym::SymbolId IdxSym;
-      int64_t Off;
-      if (matchAffineIndex(R->getIndex(), IdxSym, Off)) {
-        emitX(ExprInstr::Op::ArrayLoadOff, arraySlot(R->getArray()), Off,
-              scalarSlot(IdxSym));
-        return;
-      }
-      emitExpr(R->getIndex());
-      emitX(ExprInstr::Op::ArrayLoad, arraySlot(R->getArray()));
-      return;
-    }
-    case ExprKind::Min:
-    case ExprKind::Max: {
-      const auto *M = cast<sym::MinMaxExpr>(E);
-      emitExpr(M->getLHS());
-      emitExpr(M->getRHS());
-      emitX(M->isMin() ? ExprInstr::Op::Min : ExprInstr::Op::Max);
-      return;
-    }
-    case ExprKind::FloorDiv:
-    case ExprKind::Mod: {
-      const auto *D = cast<sym::DivModExpr>(E);
-      emitExpr(D->getOperand());
-      emitX(D->isDiv() ? ExprInstr::Op::FloorDiv : ExprInstr::Op::Mod, 0,
-            D->getDivisor());
-      return;
-    }
-    case ExprKind::Mul: {
-      const auto &Factors = cast<sym::MulExpr>(E)->getFactors();
-      emitExpr(Factors.front());
-      for (size_t I = 1; I < Factors.size(); ++I) {
-        emitExpr(Factors[I]);
-        emitX(ExprInstr::Op::Mul);
-      }
-      return;
-    }
-    case ExprKind::Add: {
-      // Accumulate in-place, starting from a unit-coefficient term when
-      // one exists so the common difference shape `a - b` lowers to
-      // [a][b][MulConstAdd -1] with no constant seed. Reordering is safe:
-      // operands are side-effect free and any failing operand fails the
-      // whole expression regardless of order.
-      const auto *A = cast<sym::AddExpr>(E);
-      std::vector<const sym::Monomial *> Terms;
-      Terms.reserve(A->getTerms().size());
-      for (const sym::Monomial &M : A->getTerms())
-        Terms.push_back(&M);
-      for (size_t I = 0; I < Terms.size(); ++I)
-        if (Terms[I]->Coeff == 1) {
-          std::swap(Terms[0], Terms[I]);
-          break;
-        }
-      emitExpr(Terms.front()->Prod);
-      if (Terms.front()->Coeff != 1)
-        emitX(ExprInstr::Op::MulConst, 0, Terms.front()->Coeff);
-      for (size_t I = 1; I < Terms.size(); ++I) {
-        emitExpr(Terms[I]->Prod);
-        emitX(ExprInstr::Op::MulConstAdd, 0, Terms[I]->Coeff);
-      }
-      if (A->getConstant() != 0)
-        emitX(ExprInstr::Op::AddConst, 0, A->getConstant());
-      return;
-    }
-    }
-    halo_unreachable("covered switch");
-  }
-
-  /// Emits \p E as a fresh expression code range.
+  /// Emits \p E as a fresh expression code range (shared expression
+  /// bytecode layer, pdag/ExprCode.h).
   std::pair<uint32_t, uint32_t> compileExpr(const sym::Expr *E) {
-    uint32_t Begin = static_cast<uint32_t>(Out.XCode.size());
-    emitExpr(E);
-    return {Begin, static_cast<uint32_t>(Out.XCode.size())};
+    return XB.compile(E);
   }
 
   uint32_t emitP(PredInstr::Op Op, uint32_t A = 0, uint32_t B = 0,
@@ -420,12 +281,11 @@ private:
 
   const sym::Context &Ctx;
   CompiledPred &Out;
+  ExprCodeBuilder XB;
   std::vector<sym::SymbolId> EnclosingVars;
   std::vector<sym::SymbolId> AllLoopVars;
   bool InSubBody = false;
   std::unordered_map<const Pred *, uint32_t> MemoSlotFor;
-  std::unordered_map<sym::SymbolId, uint32_t> ScalarSlotFor;
-  std::unordered_map<sym::SymbolId, uint32_t> ArraySlotFor;
   std::unordered_map<const Pred *, uint32_t> RefCount;
   std::unordered_set<const Pred *> Scheduled;
   std::deque<const Pred *> PendingSubs;
@@ -495,78 +355,9 @@ bool CompiledPred::bindFrame(Frame &F, const sym::Bindings &B) const {
 
 std::optional<int64_t> CompiledPred::evalExpr(uint32_t Begin, uint32_t End,
                                               Frame &F) const {
-  int64_t *S = F.XStack.data();
-  size_t SP = 0;
-  const ExprInstr *Code = XCode.data();
-  const int64_t *Scalars = F.ScalarVals.data();
-  const uint8_t *Bound = F.ScalarBound.data();
-  for (uint32_t Ip = Begin; Ip != End; ++Ip) {
-    const ExprInstr &I = Code[Ip];
-    switch (I.Opcode) {
-    case ExprInstr::Op::Const:
-      S[SP++] = I.Imm;
-      break;
-    case ExprInstr::Op::Scalar:
-      if (!Bound[I.Slot])
-        return std::nullopt;
-      S[SP++] = Scalars[I.Slot];
-      break;
-    case ExprInstr::Op::ArrayLoad: {
-      const sym::ArrayBinding *A = F.Arrays[I.Slot];
-      const int64_t Idx = S[SP - 1];
-      if (!A || !A->inBounds(Idx))
-        return std::nullopt;
-      S[SP - 1] = A->at(Idx);
-      break;
-    }
-    case ExprInstr::Op::ArrayLoadOff: {
-      const sym::ArrayBinding *A = F.Arrays[I.Slot];
-      if (!Bound[I.Slot2])
-        return std::nullopt;
-      const int64_t Idx = Scalars[I.Slot2] + I.Imm;
-      if (!A || !A->inBounds(Idx))
-        return std::nullopt;
-      S[SP++] = A->at(Idx);
-      break;
-    }
-    case ExprInstr::Op::Min: {
-      const int64_t R = S[--SP];
-      S[SP - 1] = std::min(S[SP - 1], R);
-      break;
-    }
-    case ExprInstr::Op::Max: {
-      const int64_t R = S[--SP];
-      S[SP - 1] = std::max(S[SP - 1], R);
-      break;
-    }
-    case ExprInstr::Op::FloorDiv:
-      S[SP - 1] = floorDivInt(S[SP - 1], I.Imm);
-      break;
-    case ExprInstr::Op::Mod: {
-      const int64_t V = S[SP - 1];
-      S[SP - 1] = V - floorDivInt(V, I.Imm) * I.Imm;
-      break;
-    }
-    case ExprInstr::Op::Mul: {
-      const int64_t R = S[--SP];
-      S[SP - 1] *= R;
-      break;
-    }
-    case ExprInstr::Op::MulConst:
-      S[SP - 1] *= I.Imm;
-      break;
-    case ExprInstr::Op::AddConst:
-      S[SP - 1] += I.Imm;
-      break;
-    case ExprInstr::Op::MulConstAdd: {
-      const int64_t V = S[--SP];
-      S[SP - 1] += I.Imm * V;
-      break;
-    }
-    }
-  }
-  assert(SP == 1 && "expression code must leave one value");
-  return S[0];
+  return runExprCode(XCode.data(), Begin, End, F.ScalarVals.data(),
+                     F.ScalarBound.data(), F.Arrays.data(),
+                     F.XStack.data());
 }
 
 uint8_t CompiledPred::run(uint32_t IpBegin, uint32_t IpEnd, Frame &F) const {
@@ -732,6 +523,20 @@ std::optional<bool> CompiledPred::eval(const sym::Bindings &B,
   Frame &F = scratchFrame();
   F.Stats = EvalStats();
   bindFrame(F, B);
+  return runMainOnFrame(F, Stats);
+}
+
+std::optional<bool>
+CompiledPred::evalWithSlots(const sym::Bindings &B,
+                            const std::pair<uint32_t, int64_t> *Overrides,
+                            size_t N, EvalStats *Stats) const {
+  Frame &F = scratchFrame();
+  F.Stats = EvalStats();
+  bindFrame(F, B);
+  for (size_t I = 0; I < N; ++I) {
+    F.ScalarVals[Overrides[I].first] = Overrides[I].second;
+    F.ScalarBound[Overrides[I].first] = 1;
+  }
   return runMainOnFrame(F, Stats);
 }
 

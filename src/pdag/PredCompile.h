@@ -37,6 +37,7 @@
 #ifndef HALO_PDAG_PREDCOMPILE_H
 #define HALO_PDAG_PREDCOMPILE_H
 
+#include "pdag/ExprCode.h"
 #include "pdag/Pred.h"
 #include "pdag/PredEval.h"
 #include "support/ThreadPool.h"
@@ -49,29 +50,6 @@
 
 namespace halo {
 namespace pdag {
-
-/// One expression-bytecode instruction (operates on an int64 value stack).
-struct ExprInstr {
-  enum class Op : uint8_t {
-    Const,        ///< push Imm
-    Scalar,       ///< push scalar slot Slot (fail when unbound)
-    ArrayLoad,    ///< pop index, push array slot Slot at index (fail OOB)
-    ArrayLoadOff, ///< push array Slot at (scalar Slot2 + Imm) — the fused
-                  ///< form of the ubiquitous A(i), A(i+1) accesses
-    Min,          ///< pop b, a; push min(a, b)
-    Max,          ///< pop b, a; push max(a, b)
-    FloorDiv,     ///< pop a; push floor(a / Imm)
-    Mod,          ///< pop a; push a - Imm * floor(a / Imm)
-    Mul,          ///< pop b, a; push a * b
-    MulConst,     ///< top *= Imm
-    AddConst,     ///< top += Imm
-    MulConstAdd,  ///< pop v; top += Imm * v   (monomial accumulate)
-  };
-  Op Opcode;
-  uint32_t Slot = 0;
-  uint32_t Slot2 = 0;
-  int64_t Imm = 0;
-};
 
 /// One predicate-bytecode instruction (operates on a tri-state stack:
 /// false / true / unknown, where unknown is the conservative result of an
@@ -179,6 +157,28 @@ public:
   evalParallelPooled(PooledFrame &PF, const sym::Bindings &B, ThreadPool &Pool,
                      EvalStats *Stats = nullptr,
                      int64_t MinParallelIters = 4096) const;
+
+  /// eval() with scalar overrides written into the frame after binding:
+  /// (slot, value) pairs over slots resolved via scalarSlotIndex(). This
+  /// is how the compiled-USR engine (usr/USRCompile.h) feeds recurrence
+  /// variables that live in *its* evaluation frame — not in \p B — into a
+  /// gate predicate. Runs on a scratch frame: override values change per
+  /// recurrence iteration, so neither the pooled bind-skip nor the
+  /// invariant-sub-predicate memo (whose entries may depend on the
+  /// overridden symbols) can be reused safely across calls.
+  std::optional<bool>
+  evalWithSlots(const sym::Bindings &B,
+                const std::pair<uint32_t, int64_t> *Overrides, size_t N,
+                EvalStats *Stats = nullptr) const;
+
+  /// Frame slot of scalar \p S, or nullopt when the predicate never reads
+  /// it (then there is nothing to override).
+  std::optional<uint32_t> scalarSlotIndex(sym::SymbolId S) const {
+    for (size_t I = 0; I < ScalarSlots.size(); ++I)
+      if (ScalarSlots[I] == S)
+        return static_cast<uint32_t>(I);
+    return std::nullopt;
+  }
 
   const Pred *source() const { return Source; }
   int loopDepth() const { return Source->loopDepth(); }

@@ -20,6 +20,30 @@ const pdag::CompiledPred *PredCompileCache::get(const pdag::Pred *P) {
   return Cache.emplace(P, std::move(CP)).first->second.get();
 }
 
+USRCompileCache::Entry &USRCompileCache::entryFor(const usr::USR *S) {
+  auto It = Cache.find(S);
+  if (It != Cache.end())
+    return It->second;
+  Entry E;
+  E.Code = usr::CompiledUSR::compile(
+      S, Sym, [this](const pdag::Pred *P) { return Preds.get(P); });
+  return Cache.emplace(S, std::move(E)).first->second;
+}
+
+const usr::CompiledUSR *USRCompileCache::get(const usr::USR *S) {
+  return entryFor(S).Code.get();
+}
+
+std::optional<bool> USRCompileCache::emptiness(const usr::USR *S,
+                                               const sym::Bindings &B,
+                                               ThreadPool *Pool,
+                                               usr::USREvalStats *Stats) {
+  Entry &E = entryFor(S);
+  if (Pool && Pool->numThreads() > 1 && E.Code->hasParallelRoot())
+    return E.Code->evalEmptyParallel(E.Frame, B, *Pool, 1u << 22, Stats);
+  return E.Code->evalEmptyPooled(E.Frame, B, 1u << 22, Stats);
+}
+
 CompiledCascade CompiledCascade::build(const analysis::TestCascade &C,
                                        PredCompileCache &Cache) {
   CompiledCascade Out;

@@ -24,6 +24,7 @@
 
 #include "analysis/Analyzer.h"
 #include "pdag/PredCompile.h"
+#include "usr/USRCompile.h"
 
 #include <memory>
 #include <unordered_map>
@@ -76,6 +77,42 @@ struct PlanCascades {
 
   static PlanCascades build(const analysis::LoopPlan &Plan,
                             PredCompileCache &Cache);
+};
+
+/// Compile-once cache over independence USRs (the exact-test / HOIST-USR
+/// fallback surface), the dual of PredCompileCache for the other half of
+/// the runtime machinery: USR identity -> interval-run bytecode plus a
+/// pooled evaluation frame whose invariant-gate memo and recurrence
+/// prefix caches stay warm across executions with unchanged bindings.
+/// Gate predicates resolve through the shared PredCompileCache, so a
+/// predicate appearing both as a cascade stage and inside a USR gate is
+/// lowered exactly once session-wide.
+class USRCompileCache {
+public:
+  USRCompileCache(const sym::Context &Sym, PredCompileCache &Preds)
+      : Sym(Sym), Preds(Preds) {}
+
+  /// Compiles \p S on first use (plan-time warmup calls this eagerly).
+  const usr::CompiledUSR *get(const usr::USR *S);
+
+  /// Compiles (once) and evaluates emptiness through the pooled frame;
+  /// a root recurrence is chunked across \p Pool when one is given.
+  std::optional<bool> emptiness(const usr::USR *S, const sym::Bindings &B,
+                                ThreadPool *Pool = nullptr,
+                                usr::USREvalStats *Stats = nullptr);
+
+  size_t size() const { return Cache.size(); }
+
+private:
+  struct Entry {
+    std::unique_ptr<usr::CompiledUSR> Code;
+    usr::CompiledUSR::PooledFrame Frame;
+  };
+  Entry &entryFor(const usr::USR *S);
+
+  const sym::Context &Sym;
+  PredCompileCache &Preds;
+  std::unordered_map<const usr::USR *, Entry> Cache;
 };
 
 /// Pooled per-predicate evaluation frames. One frame per compiled

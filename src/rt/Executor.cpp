@@ -67,7 +67,10 @@ bool Executor::computeBounds(const usr::USR *S, sym::Bindings &B,
 std::optional<bool> HoistCache::emptiness(const usr::USR *S,
                                           sym::Bindings &B,
                                           const sym::Context &Ctx,
-                                          bool &WasHit) {
+                                          bool &WasHit,
+                                          USRCompileCache *Compiled,
+                                          ThreadPool *Pool,
+                                          usr::USREvalStats *Stats) {
   // Hash the values of the USR's free symbols (scalars + index arrays)
   // twice with independent mixings: H keys the cache, H2 verifies the hit
   // so a primary collision cannot silently return a wrong emptiness
@@ -112,7 +115,8 @@ std::optional<bool> HoistCache::emptiness(const usr::USR *S,
   if (It != Cache.end())
     ++Collisions; // Same primary hash, different inputs: re-evaluate.
   WasHit = false;
-  auto V = usr::evalUSREmpty(S, B);
+  auto V = Compiled ? Compiled->emptiness(S, B, Pool, Stats)
+                    : usr::evalUSREmpty(S, B, 1u << 22, Stats);
   if (V)
     Cache[K] = Entry{H2, *V}; // Most recent inputs win the slot.
   return V;
@@ -193,7 +197,8 @@ int Executor::runCascade(const TestCascade &C, const CompiledCascade *Pre,
 ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
                                sym::Bindings &B, ThreadPool &Pool,
                                HoistCache *Hoist, const PlanCascades *Pre,
-                               FramePool *Frames) {
+                               FramePool *Frames,
+                               USRCompileCache *UsrCompile) {
   assert((!Pre || Pre->Arrays.size() == Plan.Arrays.size()) &&
          "plan cascades must be built from this plan");
   ExecStats Stats;
@@ -234,18 +239,30 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
     // Exact USR evaluation is deployed only when its cost amortizes
     // across repeated executions (Sec. 5: "If we can amortize the cost of
     // the exact test ... we use direct evaluation of IND-USR, otherwise
-    // we use TLS").
+    // we use TLS"). Evaluations (HoistCache misses included) route
+    // through the compiled interval-run engine unless the interpreter
+    // path was selected for A/B measurement; each evaluation is counted
+    // once, here, on whichever path it took.
+    USRCompileCache *UC =
+        UseCompiledUSRs ? (UsrCompile ? UsrCompile : &OwnUsrCompile)
+                        : nullptr;
     auto ExactEmpty = [&](const usr::USR *S) -> bool {
       if (!S || !Plan.Hoistable)
         return false;
       double TE = nowSeconds();
       std::optional<bool> V;
-      if (Hoist) {
-        bool Hit = false;
-        V = Hoist->emptiness(S, B, Sym, Hit);
-      } else {
-        V = usr::evalUSREmpty(S, B);
-      }
+      usr::USREvalStats US;
+      bool Hit = false;
+      if (Hoist)
+        V = Hoist->emptiness(S, B, Sym, Hit, UC, &Pool, &US);
+      else if (UC)
+        V = UC->emptiness(S, B, &Pool, &US);
+      else
+        V = usr::evalUSREmpty(S, B, 1u << 22, &US);
+      if (!Hit)
+        ++(UC ? Stats.CompiledUSREvals : Stats.InterpUSREvals);
+      Stats.USRRunsProduced += US.RunsProduced;
+      Stats.USRPointsAvoided += US.PointsAvoided;
       Stats.ExactTestSeconds += nowSeconds() - TE;
       Stats.UsedExactTest = true;
       return V.value_or(false);

@@ -69,6 +69,16 @@ struct ExecStats {
   /// binds vs. evaluations that reused the pooled frame unchanged.
   uint64_t FrameBinds = 0;
   uint64_t FrameRebindsSkipped = 0;
+  /// Exact-test (HOIST-USR fallback) evaluations routed through the
+  /// compiled interval-run engine vs. the reference interpreter,
+  /// governor-counted symmetrically like the predicate split above.
+  /// HoistCache hits evaluate nothing and count as neither.
+  uint64_t CompiledUSREvals = 0;
+  uint64_t InterpUSREvals = 0;
+  /// Interval runs produced by compiled exact tests and the point
+  /// enumerations they made unnecessary (usr::USREvalStats).
+  uint64_t USRRunsProduced = 0;
+  uint64_t USRPointsAvoided = 0;
 };
 
 /// Memoization cache for hoisted exact tests (HOIST-USR, Sec. 5): the
@@ -83,9 +93,15 @@ struct ExecStats {
 class HoistCache {
 public:
   /// Returns the cached emptiness answer, or evaluates and caches it.
-  /// Nullopt when evaluation itself fails.
+  /// Nullopt when evaluation itself fails. A miss evaluates through the
+  /// compiled interval-run engine when \p Compiled is given (chunking a
+  /// root recurrence across \p Pool), through the reference interpreter
+  /// otherwise.
   std::optional<bool> emptiness(const usr::USR *S, sym::Bindings &B,
-                                const sym::Context &Ctx, bool &WasHit);
+                                const sym::Context &Ctx, bool &WasHit,
+                                USRCompileCache *Compiled = nullptr,
+                                ThreadPool *Pool = nullptr,
+                                usr::USREvalStats *Stats = nullptr);
 
   size_t size() const { return Cache.size(); }
   /// Primary-hash collisions detected via the verification hash (the
@@ -120,7 +136,8 @@ private:
 class Executor {
 public:
   Executor(ir::Program &Prog, usr::USRContext &Ctx)
-      : Prog(Prog), Ctx(Ctx), Sym(Ctx.symCtx()), OwnCompile(Ctx.symCtx()) {}
+      : Prog(Prog), Ctx(Ctx), Sym(Ctx.symCtx()), OwnCompile(Ctx.symCtx()),
+        OwnUsrCompile(Ctx.symCtx(), OwnCompile) {}
 
   /// Plain sequential interpretation of a statement list.
   void runStmts(const std::vector<const ir::Stmt *> &Stmts, Memory &M,
@@ -131,14 +148,17 @@ public:
 
   /// Hybrid execution under a plan: predicate cascades, technique
   /// selection, exact-test / TLS fallback, parallel interpretation.
-  /// \p Pre and \p Frames are the session-provided plan-time artifacts:
-  /// when present, cascade stage vectors are neither rebuilt nor
-  /// re-sorted per execution and predicate frames are pooled.
+  /// \p Pre, \p Frames and \p UsrCompile are the session-provided
+  /// plan-time artifacts: when present, cascade stage vectors are neither
+  /// rebuilt nor re-sorted per execution, predicate frames are pooled,
+  /// and exact tests run the session-cached compiled USRs (a standalone
+  /// executor compiles lazily through its own caches).
   ExecStats runPlanned(const analysis::LoopPlan &Plan, Memory &M,
                        sym::Bindings &B, ThreadPool &Pool,
                        HoistCache *Hoist = nullptr,
                        const PlanCascades *Pre = nullptr,
-                       FramePool *Frames = nullptr);
+                       FramePool *Frames = nullptr,
+                       USRCompileCache *UsrCompile = nullptr);
 
   /// CIV-COMP: precomputes civ@pre / join pseudo-arrays into \p B by a
   /// sequential slice of the loop (only control flow and CIV updates).
@@ -157,10 +177,19 @@ public:
   void setUseCompiledPredicates(bool Use) { UseCompiledPreds = Use; }
   bool useCompiledPredicates() const { return UseCompiledPreds; }
 
+  /// Switches exact-test (HOIST-USR fallback) evaluation between the
+  /// compiled interval-run engine (default) and the reference
+  /// interpreter (usr::evalUSREmpty) — the A/B measurement and parity
+  /// oracle for the compiled-USR layer.
+  void setUseCompiledUSRs(bool Use) { UseCompiledUSRs = Use; }
+  bool useCompiledUSRs() const { return UseCompiledUSRs; }
+
   /// Number of distinct cascade-stage predicates compiled by this
   /// executor's own lazy cache (standalone use; sessions compile through
   /// their shared PredCompileCache instead).
   size_t numCompiledPreds() const { return OwnCompile.size(); }
+  /// Same for independence USRs compiled by the executor's own cache.
+  size_t numCompiledUSRs() const { return OwnUsrCompile.size(); }
 
 private:
   bool runSpeculative(const analysis::LoopPlan &Plan, Memory &M,
@@ -177,9 +206,11 @@ private:
   ir::Program &Prog;
   usr::USRContext &Ctx;
   sym::Context &Sym;
-  /// Lazy compile-once cache for standalone (non-session) use.
+  /// Lazy compile-once caches for standalone (non-session) use.
   PredCompileCache OwnCompile;
+  USRCompileCache OwnUsrCompile;
   bool UseCompiledPreds = true;
+  bool UseCompiledUSRs = true;
 };
 
 } // namespace rt

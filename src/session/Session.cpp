@@ -12,8 +12,10 @@ using namespace halo::session;
 
 Session::Session(ir::Program &Prog, usr::USRContext &Ctx, SessionOptions O)
     : Prog(Prog), Ctx(Ctx), Opts(std::move(O)), Pool(Opts.Threads),
-      Exec(Prog, Ctx), Compile(Ctx.symCtx()) {
+      Exec(Prog, Ctx), Compile(Ctx.symCtx()),
+      UsrCompile(Ctx.symCtx(), Compile) {
   Exec.setUseCompiledPredicates(Opts.UseCompiledPredicates);
+  Exec.setUseCompiledUSRs(Opts.UseCompiledUSRs);
 }
 
 PreparedLoop &Session::prepareWith(const ir::DoLoop &Loop,
@@ -25,6 +27,15 @@ PreparedLoop &Session::prepareWith(const ir::DoLoop &Loop,
   // Built against the plan in its final (heap) location: cascade stages
   // keep pointers into Plan.Arrays.
   PL->Cascades = rt::PlanCascades::build(PL->Plan, Compile);
+  // Warm the compiled-USR cache at plan time: every independence USR the
+  // HOIST-USR fallback can reach is lowered once here, so no execution
+  // ever pays USR compilation.
+  if (Opts.UseCompiledUSRs && PL->Plan.Hoistable)
+    for (const analysis::ArrayPlan &AP : PL->Plan.Arrays)
+      for (const usr::USR *S :
+           {AP.FlowUSR, AP.OutputUSR, AP.ExtRedUSR})
+        if (S)
+          (void)UsrCompile.get(S);
   auto &Slot = Plans[&Loop];
   Slot = std::move(PL);
   return *Slot;
@@ -50,8 +61,8 @@ rt::ExecStats Session::run(const ir::DoLoop &Loop, rt::Memory &M,
   PreparedLoop &PL =
       It != Plans.end() ? *It->second : prepareWith(Loop, Opts.Analyzer);
   ++PL.Executions;
-  return Exec.runPlanned(PL.Plan, M, B, Pool, &Hoist, &PL.Cascades,
-                         &Frames);
+  return Exec.runPlanned(PL.Plan, M, B, Pool, &Hoist, &PL.Cascades, &Frames,
+                         Opts.UseCompiledUSRs ? &UsrCompile : nullptr);
 }
 
 std::vector<rt::ExecStats> Session::runBatch(const ir::DoLoop &Loop,

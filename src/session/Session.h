@@ -46,6 +46,10 @@ struct SessionOptions {
   /// Route cascade evaluation through compiled bytecode (default) or the
   /// reference tree interpreter (A/B measurement, parity oracle).
   bool UseCompiledPredicates = true;
+  /// Route exact tests (HOIST-USR fallback) through the compiled
+  /// interval-run USR engine (default) or the reference interpreter
+  /// (A/B measurement, parity oracle).
+  bool UseCompiledUSRs = true;
   /// Default analyzer options for plans prepared without explicit
   /// options. Per-loop knobs (probe bindings, hoistable context) go
   /// through prepare(Loop, Opts).
@@ -113,9 +117,11 @@ public:
   ThreadPool &pool() { return Pool; }
   rt::Executor &executor() { return Exec; }
   rt::HoistCache &hoistCache() { return Hoist; }
+  rt::USRCompileCache &usrCompileCache() { return UsrCompile; }
   const SessionOptions &options() const { return Opts; }
   size_t numPreparedLoops() const { return Plans.size(); }
   size_t numCompiledPreds() const { return Compile.size(); }
+  size_t numCompiledUSRs() const { return UsrCompile.size(); }
   size_t numPooledFrames() const { return Frames.size(); }
 
 private:
@@ -130,6 +136,9 @@ private:
   rt::PredCompileCache Compile;
   rt::HoistCache Hoist;
   rt::FramePool Frames;
+  /// Compiled independence USRs (exact-test fallbacks), warmed at plan
+  /// time for hoistable plans and shared across executions.
+  rt::USRCompileCache UsrCompile;
   std::unordered_map<const ir::DoLoop *, std::unique_ptr<PreparedLoop>>
       Plans;
 };

@@ -31,10 +31,27 @@
 namespace halo {
 namespace usr {
 
-/// Cost accounting for the RTov measurements.
+/// Cost accounting for the RTov measurements. Shared by this reference
+/// interpreter and the interval-run bytecode engine (usr/USRCompile.h) so
+/// callers can aggregate either path.
 struct USREvalStats {
   uint64_t NodesVisited = 0;
   uint64_t PointsMaterialized = 0;
+  /// Interval runs produced by compiled leaf evaluation (the compiled
+  /// engine's unit of work; the interpreter reports 0).
+  uint64_t RunsProduced = 0;
+  /// Points the produced runs denote minus the runs it took to represent
+  /// them — the enumeration work the run representation avoided relative
+  /// to this point-materializing interpreter.
+  uint64_t PointsAvoided = 0;
+
+  USREvalStats &operator+=(const USREvalStats &O) {
+    NodesVisited += O.NodesVisited;
+    PointsMaterialized += O.PointsMaterialized;
+    RunsProduced += O.RunsProduced;
+    PointsAvoided += O.PointsAvoided;
+    return *this;
+  }
 };
 
 /// Evaluates \p S to the sorted, deduplicated set of offsets it denotes.
@@ -44,7 +61,15 @@ std::optional<std::vector<int64_t>>
 evalUSR(const USR *S, sym::Bindings &B, size_t Cap = 1u << 22,
         USREvalStats *Stats = nullptr);
 
-/// Convenience emptiness test: true iff the set evaluates to empty.
+/// Emptiness test: true iff the set evaluates to empty. Short-circuits:
+/// any provably nonempty contribution at union polarity (a leaf with a
+/// positive point count, a nonempty recurrence iteration) decides "not
+/// empty" immediately — before materializing anything and before the \p
+/// Cap can trigger — since a superset of a nonempty set is nonempty under
+/// every extension of the bindings. nullopt only when evaluation fails
+/// (unbound symbol, out-of-bounds read, cap exceeded in a sub-evaluation
+/// that must be materialized, e.g. an Intersect operand) without earlier
+/// nonemptiness evidence.
 std::optional<bool> evalUSREmpty(const USR *S, sym::Bindings &B,
                                  size_t Cap = 1u << 22,
                                  USREvalStats *Stats = nullptr);

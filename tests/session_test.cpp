@@ -321,6 +321,43 @@ TEST_F(SessionFixture, InterpreterPathSessionIsExactOracle) {
   }
 }
 
+TEST_F(SessionFixture, CompiledUSREngineMatchesInterpreterSessions) {
+  // HOIST-USR answers must be identical with the compiled interval-run
+  // USR engine on and off: same Memory bits, same exact-test outcomes,
+  // and the governor-counted compiled/interpreted USR split symmetric
+  // (both sessions see the same dataset sequence, so their HOIST caches
+  // miss on exactly the same executions).
+  session::SessionOptions SO;
+  SO.Threads = 2;
+  session::Session SC(B.prog(), B.usr(), SO); // Compiled interval runs.
+  SO.UseCompiledUSRs = false;
+  session::Session SI(B.prog(), B.usr(), SO); // Interpreter exact tests.
+  SC.prepare(*Irregular, optsFor(Irregular));
+  SI.prepare(*Irregular, optsFor(Irregular));
+  EXPECT_GT(SC.numCompiledUSRs(), 0u); // Plan-time warmup lowered them.
+  EXPECT_EQ(SI.numCompiledUSRs(), 0u);
+
+  rt::Memory MS, MR;
+  sym::Bindings BS, BR;
+  Rng R(1234);
+  uint64_t CompiledEvals = 0, InterpEvals = 0;
+  for (int E = 0; E < 8; ++E) {
+    mutate(R, BS, BR, MS, MR, E == 0);
+    rt::ExecStats A = SC.run(*Irregular, MS, BS);
+    rt::ExecStats I = SI.run(*Irregular, MR, BR);
+    EXPECT_EQ(A.UsedExactTest, I.UsedExactTest);
+    EXPECT_EQ(A.RanParallel, I.RanParallel);
+    EXPECT_EQ(A.UsedTLS, I.UsedTLS);
+    expectMemoryEq(MS, MR, "hoist-usr A/B");
+    EXPECT_EQ(A.InterpUSREvals, 0u) << "compiled session fell back";
+    EXPECT_EQ(I.CompiledUSREvals, 0u) << "oracle ran the compiled engine";
+    CompiledEvals += A.CompiledUSREvals;
+    InterpEvals += I.InterpUSREvals;
+  }
+  EXPECT_GT(CompiledEvals, 0u);
+  EXPECT_EQ(CompiledEvals, InterpEvals);
+}
+
 TEST(SessionHoistCacheTest, VerifiedHitsStayCorrectAcrossDatasets) {
   // The HOIST-USR cache must serve hits only for identical relevant
   // inputs (verified, collision-safe) and re-evaluate otherwise:
