@@ -17,6 +17,17 @@
 ///  - FramePool:        per-predicate pooled evaluation frames so repeated
 ///    executions skip frame allocation and symbol re-binding.
 ///
+/// Thread-safety contract: none of these caches lock. PredCompileCache /
+/// USRCompileCache / FramePool are *shard-local* by design — the serving
+/// layer (src/serve) gives every shard its own session (and therefore its
+/// own instances of all three) and serializes execution within a shard, so
+/// the caches are only ever touched by one thread at a time. In
+/// particular USRCompileCache keeps exactly one pooled frame per USR
+/// (whose gate memos and prefix caches are mutable across evaluations):
+/// sharing one instance between concurrently-executing threads would race
+/// on those frames. Compiled bytecode itself (CompiledPred / CompiledUSR)
+/// is immutable after compilation and may be read from any thread.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HALO_RT_COMPILEDCASCADE_H

@@ -79,6 +79,37 @@ struct ExecStats {
   /// enumerations they made unnecessary (usr::USREvalStats).
   uint64_t USRRunsProduced = 0;
   uint64_t USRPointsAvoided = 0;
+
+  /// Accumulates \p O into this: times and event counters sum, the
+  /// boolean outcomes OR (e.g. `RanParallel` means "any accumulated
+  /// execution ran parallel") and CascadeDepthUsed keeps the deepest
+  /// stage. The serving layer folds per-request stats into per-shard
+  /// totals with this.
+  ExecStats &operator+=(const ExecStats &O) {
+    TotalSeconds += O.TotalSeconds;
+    PredicateSeconds += O.PredicateSeconds;
+    CivSliceSeconds += O.CivSliceSeconds;
+    ExactTestSeconds += O.ExactTestSeconds;
+    BoundsCompSeconds += O.BoundsCompSeconds;
+    RanParallel |= O.RanParallel;
+    UsedExactTest |= O.UsedExactTest;
+    UsedTLS |= O.UsedTLS;
+    TLSSucceeded |= O.TLSSucceeded;
+    CascadeDepthUsed = CascadeDepthUsed > O.CascadeDepthUsed
+                           ? CascadeDepthUsed
+                           : O.CascadeDepthUsed;
+    PredicateLeafEvals += O.PredicateLeafEvals;
+    PredMemoHits += O.PredMemoHits;
+    CompiledPredEvals += O.CompiledPredEvals;
+    InterpPredEvals += O.InterpPredEvals;
+    FrameBinds += O.FrameBinds;
+    FrameRebindsSkipped += O.FrameRebindsSkipped;
+    CompiledUSREvals += O.CompiledUSREvals;
+    InterpUSREvals += O.InterpUSREvals;
+    USRRunsProduced += O.USRRunsProduced;
+    USRPointsAvoided += O.USRPointsAvoided;
+    return *this;
+  }
 };
 
 /// Memoization cache for hoisted exact tests (HOIST-USR, Sec. 5): the

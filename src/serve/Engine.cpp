@@ -1,0 +1,256 @@
+//===- serve/Engine.cpp - Concurrent multi-program serving engine ---------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Engine.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+using namespace halo;
+using namespace halo::serve;
+
+namespace {
+
+EngineOptions sanitized(EngineOptions O) {
+  O.Shards = std::max(1u, O.Shards);
+  O.Workers = std::max(1u, O.Workers);
+  O.QueueCapacity = std::max<size_t>(1, O.QueueCapacity);
+  return O;
+}
+
+} // namespace
+
+Engine::Engine(EngineOptions O)
+    : Opts(sanitized(std::move(O))), Queue(Opts.QueueCapacity),
+      Workers(Opts.Workers, ThreadPool::SingleThread::Spawn) {
+  Shards.reserve(Opts.Shards);
+  for (unsigned I = 0; I != Opts.Shards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+  // Every worker becomes a drainer of the request queue for the engine's
+  // whole lifetime; the pool is dedicated to that (requests fan out over
+  // shards, not over this pool).
+  Workers.drainQueue(Queue);
+}
+
+Engine::~Engine() {
+  // Refuse new requests, let the workers serve everything already
+  // accepted (close() keeps the queue poppable until drained), then the
+  // ThreadPool member's destructor joins them.
+  Queue.close();
+}
+
+ProgramId Engine::addProgram(ir::Program &Prog, usr::USRContext &Ctx) {
+  ++PendingExclusive;
+  std::unique_lock<std::shared_mutex> Cfg(ConfigLock);
+  --PendingExclusive;
+  Programs.push_back(ProgramEntry{&Prog, &Ctx});
+  return static_cast<ProgramId>(Programs.size() - 1);
+}
+
+const session::PreparedLoop &
+Engine::prepareImpl(ProgramId Program, const ir::DoLoop &Loop,
+                    const analysis::AnalyzerOptions *AOpts) {
+  // Announce the exclusive intent first: workers pause before taking new
+  // shared locks, so a reader-preferring rwlock cannot starve warm-up
+  // under sustained traffic (see process()).
+  ++PendingExclusive;
+  std::unique_lock<std::shared_mutex> Cfg(ConfigLock);
+  --PendingExclusive;
+  ProgramEntry &PE = Programs.at(Program);
+  Shard &S = *Shards[shardOf(Program, Loop)];
+  std::unique_ptr<session::Session> &Sess = S.Sessions[Program];
+  if (!Sess)
+    Sess = std::make_unique<session::Session>(*PE.Prog, *PE.Ctx,
+                                              Opts.Session);
+  const session::PreparedLoop &PL =
+      AOpts ? Sess->prepare(Loop, *AOpts) : Sess->prepare(Loop);
+  Labels[{Program, Loop.getLabel()}] = &Loop;
+  return PL;
+}
+
+const session::PreparedLoop &
+Engine::prepare(ProgramId Program, const ir::DoLoop &Loop,
+                const analysis::AnalyzerOptions &AOpts) {
+  return prepareImpl(Program, Loop, &AOpts);
+}
+
+const session::PreparedLoop &Engine::prepare(ProgramId Program,
+                                             const ir::DoLoop &Loop) {
+  return prepareImpl(Program, Loop, nullptr);
+}
+
+const ir::DoLoop *Engine::findLoop(ProgramId Program,
+                                   std::string_view Label) const {
+  std::shared_lock<std::shared_mutex> Cfg(ConfigLock);
+  auto It = Labels.find({Program, std::string(Label)});
+  return It == Labels.end() ? nullptr : It->second;
+}
+
+unsigned Engine::shardOf(ProgramId Program, const ir::DoLoop &Loop) const {
+  // Hash-sharded registry: route by (program, loop) so one hot program's
+  // loops spread over shards while any single loop always lands on the
+  // shard whose caches served it before.
+  size_t H = std::hash<const ir::DoLoop *>{}(&Loop);
+  hashCombine(H, static_cast<size_t>(Program) + 0x9e3779b9u);
+  return static_cast<unsigned>(H % Shards.size());
+}
+
+void Engine::finishOne() {
+  {
+    std::lock_guard<std::mutex> L(FinMutex);
+    ++Finished;
+  }
+  FinCv.notify_all();
+}
+
+Response Engine::process(const Request &R) {
+  // Shared: excludes addProgram/prepare (which intern into the shared
+  // contexts) but runs concurrently with every other request. The
+  // pending-exclusive gate gives warm-up writer preference: glibc's
+  // rwlock lets new readers barge past a waiting writer, so without the
+  // pause a saturated serving plane would starve prepare() forever.
+  while (PendingExclusive.load(std::memory_order_acquire) > 0)
+    std::this_thread::yield();
+  std::shared_lock<std::shared_mutex> Cfg(ConfigLock);
+  Response Resp;
+  if (R.Program >= Programs.size() || !R.Loop) {
+    std::lock_guard<std::mutex> L(FinMutex);
+    ++UnroutableCount;
+    Resp.Error = R.Loop ? "unknown program id" : "null loop";
+    return Resp;
+  }
+  const unsigned SI = shardOf(R.Program, *R.Loop);
+  Resp.Shard = SI;
+  Shard &S = *Shards[SI];
+  std::lock_guard<std::mutex> SL(S.M);
+  auto It = S.Sessions.find(R.Program);
+  session::Session *Sess = It == S.Sessions.end() ? nullptr
+                                                  : It->second.get();
+  if (!Sess || !Sess->isPrepared(*R.Loop)) {
+    ++S.Stats.Failed;
+    Resp.Error = "loop was never prepared on this engine";
+    return Resp;
+  }
+  if (!R.M || !R.B) {
+    ++S.Stats.Failed;
+    Resp.Error = "request carries no memory/bindings";
+    return Resp;
+  }
+  const unsigned Repeats = std::max(1u, R.Repeats);
+  Resp.Stats.reserve(Repeats);
+  for (unsigned E = 0; E != Repeats; ++E) {
+    // Never analyzes (the loop is prepared): shared contexts stay
+    // read-only, per the concurrency contract.
+    std::optional<rt::ExecStats> St = Sess->runPrepared(*R.Loop, *R.M, *R.B);
+    assert(St && "isPrepared was just checked under the shard lock");
+    S.Stats.Exec += *St;
+    ++S.Stats.Executions;
+    Resp.Stats.push_back(*St);
+  }
+  ++S.Stats.Completed;
+  Resp.OK = true;
+  return Resp;
+}
+
+std::future<Response> Engine::submit(Request R) {
+  auto Prom = std::make_shared<std::promise<Response>>();
+  std::future<Response> Fut = Prom->get_future();
+  {
+    std::lock_guard<std::mutex> L(FinMutex);
+    ++Accepted;
+  }
+  const bool Queued = Queue.push([this, R, Prom] {
+    Prom->set_value(process(R));
+    finishOne();
+  });
+  if (!Queued) {
+    // Engine shutting down: resolve the future instead of abandoning it.
+    // Nothing was admitted, so this counts as rejected, not submitted.
+    {
+      std::lock_guard<std::mutex> L(FinMutex);
+      --Accepted;
+      ++RejectedCount;
+    }
+    FinCv.notify_all();
+    Response Resp;
+    Resp.Error = "engine is shut down";
+    Prom->set_value(std::move(Resp));
+  }
+  return Fut;
+}
+
+bool Engine::trySubmit(Request R, std::future<Response> &Out) {
+  auto Prom = std::make_shared<std::promise<Response>>();
+  std::future<Response> Fut = Prom->get_future();
+  {
+    std::lock_guard<std::mutex> L(FinMutex);
+    ++Accepted;
+  }
+  const bool Queued = Queue.tryPush([this, R, Prom] {
+    Prom->set_value(process(R));
+    finishOne();
+  });
+  if (!Queued) {
+    {
+      std::lock_guard<std::mutex> L(FinMutex);
+      --Accepted; // Nothing admitted; undo for drain accounting.
+      ++RejectedCount;
+    }
+    // The transient ++Accepted may have parked a drain(); re-evaluate.
+    FinCv.notify_all();
+    return false;
+  }
+  Out = std::move(Fut);
+  return true;
+}
+
+std::vector<std::future<Response>> Engine::submitBatch(
+    std::vector<Request> Rs) {
+  std::vector<std::future<Response>> Out;
+  Out.reserve(Rs.size());
+  for (Request &R : Rs)
+    Out.push_back(submit(R));
+  return Out;
+}
+
+void Engine::drain() {
+  std::unique_lock<std::mutex> L(FinMutex);
+  FinCv.wait(L, [this] { return Finished >= Accepted; });
+}
+
+ServeStats Engine::stats() const {
+  std::shared_lock<std::shared_mutex> Cfg(ConfigLock);
+  ServeStats Out;
+  {
+    std::lock_guard<std::mutex> L(FinMutex);
+    Out.Submitted = Accepted;
+    Out.Rejected = RejectedCount;
+    Out.Unroutable = UnroutableCount;
+  }
+  Out.QueueDepth = Queue.size();
+  Out.PeakQueueDepth = Queue.peakDepth();
+  Out.Shards.reserve(Shards.size());
+  for (const std::unique_ptr<Shard> &SP : Shards) {
+    Shard &S = *SP;
+    std::lock_guard<std::mutex> SL(S.M);
+    ShardStats SS = S.Stats;
+    SS.Programs = S.Sessions.size();
+    for (const auto &KV : S.Sessions) {
+      SS.PreparedLoops += KV.second->numPreparedLoops();
+      SS.CompiledPreds += KV.second->numCompiledPreds();
+      SS.CompiledUSRs += KV.second->numCompiledUSRs();
+      SS.PooledFrames += KV.second->numPooledFrames();
+    }
+    Out.Shards.push_back(std::move(SS));
+  }
+  return Out;
+}

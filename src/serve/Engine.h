@@ -1,0 +1,270 @@
+//===- serve/Engine.h - Concurrent multi-program serving engine -*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// halo::serve::Engine — the analyze-once / execute-MANY-CLIENTS layer.
+///
+/// The paper's HOIST-USR amortization argument (Sec. 5) pays off when one
+/// analysis serves many executions; the session layer (session/Session.h)
+/// made that one-program and single-threaded. The engine makes it
+/// concurrent and multi-program:
+///
+///  - it owns N *shards*, each wrapping per-program sessions with their
+///    own plan / predicate-compile / USR-compile caches and frame pools
+///    (shard-local, so no cache ever needs a lock — see the contract in
+///    rt/CompiledCascade.h);
+///  - a registry hash-routes every (program, loop) pair to one shard, so
+///    a hot program's loops spread across shards while every request for
+///    the same loop always lands where its caches are warm;
+///  - submit()/submitBatch() enqueue execution requests onto a bounded
+///    MPMC work queue (support/ThreadPool.h BoundedWorkQueue) drained by
+///    a pool of worker threads; push-side backpressure (submit blocks at
+///    capacity, trySubmit sheds load) bounds memory under overload;
+///  - ServeStats aggregates the per-execution rt::ExecStats into
+///    per-shard and engine-wide totals.
+///
+/// Concurrency contract (enforced, not just documented):
+///
+///  1. addProgram()/prepare() take the engine's config lock *exclusively*
+///     — analysis interns into the program's shared symbol/predicate/USR
+///     contexts, so it must never overlap an execution of that program.
+///  2. Workers take the config lock *shared* per request and the target
+///     shard's mutex for the execution itself; shard state (sessions,
+///     caches, pooled frames, stats) is only ever touched by the one
+///     worker holding that shard.
+///  3. Requests execute through Session::runPrepared(), which never
+///     analyzes: after warm-up the shared contexts are read-only, so any
+///     number of shards may serve the same program concurrently.
+///
+/// Each request brings its own rt::Memory / sym::Bindings (the request's
+/// dataset); results are therefore bit-identical to running the same
+/// request sequentially through a lone Session (tests/serve_test.cpp pins
+/// this under ThreadSanitizer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SERVE_ENGINE_H
+#define HALO_SERVE_ENGINE_H
+
+#include "session/Session.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace halo {
+namespace serve {
+
+/// Handle for one registered program (index into the engine's program
+/// table; returned by Engine::addProgram).
+using ProgramId = uint32_t;
+
+/// Engine sizing knobs, fixed at construction.
+struct EngineOptions {
+  /// Number of shards (independent session groups). More shards = more
+  /// concurrent executions, at the cost of one set of caches per shard.
+  unsigned Shards = 4;
+  /// Worker threads draining the request queue.
+  unsigned Workers = 2;
+  /// Bounded request-queue capacity (the backpressure point).
+  size_t QueueCapacity = 256;
+  /// Template for every shard session. Threads defaults to 1 here (unlike
+  /// a standalone session): serving-side parallelism comes from shards x
+  /// workers, not from fan-out inside one request.
+  session::SessionOptions Session;
+
+  EngineOptions() { Session.Threads = 1; }
+};
+
+/// One execution request. The caller owns \p M and \p B (the request's
+/// dataset) and must keep them alive and untouched until the response
+/// future resolves.
+struct Request {
+  ProgramId Program = 0;
+  const ir::DoLoop *Loop = nullptr;
+  rt::Memory *M = nullptr;
+  sym::Bindings *B = nullptr;
+  /// Executions of the loop to run back-to-back (a mini runBatch); the
+  /// whole batch runs on one shard without releasing it.
+  unsigned Repeats = 1;
+};
+
+/// What a request resolves to.
+struct Response {
+  bool OK = false;
+  /// Why the request failed (set iff OK is false): unknown program id,
+  /// loop never prepared, null dataset.
+  std::string Error;
+  /// Shard that served (or would have served) the request; ~0u when the
+  /// request was unroutable (unknown program / null loop).
+  unsigned Shard = ~0u;
+  /// Per-repeat execution stats, in order.
+  std::vector<rt::ExecStats> Stats;
+};
+
+/// Per-shard serving totals (a snapshot; see Engine::stats).
+struct ShardStats {
+  uint64_t Completed = 0;  ///< Requests served successfully.
+  uint64_t Failed = 0;     ///< Requests that failed shard-side validation.
+  uint64_t Executions = 0; ///< Loop executions (sum of request repeats).
+  rt::ExecStats Exec;      ///< All per-execution stats, accumulated.
+  size_t Programs = 0;      ///< Programs with a session on this shard.
+  size_t PreparedLoops = 0; ///< Plans cached across the shard's sessions.
+  size_t CompiledPreds = 0; ///< Predicates lowered by the shard's caches.
+  size_t CompiledUSRs = 0;  ///< USRs lowered by the shard's caches.
+  size_t PooledFrames = 0;  ///< Pooled predicate frames on the shard.
+
+  ShardStats &operator+=(const ShardStats &O) {
+    Completed += O.Completed;
+    Failed += O.Failed;
+    Executions += O.Executions;
+    Exec += O.Exec;
+    Programs += O.Programs;
+    PreparedLoops += O.PreparedLoops;
+    CompiledPreds += O.CompiledPreds;
+    CompiledUSRs += O.CompiledUSRs;
+    PooledFrames += O.PooledFrames;
+    return *this;
+  }
+};
+
+/// Engine-wide serving totals (a snapshot; see Engine::stats).
+struct ServeStats {
+  uint64_t Submitted = 0;  ///< Requests accepted onto the queue.
+  uint64_t Rejected = 0;   ///< trySubmit loads shed at capacity.
+  uint64_t Unroutable = 0; ///< Requests with no valid shard target.
+  size_t QueueDepth = 0;     ///< Requests queued right now.
+  size_t PeakQueueDepth = 0; ///< Queue high-water mark since construction.
+  std::vector<ShardStats> Shards; ///< One entry per shard, in shard order.
+
+  /// Sums the per-shard entries.
+  ShardStats totals() const {
+    ShardStats T;
+    for (const ShardStats &S : Shards)
+      T += S;
+    return T;
+  }
+};
+
+/// The thread-safe multi-program serving engine. See the file comment for
+/// the shard/queue architecture and the concurrency contract.
+class Engine {
+public:
+  explicit Engine(EngineOptions Opts = EngineOptions());
+  /// Closes the queue, serves every already-accepted request, then joins
+  /// the workers. No accepted request's future is ever abandoned.
+  ~Engine();
+
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  /// Registers a program for serving and returns its handle. \p Prog and
+  /// \p Ctx must outlive the engine. Takes the config lock exclusively
+  /// (waits for in-flight requests; see the concurrency contract).
+  ProgramId addProgram(ir::Program &Prog, usr::USRContext &Ctx);
+
+  /// Analyzes \p Loop once, in the session of its owning shard, and
+  /// registers it for serving (the warm-up step: plans, compiled
+  /// cascades, compiled USRs and frames are all built here, so no served
+  /// request ever analyzes). Takes the config lock exclusively. Invalid
+  /// \p Program throws std::out_of_range.
+  const session::PreparedLoop &
+  prepare(ProgramId Program, const ir::DoLoop &Loop,
+          const analysis::AnalyzerOptions &Opts);
+  /// Same with the shard session's default analyzer options.
+  const session::PreparedLoop &prepare(ProgramId Program,
+                                       const ir::DoLoop &Loop);
+
+  /// Finds a prepared loop by (program, IR label) — the engine's loop-id
+  /// addressing for clients that do not hold IR pointers. Returns nullptr
+  /// for unknown ids.
+  const ir::DoLoop *findLoop(ProgramId Program,
+                             std::string_view Label) const;
+
+  /// Shard that requests for (\p Program, \p Loop) are routed to.
+  unsigned shardOf(ProgramId Program, const ir::DoLoop &Loop) const;
+  unsigned numShards() const { return static_cast<unsigned>(Shards.size()); }
+
+  /// Enqueues \p R, blocking while the queue is at capacity
+  /// (backpressure). The future resolves once a worker served the
+  /// request; an engine being destroyed resolves it with an error.
+  std::future<Response> submit(Request R);
+
+  /// Non-blocking submit: refuses (returns false, counts a rejection)
+  /// when the queue is full instead of waiting. On success \p Out is the
+  /// response future.
+  bool trySubmit(Request R, std::future<Response> &Out);
+
+  /// Enqueues every request in order (blocking semantics of submit()).
+  std::vector<std::future<Response>> submitBatch(std::vector<Request> Rs);
+
+  /// Blocks until every accepted request has been served. Must not be
+  /// called from a worker (i.e. from inside a response future chain).
+  void drain();
+
+  /// Snapshot of the serving counters, per shard and engine-wide.
+  ServeStats stats() const;
+
+private:
+  /// One shard: per-program sessions + stats, serialized by M. Only the
+  /// worker holding M touches any of it (config-exclusive phases aside).
+  struct Shard {
+    std::mutex M;
+    std::map<ProgramId, std::unique_ptr<session::Session>> Sessions;
+    ShardStats Stats;
+  };
+  struct ProgramEntry {
+    ir::Program *Prog = nullptr;
+    usr::USRContext *Ctx = nullptr;
+  };
+
+  const session::PreparedLoop &prepareImpl(ProgramId Program,
+                                           const ir::DoLoop &Loop,
+                                           const analysis::AnalyzerOptions
+                                               *AOpts);
+  Response process(const Request &R);
+  void finishOne();
+
+  EngineOptions Opts;
+  /// Exclusive for addProgram/prepare (analysis mutates shared contexts),
+  /// shared for request processing and stats snapshots.
+  mutable std::shared_mutex ConfigLock;
+  /// Writer-preference gate for ConfigLock: nonzero while an exclusive
+  /// acquisition is pending, making workers pause before taking new
+  /// shared locks (reader-preferring rwlocks would otherwise starve
+  /// warm-up under sustained traffic).
+  std::atomic<int> PendingExclusive{0};
+  std::vector<ProgramEntry> Programs;
+  /// (program, loop label) -> prepared loop, for id-based addressing.
+  std::map<std::pair<ProgramId, std::string>, const ir::DoLoop *> Labels;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  BoundedWorkQueue Queue;
+
+  /// Request accounting for drain(): Accepted counts queue admissions,
+  /// Finished counts fulfilled futures (served or shed after admission).
+  mutable std::mutex FinMutex;
+  std::condition_variable FinCv;
+  uint64_t Accepted = 0;
+  uint64_t Finished = 0;
+  uint64_t RejectedCount = 0;
+  uint64_t UnroutableCount = 0;
+
+  /// Declared last: destroyed (joined) first, while Queue still exists.
+  ThreadPool Workers;
+};
+
+} // namespace serve
+} // namespace halo
+
+#endif // HALO_SERVE_ENGINE_H

@@ -55,6 +55,17 @@ const PreparedLoop &Session::prepare(const ir::DoLoop &Loop,
 
 void Session::invalidate(const ir::DoLoop &Loop) { Plans.erase(&Loop); }
 
+bool Session::isPrepared(const ir::DoLoop &Loop) const {
+  return Plans.find(&Loop) != Plans.end();
+}
+
+const ir::DoLoop *Session::findPreparedLoop(std::string_view Label) const {
+  for (const auto &KV : Plans)
+    if (KV.first->getLabel() == Label)
+      return KV.first;
+  return nullptr;
+}
+
 rt::ExecStats Session::run(const ir::DoLoop &Loop, rt::Memory &M,
                            sym::Bindings &B) {
   auto It = Plans.find(&Loop);
@@ -65,13 +76,35 @@ rt::ExecStats Session::run(const ir::DoLoop &Loop, rt::Memory &M,
                          Opts.UseCompiledUSRs ? &UsrCompile : nullptr);
 }
 
+std::optional<rt::ExecStats> Session::runPrepared(const ir::DoLoop &Loop,
+                                                  rt::Memory &M,
+                                                  sym::Bindings &B) {
+  auto It = Plans.find(&Loop);
+  if (It == Plans.end())
+    return std::nullopt;
+  PreparedLoop &PL = *It->second;
+  ++PL.Executions;
+  return Exec.runPlanned(PL.Plan, M, B, Pool, &Hoist, &PL.Cascades, &Frames,
+                         Opts.UseCompiledUSRs ? &UsrCompile : nullptr);
+}
+
 std::vector<rt::ExecStats> Session::runBatch(const ir::DoLoop &Loop,
                                              rt::Memory &M, sym::Bindings &B,
                                              unsigned Repeats) {
+  return runBatch(Loop, M, B, Repeats, nullptr);
+}
+
+std::vector<rt::ExecStats> Session::runBatch(
+    const ir::DoLoop &Loop, rt::Memory &M, sym::Bindings &B, unsigned Repeats,
+    const std::function<void(unsigned, rt::Memory &, sym::Bindings &)>
+        &BetweenElements) {
   std::vector<rt::ExecStats> Out;
   Out.reserve(Repeats);
-  for (unsigned R = 0; R < Repeats; ++R)
+  for (unsigned R = 0; R < Repeats; ++R) {
+    if (BetweenElements)
+      BetweenElements(R, M, B);
     Out.push_back(run(Loop, M, B));
+  }
   return Out;
 }
 

@@ -33,13 +33,17 @@
 #include "analysis/Analyzer.h"
 #include "rt/Executor.h"
 
+#include <functional>
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 namespace halo {
 namespace session {
 
+/// Knobs of one session, fixed at construction.
 struct SessionOptions {
   /// Worker threads of the session-owned pool.
   unsigned Threads = 4;
@@ -67,8 +71,27 @@ struct PreparedLoop {
 };
 
 /// The analyze-once / execute-many driver for one program.
+///
+/// A session is *not* thread-safe: callers (in particular the serving
+/// layer, serve/Engine.h) must serialize access to one session. The
+/// concurrency contract that makes serialized-per-session concurrent
+/// serving sound is the prepare/execute split:
+///
+///  - prepare() (and the first run() of an unprepared loop) *analyzes*,
+///    which interns new expressions, predicates and USRs into the shared
+///    ir::Program / sym::Context / pdag::PredContext / usr::USRContext;
+///  - runPrepared() only *reads* those shared contexts — every mutation it
+///    performs lands in caller-owned Memory/Bindings or in session-local
+///    state (pooled frames, HOIST-USR memo, stats counters).
+///
+/// Therefore sessions sharing a program may execute prepared loops
+/// concurrently (one thread per session), as long as no session analyzes
+/// while another executes. See src/serve/README.md for how the engine
+/// enforces exactly that.
 class Session {
 public:
+  /// Builds a session serving \p Prog. \p Ctx must be the USR context the
+  /// program was built against; both must outlive the session.
   Session(ir::Program &Prog, usr::USRContext &Ctx,
           SessionOptions Opts = SessionOptions());
 
@@ -90,9 +113,26 @@ public:
   /// invalidating references previously returned by prepare() for it.
   void invalidate(const ir::DoLoop &Loop);
 
+  /// True when a plan for \p Loop is already cached, i.e. runPrepared()
+  /// would execute without analyzing.
+  bool isPrepared(const ir::DoLoop &Loop) const;
+
+  /// Finds an already-prepared loop by its IR label (the serving layer's
+  /// loop id). Returns nullptr when no prepared loop carries \p Label;
+  /// with duplicate labels the first prepared match wins.
+  const ir::DoLoop *findPreparedLoop(std::string_view Label) const;
+
   /// Executes \p Loop under its cached plan (preparing it on first use):
   /// cascades pre-sorted at plan time, pooled frames, HOIST-USR cache.
   rt::ExecStats run(const ir::DoLoop &Loop, rt::Memory &M, sym::Bindings &B);
+
+  /// Executes \p Loop under an *already cached* plan, or returns nullopt
+  /// when the loop was never prepared. Unlike run(), this never analyzes
+  /// and therefore never mutates the shared IR/symbol/predicate/USR
+  /// contexts — the execute side of the concurrency contract above, used
+  /// by the serving layer after warm-up.
+  std::optional<rt::ExecStats> runPrepared(const ir::DoLoop &Loop,
+                                           rt::Memory &M, sym::Bindings &B);
 
   /// Executes \p Loop \p Repeats times back-to-back against the same
   /// memory and bindings; returns per-execution stats. Execution 2..N is
@@ -100,6 +140,17 @@ public:
   /// re-setup.
   std::vector<rt::ExecStats> runBatch(const ir::DoLoop &Loop, rt::Memory &M,
                                       sym::Bindings &B, unsigned Repeats);
+
+  /// runBatch() with a caller hook invoked before every element:
+  /// BetweenElements(E, M, B) may rebind scalars/arrays (the per-request
+  /// data refresh shape). Rebinding between elements bumps the bindings
+  /// stamp, so element E+1 pays a full frame re-bind and stays exact;
+  /// untouched bindings keep the zero-re-setup steady state.
+  std::vector<rt::ExecStats>
+  runBatch(const ir::DoLoop &Loop, rt::Memory &M, sym::Bindings &B,
+           unsigned Repeats,
+           const std::function<void(unsigned, rt::Memory &, sym::Bindings &)>
+               &BetweenElements);
 
   /// Sequential interpretation (the timing baseline), through the same
   /// substrate the planned path uses.
@@ -114,14 +165,23 @@ public:
   bool computeBounds(const usr::USR *S, sym::Bindings &B, int64_t &Lo,
                      int64_t &Hi);
 
+  /// The session-owned worker pool (sized by SessionOptions::Threads).
   ThreadPool &pool() { return Pool; }
+  /// The governor executing plans for this session.
   rt::Executor &executor() { return Exec; }
+  /// The HOIST-USR exact-test memo cache (collision-verified).
   rt::HoistCache &hoistCache() { return Hoist; }
+  /// The session-wide compiled-USR cache (warmed at plan time).
   rt::USRCompileCache &usrCompileCache() { return UsrCompile; }
+  /// The options the session was constructed with.
   const SessionOptions &options() const { return Opts; }
+  /// Number of loops with a cached plan.
   size_t numPreparedLoops() const { return Plans.size(); }
+  /// Number of distinct predicates lowered by the shared compile cache.
   size_t numCompiledPreds() const { return Compile.size(); }
+  /// Number of independence USRs lowered to interval-run bytecode.
   size_t numCompiledUSRs() const { return UsrCompile.size(); }
+  /// Number of pooled per-predicate evaluation frames.
   size_t numPooledFrames() const { return Frames.size(); }
 
 private:

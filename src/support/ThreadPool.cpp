@@ -12,10 +12,85 @@
 
 using namespace halo;
 
-ThreadPool::ThreadPool(unsigned NumThreads) {
+//===----------------------------------------------------------------------===//
+// BoundedWorkQueue
+//===----------------------------------------------------------------------===//
+
+BoundedWorkQueue::BoundedWorkQueue(size_t Capacity)
+    : Capacity(std::max<size_t>(1, Capacity)) {}
+
+bool BoundedWorkQueue::push(std::function<void()> Task) {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    NotFull.wait(Lock, [this] { return Closed || Tasks.size() < Capacity; });
+    if (Closed)
+      return false;
+    Tasks.push(std::move(Task));
+    Peak = std::max(Peak, Tasks.size());
+  }
+  NotEmpty.notify_one();
+  return true;
+}
+
+bool BoundedWorkQueue::tryPush(std::function<void()> Task) {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    if (Closed || Tasks.size() >= Capacity)
+      return false;
+    Tasks.push(std::move(Task));
+    Peak = std::max(Peak, Tasks.size());
+  }
+  NotEmpty.notify_one();
+  return true;
+}
+
+std::function<void()> BoundedWorkQueue::pop() {
+  std::function<void()> Task;
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    NotEmpty.wait(Lock, [this] { return Closed || !Tasks.empty(); });
+    if (Tasks.empty())
+      return nullptr; // Closed and drained.
+    Task = std::move(Tasks.front());
+    Tasks.pop();
+  }
+  NotFull.notify_one();
+  return Task;
+}
+
+void BoundedWorkQueue::close() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Closed = true;
+  }
+  NotFull.notify_all();
+  NotEmpty.notify_all();
+}
+
+bool BoundedWorkQueue::closed() const {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  return Closed;
+}
+
+size_t BoundedWorkQueue::size() const {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  return Tasks.size();
+}
+
+size_t BoundedWorkQueue::peakDepth() const {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  return Peak;
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+ThreadPool::ThreadPool(unsigned NumThreads, SingleThread Mode) {
   NumWorkers = std::max(1u, NumThreads);
-  // A single-threaded pool runs everything inline; no workers needed.
-  if (NumWorkers == 1)
+  // A single-threaded pool runs everything inline by default; no workers
+  // needed. Queue drainers need a real thread even at NumWorkers == 1.
+  if (NumWorkers == 1 && Mode == SingleThread::Inline)
     return;
   Workers.reserve(NumWorkers);
   for (unsigned I = 0; I != NumWorkers; ++I)
@@ -65,6 +140,16 @@ void ThreadPool::run(std::function<void()> Task) {
     Tasks.push(std::move(Task));
   }
   TaskAvailable.notify_one();
+}
+
+void ThreadPool::drainQueue(BoundedWorkQueue &Q) {
+  assert(!Workers.empty() &&
+         "drainQueue needs real workers (SingleThread::Spawn)");
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    run([&Q] {
+      while (std::function<void()> Task = Q.pop())
+        Task();
+    });
 }
 
 void ThreadPool::wait() {

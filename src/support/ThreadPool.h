@@ -6,9 +6,11 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A small fixed-size thread pool with a blocked-range parallelFor. This is
-/// the execution substrate standing in for the paper's OpenMP runtime: the
-/// executor (src/rt) maps conditionally-parallelized loops onto it.
+/// A small fixed-size thread pool with a blocked-range parallelFor, plus a
+/// bounded MPMC work queue the pool can drain. This is the execution
+/// substrate standing in for the paper's OpenMP runtime: the executor
+/// (src/rt) maps conditionally-parallelized loops onto it, and the serving
+/// layer (src/serve) feeds execution requests through the bounded queue.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +28,56 @@
 
 namespace halo {
 
+/// Bounded multi-producer / multi-consumer queue of tasks.
+///
+/// The serving layer's backpressure point: `push` blocks while the queue
+/// is at capacity (closed-loop clients slow down instead of ballooning
+/// memory), `tryPush` fails instead (load-shedding callers count a
+/// rejection), and `pop` blocks until a task arrives or the queue is
+/// closed. After close(), producers are refused but consumers still drain
+/// every task already queued — pop() returns an empty function only once
+/// the queue is both closed and empty, so no accepted task is dropped.
+class BoundedWorkQueue {
+public:
+  /// \p Capacity is the maximum number of queued (not yet popped) tasks;
+  /// it must be >= 1.
+  explicit BoundedWorkQueue(size_t Capacity);
+
+  BoundedWorkQueue(const BoundedWorkQueue &) = delete;
+  BoundedWorkQueue &operator=(const BoundedWorkQueue &) = delete;
+
+  /// Enqueues \p Task, blocking while the queue is full. Returns false
+  /// (without enqueueing) when the queue is closed.
+  bool push(std::function<void()> Task);
+
+  /// Enqueues \p Task only if there is room right now. Returns false when
+  /// the queue is full or closed.
+  bool tryPush(std::function<void()> Task);
+
+  /// Dequeues the oldest task, blocking while the queue is empty and open.
+  /// Returns an empty function when the queue is closed and fully drained.
+  std::function<void()> pop();
+
+  /// Closes the queue: subsequent pushes fail, pending pops drain the
+  /// remaining tasks and then return empty. Idempotent.
+  void close();
+
+  bool closed() const;
+  size_t size() const;
+  size_t capacity() const { return Capacity; }
+  /// High-water mark of the queue depth (serving-pressure telemetry).
+  size_t peakDepth() const;
+
+private:
+  const size_t Capacity;
+  mutable std::mutex Mutex;
+  std::condition_variable NotFull;
+  std::condition_variable NotEmpty;
+  std::queue<std::function<void()>> Tasks;
+  size_t Peak = 0;
+  bool Closed = false;
+};
+
 /// Fixed-size pool of worker threads.
 ///
 /// Workers are spawned once in the constructor and joined in the destructor;
@@ -35,7 +87,14 @@ namespace halo {
 /// that single-threaded baselines pay no synchronization cost.
 class ThreadPool {
 public:
-  explicit ThreadPool(unsigned NumThreads);
+  /// Whether a 1-thread pool executes run() inline on the caller (the
+  /// default, so single-threaded baselines pay no synchronization) or
+  /// still spawns a real worker (required by long-running tasks like
+  /// drainQueue(), which would otherwise block the caller forever).
+  enum class SingleThread { Inline, Spawn };
+
+  explicit ThreadPool(unsigned NumThreads,
+                      SingleThread Mode = SingleThread::Inline);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool &) = delete;
@@ -48,6 +107,14 @@ public:
 
   /// Blocks until every enqueued task has completed.
   void wait();
+
+  /// Turns every worker into a drainer of \p Q: numThreads() long-running
+  /// tasks are spawned, each popping and executing tasks until the queue
+  /// is closed and empty. Returns immediately; close the queue and then
+  /// destroy (or wait() on) the pool to join the drainers. The pool must
+  /// have real workers (construct with SingleThread::Spawn for a 1-thread
+  /// pool) — an inline pool would execute the drain loop on the caller.
+  void drainQueue(BoundedWorkQueue &Q);
 
   /// Executes Body(I) for I in [Lo, Hi) across the pool, one contiguous
   /// block per worker, and blocks until all blocks are done.

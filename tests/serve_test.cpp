@@ -1,0 +1,445 @@
+//===- tests/serve_test.cpp - Serving-engine unit & parity tests ----------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+// The serving contract: randomized requests submitted concurrently from
+// several client threads, served by a sharded multi-program engine, must
+// produce bit-identical Memory and the same ExecStats classification as
+// executing the same requests one-by-one through a lone session::Session.
+// CI runs this suite under ThreadSanitizer (shards, the bounded MPMC
+// queue, the worker pool and the config lock are the surfaces).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Engine.h"
+
+#include "support/Rng.h"
+#include "suite/Suite.h"
+
+#include <cstring>
+#include <thread>
+#include <gtest/gtest.h>
+
+using namespace halo;
+
+namespace {
+
+void expectMemoryEq(const rt::Memory &A, const rt::Memory &B,
+                    const char *What) {
+  ASSERT_EQ(A.arrays().size(), B.arrays().size()) << What;
+  for (const auto &KV : A.arrays()) {
+    auto It = B.arrays().find(KV.first);
+    ASSERT_NE(It, B.arrays().end()) << What;
+    ASSERT_EQ(KV.second.size(), It->second.size()) << What;
+    if (!KV.second.empty())
+      EXPECT_EQ(std::memcmp(KV.second.data(), It->second.data(),
+                            KV.second.size() * sizeof(double)),
+                0)
+          << What;
+  }
+}
+
+/// One served program: the four-loop pattern mix of session_test (an O(1)
+/// symbolic-stride predicate, an O(N) monotonicity predicate, a hoistable
+/// exact test and an injectivity reduction).
+struct ServedProgram {
+  suite::Benchmark B;
+  suite::BenchBuilder BB{B};
+  ir::DoLoop *Strided = nullptr, *Blocks = nullptr, *Irregular = nullptr,
+             *Reduce = nullptr;
+  sym::SymbolId XS, XB, XI, XR, IB, IDX, JDX, Q;
+  int64_t N = 160;
+
+  ServedProgram() {
+    XS = BB.dataArray("XS", BB.Sym.mulConst(BB.s("N"), 4));
+    XB = BB.dataArray("XB", BB.Sym.mulConst(BB.s("N"), 8));
+    XI = BB.dataArray("XI", BB.Sym.mulConst(BB.s("N"), 2));
+    XR = BB.dataArray("XR", BB.Sym.mulConst(BB.s("N"), 2));
+    IB = BB.indexArray("IB");
+    IDX = BB.indexArray("IDX");
+    JDX = BB.indexArray("JDX");
+    Q = BB.indexArray("Q");
+    Strided = suite::makeSymbolicStrideLoop(BB, "strided", "i", XS, "s",
+                                            BB.s("N"), 0);
+    Blocks = suite::makeMonotonicBlockLoop(BB, "blocks", "i", XB, IB,
+                                           BB.c(4), BB.s("N"), 0);
+    Irregular = suite::makeIrregularLoop(BB, "irr", "i", XI, IDX, JDX,
+                                         BB.s("N"), 0);
+    Reduce = BB.loop("reduce", "i", BB.c(1), BB.s("N"), 1);
+    Reduce->append(
+        BB.reduce(XR, BB.Sym.arrayRef(Q, BB.sv(BB.Sym.symbol("i", 1)))));
+  }
+
+  std::vector<ir::DoLoop *> loops() {
+    return {Strided, Blocks, Irregular, Reduce};
+  }
+
+  analysis::AnalyzerOptions optsFor(const ir::DoLoop *L) {
+    analysis::AnalyzerOptions O;
+    O.HoistableContext = (L == Irregular);
+    return O;
+  }
+
+  /// Builds one request dataset deterministically from \p Seed. Seeds map
+  /// to predicate-pass / predicate-fail / exact-test / speculation
+  /// outcomes, so the randomized requests cover every governor path.
+  void dataset(uint64_t Seed, rt::Memory &M, sym::Bindings &Bd) {
+    Rng R(Seed * 2654435761u + 17);
+    Bd.setScalar(BB.Sym.symbol("N"), N);
+    M.alloc(XS, static_cast<size_t>(4 * N));
+    M.alloc(XB, static_cast<size_t>(8 * N + 16));
+    M.alloc(XI, static_cast<size_t>(2 * N));
+    M.alloc(XR, static_cast<size_t>(2 * N));
+    Bd.setScalar(BB.Sym.symbol("s"), R.nextInRange(1, 3));
+    {
+      bool Monotone = R.chance(2, 3);
+      sym::ArrayBinding A;
+      A.Lo = 1;
+      for (int64_t K = 0; K < N; ++K)
+        A.Vals.push_back(Monotone ? 1 + K * R.nextInRange(4, 5) : 1 + K * 2);
+      Bd.setArray(IB, A);
+    }
+    {
+      bool Disjoint = R.chance(1, 2);
+      sym::ArrayBinding AI, AJ;
+      AI.Lo = AJ.Lo = 1;
+      for (int64_t K = 0; K < N; ++K) {
+        AI.Vals.push_back(Disjoint ? K : R.nextInRange(0, N - 1));
+        AJ.Vals.push_back(Disjoint ? N + K : R.nextInRange(0, N - 1));
+      }
+      Bd.setArray(IDX, AI);
+      Bd.setArray(JDX, AJ);
+    }
+    {
+      int Mode = static_cast<int>(R.nextBelow(3));
+      sym::ArrayBinding AQ;
+      if (Mode == 1) {
+        AQ = suite::permutationArray(N, R.next());
+      } else {
+        AQ.Lo = 1;
+        for (int64_t K = 0; K < N; ++K)
+          AQ.Vals.push_back(Mode == 0 ? K : K / 2);
+      }
+      Bd.setArray(Q, AQ);
+    }
+  }
+};
+
+/// Registers both programs and prepares every loop (the warm-up phase).
+void prepareAll(serve::Engine &E, std::vector<ServedProgram> &Progs,
+                std::vector<serve::ProgramId> &Ids) {
+  for (ServedProgram &P : Progs) {
+    serve::ProgramId Id = E.addProgram(P.B.prog(), P.B.usr());
+    Ids.push_back(Id);
+    for (ir::DoLoop *L : P.loops())
+      E.prepare(Id, *L, P.optsFor(L));
+  }
+}
+
+TEST(ServeEngineTest, ConcurrentSubmissionsMatchSequentialSession) {
+  serve::EngineOptions EO;
+  EO.Shards = 3;
+  EO.Workers = 3;
+  EO.QueueCapacity = 8; // Small on purpose: exercises push backpressure.
+  EO.Session.Threads = 2;
+
+  std::vector<ServedProgram> Progs(2);
+  std::vector<serve::ProgramId> Ids;
+  serve::Engine E(EO);
+  prepareAll(E, Progs, Ids);
+
+  // Request plan: (program, loop, seed) descriptors fixed up front so the
+  // engine run and the sequential reference see identical datasets.
+  struct Desc {
+    size_t Prog;
+    size_t Loop;
+    uint64_t Seed;
+  };
+  const size_t NumRequests = 48;
+  std::vector<Desc> Plan;
+  for (size_t I = 0; I < NumRequests; ++I)
+    Plan.push_back(Desc{I % Progs.size(), (I / 2) % 4, 1000 + I});
+
+  struct Slot {
+    rt::Memory M;
+    sym::Bindings B;
+    std::future<serve::Response> Fut;
+  };
+  std::vector<Slot> Slots(NumRequests);
+
+  // 4 closed-loop clients, interleaved request ranges.
+  const unsigned Clients = 4;
+  std::vector<std::thread> Cs;
+  for (unsigned C = 0; C < Clients; ++C)
+    Cs.emplace_back([&, C] {
+      for (size_t I = C; I < NumRequests; I += Clients) {
+        const Desc &D = Plan[I];
+        ServedProgram &P = Progs[D.Prog];
+        P.dataset(D.Seed, Slots[I].M, Slots[I].B);
+        serve::Request Req;
+        Req.Program = Ids[D.Prog];
+        Req.Loop = P.loops()[D.Loop];
+        Req.M = &Slots[I].M;
+        Req.B = &Slots[I].B;
+        Slots[I].Fut = E.submit(Req);
+      }
+    });
+  for (std::thread &T : Cs)
+    T.join();
+  E.drain();
+
+  // Sequential reference: one lone session per program, same options as
+  // the shard sessions, requests replayed in plan order.
+  std::vector<std::unique_ptr<session::Session>> Refs;
+  for (ServedProgram &P : Progs) {
+    Refs.push_back(std::make_unique<session::Session>(P.B.prog(), P.B.usr(),
+                                                      EO.Session));
+    for (ir::DoLoop *L : P.loops())
+      Refs.back()->prepare(*L, P.optsFor(L));
+  }
+  for (size_t I = 0; I < NumRequests; ++I) {
+    const Desc &D = Plan[I];
+    ServedProgram &P = Progs[D.Prog];
+    ir::DoLoop *L = P.loops()[D.Loop];
+
+    ASSERT_TRUE(Slots[I].Fut.valid());
+    serve::Response Resp = Slots[I].Fut.get();
+    ASSERT_TRUE(Resp.OK) << Resp.Error;
+    EXPECT_EQ(Resp.Shard, E.shardOf(Ids[D.Prog], *L));
+    ASSERT_EQ(Resp.Stats.size(), 1u);
+
+    rt::Memory MR;
+    sym::Bindings BR;
+    P.dataset(D.Seed, MR, BR);
+    rt::ExecStats Ref = Refs[D.Prog]->run(*L, MR, BR);
+
+    const rt::ExecStats &Got = Resp.Stats[0];
+    EXPECT_EQ(Got.RanParallel, Ref.RanParallel) << L->getLabel();
+    EXPECT_EQ(Got.UsedTLS, Ref.UsedTLS) << L->getLabel();
+    EXPECT_EQ(Got.TLSSucceeded, Ref.TLSSucceeded) << L->getLabel();
+    EXPECT_EQ(Got.UsedExactTest, Ref.UsedExactTest) << L->getLabel();
+    EXPECT_EQ(Got.CascadeDepthUsed, Ref.CascadeDepthUsed) << L->getLabel();
+    expectMemoryEq(Slots[I].M, MR, L->getLabel().c_str());
+  }
+
+  serve::ServeStats St = E.stats();
+  EXPECT_EQ(St.Submitted, NumRequests);
+  EXPECT_EQ(St.Rejected, 0u);
+  EXPECT_EQ(St.Unroutable, 0u);
+  serve::ShardStats T = St.totals();
+  EXPECT_EQ(T.Completed, NumRequests);
+  EXPECT_EQ(T.Failed, 0u);
+  EXPECT_EQ(T.Executions, NumRequests);
+  EXPECT_TRUE(T.Exec.RanParallel); // Some dataset must have parallelized.
+}
+
+TEST(ServeEngineTest, PreparingNewLoopsWhileServingIsExcluded) {
+  // The config lock must make warm-up (which interns into the shared
+  // contexts) mutually exclusive with request processing: clients hammer
+  // one loop while the main thread prepares the remaining loops of the
+  // same program. TSan verifies the exclusion.
+  serve::EngineOptions EO;
+  EO.Shards = 2;
+  EO.Workers = 2;
+  std::vector<ServedProgram> Progs(1);
+  ServedProgram &P = Progs[0];
+  serve::Engine E(EO);
+  serve::ProgramId Id = E.addProgram(P.B.prog(), P.B.usr());
+  E.prepare(Id, *P.Strided, P.optsFor(P.Strided));
+
+  std::vector<std::unique_ptr<rt::Memory>> Ms;
+  std::vector<std::unique_ptr<sym::Bindings>> Bs;
+  for (int I = 0; I < 16; ++I) {
+    Ms.push_back(std::make_unique<rt::Memory>());
+    Bs.push_back(std::make_unique<sym::Bindings>());
+    P.dataset(77 + I, *Ms.back(), *Bs.back());
+  }
+
+  std::vector<std::future<serve::Response>> Futs(16);
+  std::thread Client([&] {
+    for (int I = 0; I < 16; ++I) {
+      serve::Request Req;
+      Req.Program = Id;
+      Req.Loop = P.Strided;
+      Req.M = Ms[I].get();
+      Req.B = Bs[I].get();
+      Futs[I] = E.submit(Req);
+    }
+  });
+  // Concurrent warm-up of more loops (analysis interns USRs/predicates).
+  for (ir::DoLoop *L : {P.Blocks, P.Irregular, P.Reduce})
+    E.prepare(Id, *L, P.optsFor(L));
+  Client.join();
+  E.drain();
+  for (auto &F : Futs) {
+    serve::Response Resp = F.get();
+    EXPECT_TRUE(Resp.OK) << Resp.Error;
+  }
+}
+
+TEST(ServeEngineTest, InvalidRequestsResolveAsErrors) {
+  serve::EngineOptions EO;
+  EO.Shards = 2;
+  EO.Workers = 1;
+  std::vector<ServedProgram> Progs(1);
+  ServedProgram &P = Progs[0];
+  serve::Engine E(EO);
+  serve::ProgramId Id = E.addProgram(P.B.prog(), P.B.usr());
+  E.prepare(Id, *P.Strided, P.optsFor(P.Strided));
+
+  rt::Memory M;
+  sym::Bindings B;
+  P.dataset(5, M, B);
+
+  // Unknown program id.
+  serve::Request Req;
+  Req.Program = 42;
+  Req.Loop = P.Strided;
+  Req.M = &M;
+  Req.B = &B;
+  serve::Response Resp = E.submit(Req).get();
+  EXPECT_FALSE(Resp.OK);
+  EXPECT_NE(Resp.Error.find("unknown program"), std::string::npos);
+
+  // Null loop.
+  Req.Program = Id;
+  Req.Loop = nullptr;
+  Resp = E.submit(Req).get();
+  EXPECT_FALSE(Resp.OK);
+
+  // Known program, loop never prepared.
+  Req.Loop = P.Blocks;
+  Resp = E.submit(Req).get();
+  EXPECT_FALSE(Resp.OK);
+  EXPECT_NE(Resp.Error.find("never prepared"), std::string::npos);
+
+  // Prepared loop but no dataset.
+  Req.Loop = P.Strided;
+  Req.M = nullptr;
+  Resp = E.submit(Req).get();
+  EXPECT_FALSE(Resp.OK);
+
+  serve::ServeStats St = E.stats();
+  EXPECT_EQ(St.Unroutable, 2u); // Unknown program + null loop.
+  EXPECT_EQ(St.totals().Failed, 2u); // Unprepared loop + null dataset.
+  EXPECT_EQ(St.totals().Completed, 0u);
+}
+
+TEST(ServeEngineTest, FindLoopAddressesPreparedLoopsByLabel) {
+  serve::EngineOptions EO;
+  std::vector<ServedProgram> Progs(2);
+  std::vector<serve::ProgramId> Ids;
+  serve::Engine E(EO);
+  prepareAll(E, Progs, Ids);
+
+  EXPECT_EQ(E.findLoop(Ids[0], "strided"), Progs[0].Strided);
+  EXPECT_EQ(E.findLoop(Ids[1], "strided"), Progs[1].Strided);
+  EXPECT_EQ(E.findLoop(Ids[0], "irr"), Progs[0].Irregular);
+  EXPECT_EQ(E.findLoop(Ids[0], "no-such-loop"), nullptr);
+  EXPECT_EQ(E.findLoop(99, "strided"), nullptr);
+}
+
+TEST(ServeEngineTest, RepeatsRunAsOneBatchAndMatchRunBatch) {
+  serve::EngineOptions EO;
+  EO.Shards = 2;
+  EO.Workers = 2;
+  std::vector<ServedProgram> Progs(1);
+  ServedProgram &P = Progs[0];
+  std::vector<serve::ProgramId> Ids;
+  serve::Engine E(EO);
+  prepareAll(E, Progs, Ids);
+
+  rt::Memory M, MR;
+  sym::Bindings B, BR;
+  P.dataset(9, M, B);
+  P.dataset(9, MR, BR);
+
+  serve::Request Req;
+  Req.Program = Ids[0];
+  Req.Loop = P.Blocks;
+  Req.M = &M;
+  Req.B = &B;
+  Req.Repeats = 5;
+  serve::Response Resp = E.submit(Req).get();
+  ASSERT_TRUE(Resp.OK) << Resp.Error;
+  ASSERT_EQ(Resp.Stats.size(), 5u);
+
+  session::Session Ref(P.B.prog(), P.B.usr(), EO.Session);
+  Ref.prepare(*P.Blocks, P.optsFor(P.Blocks));
+  auto RefStats = Ref.runBatch(*P.Blocks, MR, BR, 5);
+  ASSERT_EQ(RefStats.size(), 5u);
+  expectMemoryEq(M, MR, "repeats");
+  // Steady-state frame reuse holds inside the served batch too.
+  for (size_t I = 1; I < 5; ++I)
+    EXPECT_EQ(Resp.Stats[I].FrameBinds, RefStats[I].FrameBinds);
+
+  EXPECT_EQ(E.stats().totals().Executions, 5u);
+  EXPECT_EQ(E.stats().totals().Completed, 1u);
+}
+
+TEST(ServeEngineTest, DrainAndShutdownFulfillEveryAcceptedRequest) {
+  std::vector<ServedProgram> Progs(1);
+  ServedProgram &P = Progs[0];
+  std::vector<serve::ProgramId> Ids;
+
+  std::vector<std::unique_ptr<rt::Memory>> Ms;
+  std::vector<std::unique_ptr<sym::Bindings>> Bs;
+  std::vector<std::future<serve::Response>> Futs;
+  {
+    serve::EngineOptions EO;
+    EO.Workers = 1;
+    EO.QueueCapacity = 4;
+    serve::Engine E(EO);
+    prepareAll(E, Progs, Ids);
+    for (int I = 0; I < 12; ++I) {
+      Ms.push_back(std::make_unique<rt::Memory>());
+      Bs.push_back(std::make_unique<sym::Bindings>());
+      P.dataset(200 + I, *Ms.back(), *Bs.back());
+      serve::Request Req;
+      Req.Program = Ids[0];
+      Req.Loop = P.loops()[I % 4];
+      Req.M = Ms.back().get();
+      Req.B = Bs.back().get();
+      Futs.push_back(E.submit(Req));
+    }
+    E.drain();
+    // After drain, every future must already be resolved.
+    for (auto &F : Futs)
+      EXPECT_EQ(F.wait_for(std::chrono::seconds(0)),
+                std::future_status::ready);
+    EXPECT_EQ(E.stats().totals().Completed, 12u);
+    // Destructor path: accepted-but-undrained requests (none here) would
+    // still be served; the engine must shut down cleanly regardless.
+  }
+  for (auto &F : Futs)
+    EXPECT_TRUE(F.get().OK);
+}
+
+TEST(ServeEngineTest, TrySubmitAcceptsWithRoomAndCountsSheds) {
+  std::vector<ServedProgram> Progs(1);
+  ServedProgram &P = Progs[0];
+  std::vector<serve::ProgramId> Ids;
+  serve::EngineOptions EO;
+  EO.Workers = 1;
+  serve::Engine E(EO);
+  prepareAll(E, Progs, Ids);
+
+  rt::Memory M;
+  sym::Bindings B;
+  P.dataset(3, M, B);
+  serve::Request Req;
+  Req.Program = Ids[0];
+  Req.Loop = P.Strided;
+  Req.M = &M;
+  Req.B = &B;
+  std::future<serve::Response> Fut;
+  ASSERT_TRUE(E.trySubmit(Req, Fut));
+  ASSERT_TRUE(Fut.valid());
+  EXPECT_TRUE(Fut.get().OK);
+  E.drain();
+  EXPECT_EQ(E.stats().Submitted, 1u);
+  EXPECT_EQ(E.stats().Rejected, 0u);
+}
+
+} // namespace

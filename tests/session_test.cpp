@@ -265,6 +265,87 @@ TEST_F(SessionFixture, MultiThreadedCascadeThroughSessionMatchesReference) {
   }
 }
 
+TEST_F(SessionFixture, RunPreparedRefusesUnknownLoops) {
+  // The serve layer's "unknown loop id" error path: runPrepared must
+  // refuse (and leave the plan cache untouched) rather than silently
+  // analyzing — analysis would mutate the shared contexts, which the
+  // concurrent serving contract forbids outside warm-up.
+  session::SessionOptions SO;
+  SO.Threads = 1;
+  session::Session S(B.prog(), B.usr(), SO);
+  rt::Memory MS, MR;
+  sym::Bindings BS, BR;
+  Rng R(11);
+  mutate(R, BS, BR, MS, MR, true);
+
+  EXPECT_FALSE(S.isPrepared(*Strided));
+  EXPECT_EQ(S.runPrepared(*Strided, MS, BS), std::nullopt);
+  EXPECT_EQ(S.numPreparedLoops(), 0u);
+  EXPECT_EQ(S.findPreparedLoop("strided"), nullptr);
+
+  S.prepare(*Strided, optsFor(Strided));
+  EXPECT_TRUE(S.isPrepared(*Strided));
+  EXPECT_EQ(S.findPreparedLoop("strided"), Strided);
+  auto St = S.runPrepared(*Strided, MS, BS);
+  ASSERT_TRUE(St.has_value());
+  // Parity with the auto-preparing run() path.
+  session::Session S2(B.prog(), B.usr(), SO);
+  rt::ExecStats Rs = S2.run(*Strided, MR, BR);
+  expectStatsEq(*St, Rs, "runPrepared");
+  expectMemoryEq(MS, MR, "runPrepared");
+  // Other loops remain unknown.
+  EXPECT_EQ(S.runPrepared(*Blocks, MS, BS), std::nullopt);
+}
+
+TEST_F(SessionFixture, RunBatchRebindingBetweenElementsStaysExact) {
+  // The batch error path beyond the pinned happy path: a caller that
+  // rebinds data between batch elements (the per-request refresh shape)
+  // must invalidate the pooled frames (stamp mismatch -> full re-bind)
+  // and stay bit-identical to a fresh analyzer+executor per element.
+  session::SessionOptions SO;
+  SO.Threads = 2;
+  session::Session S(B.prog(), B.usr(), SO);
+  S.prepare(*Blocks, optsFor(Blocks));
+
+  rt::Memory MS, MR;
+  sym::Bindings BS, BR;
+  Rng R(21);
+  mutate(R, BS, BR, MS, MR, true);
+
+  auto rebind = [&](unsigned E, sym::Bindings &Bd) {
+    // Alternate between passing (monotone, gaps >= 4) and failing
+    // (overlapping) datasets for the O(N) monotonicity predicate.
+    sym::ArrayBinding A;
+    A.Lo = 1;
+    for (int64_t K = 0; K < N; ++K)
+      A.Vals.push_back(E % 2 == 0 ? 1 + K * 4 : 1 + K * 2);
+    Bd.setArray(IB, A);
+  };
+
+  auto Stats = S.runBatch(
+      *Blocks, MS, BS, 6,
+      [&](unsigned E, rt::Memory &, sym::Bindings &Bd) { rebind(E, Bd); });
+  ASSERT_EQ(Stats.size(), 6u);
+
+  ThreadPool RefPool(2);
+  for (unsigned E = 0; E < 6; ++E) {
+    rebind(E, BR);
+    analysis::HybridAnalyzer A(B.usr(), B.prog(), optsFor(Blocks));
+    analysis::LoopPlan Plan = A.analyze(*Blocks);
+    rt::Executor Ex(B.prog(), B.usr());
+    rt::ExecStats Rs = Ex.runPlanned(Plan, MR, BR, RefPool);
+    expectStatsEq(Stats[E], Rs, "rebinding batch");
+    // Every element re-bound: the mutation bumped the bindings stamp, so
+    // no element may serve stale frame contents.
+    EXPECT_GT(Stats[E].FrameBinds, 0u) << "element " << E;
+  }
+  expectMemoryEq(MS, MR, "rebinding batch");
+
+  // Degenerate batches: zero repeats execute nothing.
+  EXPECT_TRUE(S.runBatch(*Blocks, MS, BS, 0).empty());
+  EXPECT_EQ(S.prepare(*Blocks).Executions, 6u);
+}
+
 TEST_F(SessionFixture, RunBatchReportsEveryExecution) {
   session::SessionOptions SO;
   SO.Threads = 2;

@@ -213,4 +213,93 @@ TEST(ThreadPoolTest, ParallelAllOfSingleThreadRunsInline) {
       }));
 }
 
+//===----------------------------------------------------------------------===//
+// BoundedWorkQueue (the serving layer's request queue)
+//===----------------------------------------------------------------------===//
+
+TEST(BoundedWorkQueueTest, FifoOrderAndDepthTelemetry) {
+  BoundedWorkQueue Q(8);
+  std::vector<int> Ran;
+  for (int I = 0; I < 3; ++I)
+    EXPECT_TRUE(Q.push([&Ran, I] { Ran.push_back(I); }));
+  EXPECT_EQ(Q.size(), 3u);
+  EXPECT_EQ(Q.peakDepth(), 3u);
+  for (int I = 0; I < 3; ++I)
+    Q.pop()();
+  EXPECT_EQ(Ran, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(Q.size(), 0u);
+  EXPECT_EQ(Q.peakDepth(), 3u); // High-water mark survives the drain.
+}
+
+TEST(BoundedWorkQueueTest, TryPushShedsAtCapacity) {
+  // Deterministic backpressure: no consumer exists, so capacity is hit
+  // exactly.
+  BoundedWorkQueue Q(2);
+  EXPECT_TRUE(Q.tryPush([] {}));
+  EXPECT_TRUE(Q.tryPush([] {}));
+  EXPECT_FALSE(Q.tryPush([] {})); // Full: shed.
+  (void)Q.pop()();
+  EXPECT_TRUE(Q.tryPush([] {})); // A pop made room again.
+}
+
+TEST(BoundedWorkQueueTest, CloseRefusesProducersButDrainsConsumers) {
+  BoundedWorkQueue Q(4);
+  int Ran = 0;
+  EXPECT_TRUE(Q.push([&Ran] { ++Ran; }));
+  EXPECT_TRUE(Q.push([&Ran] { ++Ran; }));
+  Q.close();
+  EXPECT_TRUE(Q.closed());
+  EXPECT_FALSE(Q.push([&Ran] { ++Ran; }));    // Refused.
+  EXPECT_FALSE(Q.tryPush([&Ran] { ++Ran; })); // Refused.
+  // The two accepted tasks still drain; then pop reports exhaustion.
+  while (std::function<void()> T = Q.pop())
+    T();
+  EXPECT_EQ(Ran, 2);
+  EXPECT_EQ(Q.pop(), nullptr); // Stays exhausted (no spurious tasks).
+}
+
+TEST(BoundedWorkQueueTest, MpmcStressConsumesEveryTaskExactlyOnce) {
+  // 3 producers x 3 consumers through a tiny queue: every task must run
+  // exactly once, with producers blocking at capacity (TSan covers the
+  // handoff).
+  BoundedWorkQueue Q(4);
+  const int PerProducer = 64;
+  std::atomic<int> Ran{0};
+  std::vector<std::thread> Consumers;
+  for (int C = 0; C < 3; ++C)
+    Consumers.emplace_back([&Q] {
+      while (std::function<void()> T = Q.pop())
+        T();
+    });
+  std::vector<std::thread> Producers;
+  for (int P = 0; P < 3; ++P)
+    Producers.emplace_back([&Q, &Ran] {
+      for (int I = 0; I < PerProducer; ++I)
+        EXPECT_TRUE(Q.push([&Ran] { ++Ran; }));
+    });
+  for (std::thread &T : Producers)
+    T.join();
+  Q.close();
+  for (std::thread &T : Consumers)
+    T.join();
+  EXPECT_EQ(Ran.load(), 3 * PerProducer);
+}
+
+TEST(ThreadPoolTest, DrainQueueServesUntilClosed) {
+  // The serving shape: a pool whose workers drain the bounded queue as
+  // long-running tasks, including the 1-thread pool that must spawn a
+  // real worker instead of inlining.
+  for (unsigned Threads : {1u, 3u}) {
+    BoundedWorkQueue Q(4);
+    ThreadPool Pool(Threads, ThreadPool::SingleThread::Spawn);
+    Pool.drainQueue(Q);
+    std::atomic<int> Ran{0};
+    for (int I = 0; I < 32; ++I)
+      EXPECT_TRUE(Q.push([&Ran] { ++Ran; }));
+    Q.close();
+    Pool.wait(); // Drainers exit once the queue is closed and empty.
+    EXPECT_EQ(Ran.load(), 32);
+  }
+}
+
 } // namespace
