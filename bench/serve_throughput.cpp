@@ -92,11 +92,15 @@ double percentileUs(std::vector<double> &LatSeconds, double P) {
 /// programs and loops. \p Batch is Request::Repeats: how many executions
 /// one submission carries (the mini-runBatch shape that amortizes the
 /// queue hand-off; Batch=1 measures the raw per-request overhead).
-/// Returns wall time and client-observed per-submission latency
-/// percentiles.
+/// \p SameLoop routes EVERY request to one (program, loop) — the
+/// same-loop-contention scenario: one shard, one session, all workers.
+/// Before the intra-shard concurrency work this serialized on the shard
+/// lock regardless of the worker count. Returns wall time and
+/// client-observed per-submission latency percentiles.
 LoadResult runEngine(std::vector<std::unique_ptr<ServedProgram>> &Progs,
                      unsigned Shards, unsigned Workers, unsigned Clients,
-                     size_t Requests, unsigned Batch) {
+                     size_t Requests, unsigned Batch,
+                     bool SameLoop = false) {
   serve::EngineOptions EO;
   EO.Shards = Shards;
   EO.Workers = Workers;
@@ -134,10 +138,11 @@ LoadResult runEngine(std::vector<std::unique_ptr<ServedProgram>> &Progs,
       ClientState &St = CS[C];
       St.LatSeconds.reserve(PerClient);
       for (size_t I = 0; I < PerClient; ++I) {
-        const size_t P = (C + I) % Progs.size();
+        const size_t P = SameLoop ? 0 : (C + I) % Progs.size();
         serve::Request Req;
         Req.Program = Ids[P];
-        Req.Loop = I % 2 ? Progs[P]->Strided : Progs[P]->Blocks;
+        Req.Loop = SameLoop ? Progs[0]->Blocks
+                            : (I % 2 ? Progs[P]->Strided : Progs[P]->Blocks);
         Req.M = St.Ms[P].get();
         Req.B = St.Bs[P].get();
         Req.Repeats = Batch;
@@ -264,6 +269,75 @@ int main() {
                 Best.Stats.PeakQueueDepth,
                 static_cast<unsigned long long>(Best.Stats.Rejected));
     Last = std::move(Best);
+  }
+
+  // Same-loop contention: every client hammers ONE prepared loop of ONE
+  // program — one shard, one session. The scenario the shard-wide execute
+  // lock used to serialize: with intra-shard concurrency, W workers all
+  // execute the same plan at once (per-execution contexts, shared memo).
+  // The 1-worker row is the no-regression check against the same-loop
+  // single-session baseline; multi-worker xbase only exceeds ~1.0 on a
+  // multi-core runner (see docs/BENCHMARKS.md, "Single-core caveat").
+  {
+    std::vector<std::unique_ptr<rt::Memory>> SameM;
+    std::vector<std::unique_ptr<sym::Bindings>> SameB;
+    for (unsigned C = 0; C < Clients; ++C) {
+      SameM.push_back(std::make_unique<rt::Memory>());
+      SameB.push_back(std::make_unique<sym::Bindings>());
+      Progs[0]->setup(*SameM.back(), *SameB.back());
+    }
+    double SameBest = 1e30;
+    std::vector<double> SameLatBest;
+    for (int Rep = 0; Rep < Reps; ++Rep) {
+      std::vector<double> Lat;
+      Lat.reserve(Requests / BaseBatch);
+      double T0 = nowSeconds();
+      for (size_t I = 0; I < Requests / BaseBatch / Clients; ++I)
+        for (unsigned C = 0; C < Clients; ++C) {
+          double S0 = nowSeconds();
+          for (unsigned E = 0; E < BaseBatch; ++E) {
+            auto St = Sessions[0]->runPrepared(*Progs[0]->Blocks, *SameM[C],
+                                               *SameB[C]);
+            if (!St || (!St->RanParallel && !St->TLSSucceeded))
+              std::abort();
+          }
+          Lat.push_back(nowSeconds() - S0);
+        }
+      double T = nowSeconds() - T0;
+      if (T < SameBest) {
+        SameBest = T;
+        SameLatBest = std::move(Lat);
+      }
+    }
+    double SameRps = Requests / SameBest;
+
+    std::printf("\n=== Same-loop contention (1 program, 1 loop, %zu "
+                "requests, %u clients) ===\n",
+                Requests, Clients);
+    std::printf("%-18s %10s %8s %9s %9s %6s %9s\n", "CONFIG", "req/s",
+                "xbase", "p50(us)", "p99(us)", "peakQ", "rejected");
+    std::printf("%-18s %10.0f %8s %9.1f %9.1f %6s %9s\n", "single-session",
+                SameRps, "1.00x", percentileUs(SameLatBest, 0.50),
+                percentileUs(SameLatBest, 0.99), "-", "-");
+    const Geometry SameGeos[] = {{1, 1, 8}, {1, 2, 8}, {1, 4, 8}};
+    for (const Geometry &G : SameGeos) {
+      LoadResult Best;
+      Best.Seconds = 1e30;
+      for (int Rep = 0; Rep < Reps; ++Rep) {
+        LoadResult R = runEngine(Progs, G.Shards, G.Workers, Clients,
+                                 Requests, G.Batch, /*SameLoop=*/true);
+        if (R.Seconds < Best.Seconds)
+          Best = std::move(R);
+      }
+      double Rps = Requests / Best.Seconds;
+      char Name[32];
+      std::snprintf(Name, sizeof(Name), "engine %usx%uw b%u", G.Shards,
+                    G.Workers, G.Batch);
+      std::printf("%-18s %10.0f %7.2fx %9.1f %9.1f %6zu %9llu\n", Name, Rps,
+                  Rps / SameRps, Best.P50Us, Best.P99Us,
+                  Best.Stats.PeakQueueDepth,
+                  static_cast<unsigned long long>(Best.Stats.Rejected));
+    }
   }
 
   // Per-shard ServeStats of the last geometry: routing spread, execution

@@ -13,6 +13,10 @@ using namespace halo;
 using namespace halo::rt;
 
 const pdag::CompiledPred *PredCompileCache::get(const pdag::Pred *P) {
+  // Compilation runs under the lock: simple, and write traffic only
+  // exists at plan time (config-exclusive under the serving layer), so
+  // the serving path pays one uncontended lock per lookup at most.
+  std::lock_guard<std::mutex> L(M);
   auto It = Cache.find(P);
   if (It != Cache.end())
     return It->second.get();
@@ -20,7 +24,7 @@ const pdag::CompiledPred *PredCompileCache::get(const pdag::Pred *P) {
   return Cache.emplace(P, std::move(CP)).first->second.get();
 }
 
-USRCompileCache::Entry &USRCompileCache::entryFor(const usr::USR *S) {
+USRCompileCache::Entry &USRCompileCache::entryForLocked(const usr::USR *S) {
   auto It = Cache.find(S);
   if (It != Cache.end())
     return It->second;
@@ -31,17 +35,30 @@ USRCompileCache::Entry &USRCompileCache::entryFor(const usr::USR *S) {
 }
 
 const usr::CompiledUSR *USRCompileCache::get(const usr::USR *S) {
-  return entryFor(S).Code.get();
+  std::lock_guard<std::mutex> L(M);
+  return entryForLocked(S).Code.get();
 }
 
 std::optional<bool> USRCompileCache::emptiness(const usr::USR *S,
                                                const sym::Bindings &B,
                                                ThreadPool *Pool,
-                                               usr::USREvalStats *Stats) {
-  Entry &E = entryFor(S);
-  if (Pool && Pool->numThreads() > 1 && E.Code->hasParallelRoot())
-    return E.Code->evalEmptyParallel(E.Frame, B, *Pool, 1u << 22, Stats);
-  return E.Code->evalEmptyPooled(E.Frame, B, 1u << 22, Stats);
+                                               usr::USREvalStats *Stats,
+                                               USRFramePool *Frames) {
+  const usr::CompiledUSR *Code;
+  usr::CompiledUSR::PooledFrame *F;
+  {
+    std::lock_guard<std::mutex> L(M);
+    Entry &E = entryForLocked(S);
+    Code = E.Code.get();
+    // The per-entry fallback frame is shared cache state: only sound for
+    // single-threaded callers. Concurrent callers must pass a pool.
+    F = Frames ? nullptr : &E.Frame;
+  }
+  if (Frames)
+    F = &Frames->frameFor(Code);
+  if (Pool && Pool->numThreads() > 1 && Code->hasParallelRoot())
+    return Code->evalEmptyParallel(*F, B, *Pool, 1u << 22, Stats);
+  return Code->evalEmptyPooled(*F, B, 1u << 22, Stats);
 }
 
 CompiledCascade CompiledCascade::build(const analysis::TestCascade &C,

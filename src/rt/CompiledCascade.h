@@ -14,19 +14,30 @@
 ///    cost-ordered once at *plan* time (not per execution),
 ///  - PlanCascades:     every cascade of a LoopPlan, index-aligned with
 ///    Plan.Arrays,
-///  - FramePool:        per-predicate pooled evaluation frames so repeated
-///    executions skip frame allocation and symbol re-binding.
+///  - FramePool / USRFramePool / ExecContext: the *mutable* per-execution
+///    state (pooled evaluation frames with their bind-skip stamps, memo
+///    tables and recurrence prefix caches), bundled so an execution can
+///    check one context out, run, and return it.
 ///
-/// Thread-safety contract: none of these caches lock. PredCompileCache /
-/// USRCompileCache / FramePool are *shard-local* by design — the serving
-/// layer (src/serve) gives every shard its own session (and therefore its
-/// own instances of all three) and serializes execution within a shard, so
-/// the caches are only ever touched by one thread at a time. In
-/// particular USRCompileCache keeps exactly one pooled frame per USR
-/// (whose gate memos and prefix caches are mutable across evaluations):
-/// sharing one instance between concurrently-executing threads would race
-/// on those frames. Compiled bytecode itself (CompiledPred / CompiledUSR)
-/// is immutable after compilation and may be read from any thread.
+/// Thread-safety contract (the serving layer's concurrent intra-shard
+/// execution builds on this):
+///
+///  - Compiled bytecode (pdag::CompiledPred, usr::CompiledUSR) is
+///    immutable after compilation and may be evaluated from any number of
+///    threads at once.
+///  - PredCompileCache and USRCompileCache are internally synchronized
+///    *code* caches: get()/emptiness() may be called concurrently. In
+///    practice they are write-hot only during plan time (which the
+///    serving layer runs config-exclusive) and read-only afterwards, so
+///    the internal mutex is uncontended on the serving path.
+///  - Frames are NOT shared: a FramePool / USRFramePool (and the
+///    ExecContext bundling them) belongs to exactly one execution at a
+///    time. Pooled frames carry mutable bind-skip stamps, invariant-memo
+///    tables and recurrence prefix caches, so two concurrent executions
+///    must check out two distinct contexts (session::Session pools and
+///    leases them). USRCompileCache's internal per-entry fallback frame is
+///    only used when the caller does not supply a USRFramePool, which is
+///    only sound single-threaded (standalone executors).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,7 +48,9 @@
 #include "pdag/PredCompile.h"
 #include "usr/USRCompile.h"
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -47,15 +60,21 @@ namespace rt {
 /// Compile-once cache over interned cascade predicates. Stage predicates
 /// recur across loops (shared sub-equations, repeated analysis), so the
 /// cache is keyed by predicate identity and shared session-wide.
+/// Internally synchronized: concurrent get() calls are safe (compilation
+/// happens under the lock; entries are immutable once published).
 class PredCompileCache {
 public:
   explicit PredCompileCache(const sym::Context &Sym) : Sym(Sym) {}
 
   const pdag::CompiledPred *get(const pdag::Pred *P);
-  size_t size() const { return Cache.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> L(M);
+    return Cache.size();
+  }
 
 private:
   const sym::Context &Sym;
+  mutable std::mutex M;
   std::unordered_map<const pdag::Pred *, std::unique_ptr<pdag::CompiledPred>>
       Cache;
 };
@@ -90,57 +109,92 @@ struct PlanCascades {
                             PredCompileCache &Cache);
 };
 
+/// Pooled per-compiled-unit evaluation frames: one mutable FrameT (bind
+/// stamps, memo tables, prefix caches, per-worker scratch copies) per
+/// immutable CodeT. One frame per unit suffices for a single execution
+/// stream; a pool must only be used by one execution at a time (see
+/// ExecContext). size() alone is safe to read concurrently (stats
+/// snapshots) via the mirrored atomic count.
+template <class CodeT, class FrameT> class FramePoolOf {
+public:
+  FrameT &frameFor(const CodeT *Code) {
+    auto R = Frames.try_emplace(Code);
+    if (R.second)
+      Count.store(Frames.size(), std::memory_order_relaxed);
+    return R.first->second;
+  }
+  size_t size() const { return Count.load(std::memory_order_relaxed); }
+
+private:
+  std::unordered_map<const CodeT *, FrameT> Frames;
+  /// Mirrors Frames.size() so concurrent stats snapshots need no lock.
+  std::atomic<size_t> Count{0};
+};
+
+/// Pooled per-predicate evaluation frames (cascade stages).
+using FramePool =
+    FramePoolOf<pdag::CompiledPred, pdag::CompiledPred::PooledFrame>;
+/// Pooled per-USR evaluation frames (exact tests), the compiled-USR dual.
+using USRFramePool =
+    FramePoolOf<usr::CompiledUSR, usr::CompiledUSR::PooledFrame>;
+
+/// The checkout/return unit of mutable execution state: everything one
+/// runPlanned() call mutates outside the caller's Memory/Bindings. A
+/// context may be reused across executions (that reuse is what keeps the
+/// pooled frames' bind-skip and memo state warm) but never shared between
+/// two concurrent executions. session::Session owns a pool of these and
+/// leases one per runPrepared() call.
+struct ExecContext {
+  FramePool Frames;
+  USRFramePool UsrFrames;
+};
+
 /// Compile-once cache over independence USRs (the exact-test / HOIST-USR
 /// fallback surface), the dual of PredCompileCache for the other half of
-/// the runtime machinery: USR identity -> interval-run bytecode plus a
-/// pooled evaluation frame whose invariant-gate memo and recurrence
-/// prefix caches stay warm across executions with unchanged bindings.
-/// Gate predicates resolve through the shared PredCompileCache, so a
-/// predicate appearing both as a cascade stage and inside a USR gate is
-/// lowered exactly once session-wide.
+/// the runtime machinery: USR identity -> interval-run bytecode. Gate
+/// predicates resolve through the shared PredCompileCache, so a predicate
+/// appearing both as a cascade stage and inside a USR gate is lowered
+/// exactly once session-wide. Internally synchronized like
+/// PredCompileCache; mutable evaluation frames come from the caller's
+/// USRFramePool (concurrent executions) or, absent one, from a per-entry
+/// fallback frame that is only sound single-threaded.
 class USRCompileCache {
 public:
   USRCompileCache(const sym::Context &Sym, PredCompileCache &Preds)
       : Sym(Sym), Preds(Preds) {}
 
   /// Compiles \p S on first use (plan-time warmup calls this eagerly).
+  /// Safe to call concurrently.
   const usr::CompiledUSR *get(const usr::USR *S);
 
-  /// Compiles (once) and evaluates emptiness through the pooled frame;
-  /// a root recurrence is chunked across \p Pool when one is given.
+  /// Compiles (once) and evaluates emptiness; a root recurrence is
+  /// chunked across \p Pool when one is given. The pooled evaluation
+  /// frame comes from \p Frames when provided — required for concurrent
+  /// callers — and from the cache entry's single fallback frame
+  /// otherwise (single-threaded callers only).
   std::optional<bool> emptiness(const usr::USR *S, const sym::Bindings &B,
                                 ThreadPool *Pool = nullptr,
-                                usr::USREvalStats *Stats = nullptr);
+                                usr::USREvalStats *Stats = nullptr,
+                                USRFramePool *Frames = nullptr);
 
-  size_t size() const { return Cache.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> L(M);
+    return Cache.size();
+  }
 
 private:
   struct Entry {
     std::unique_ptr<usr::CompiledUSR> Code;
+    /// Fallback frame for frameless (single-threaded) callers.
     usr::CompiledUSR::PooledFrame Frame;
   };
-  Entry &entryFor(const usr::USR *S);
+  /// Requires M held. The returned reference is stable (node-based map).
+  Entry &entryForLocked(const usr::USR *S);
 
   const sym::Context &Sym;
   PredCompileCache &Preds;
+  mutable std::mutex M;
   std::unordered_map<const usr::USR *, Entry> Cache;
-};
-
-/// Pooled per-predicate evaluation frames. One frame per compiled
-/// predicate suffices for a single-governor session: serial evaluations
-/// run on the calling thread, and parallel evaluations keep their
-/// per-worker scratch copies inside the frame.
-class FramePool {
-public:
-  pdag::CompiledPred::PooledFrame &frameFor(const pdag::CompiledPred *CP) {
-    return Frames[CP];
-  }
-  size_t size() const { return Frames.size(); }
-
-private:
-  std::unordered_map<const pdag::CompiledPred *,
-                     pdag::CompiledPred::PooledFrame>
-      Frames;
 };
 
 } // namespace rt

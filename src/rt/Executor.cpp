@@ -70,7 +70,8 @@ std::optional<bool> HoistCache::emptiness(const usr::USR *S,
                                           bool &WasHit,
                                           USRCompileCache *Compiled,
                                           ThreadPool *Pool,
-                                          usr::USREvalStats *Stats) {
+                                          usr::USREvalStats *Stats,
+                                          USRFramePool *Frames) {
   // Hash the values of the USR's free symbols (scalars + index arrays)
   // twice with independent mixings: H keys the cache, H2 verifies the hit
   // so a primary collision cannot silently return a wrong emptiness
@@ -107,18 +108,26 @@ std::optional<bool> HoistCache::emptiness(const usr::USR *S,
     }
   }
   Key K{S, static_cast<uint64_t>(H)};
-  auto It = Cache.find(K);
-  if (It != Cache.end() && It->second.Verify == H2) {
-    WasHit = true;
-    return It->second.Empty;
+  {
+    // Probe under the lock; the (expensive) miss evaluation runs outside
+    // it so concurrent executions never serialize on each other's exact
+    // tests.
+    std::lock_guard<std::mutex> L(M);
+    auto It = Cache.find(K);
+    if (It != Cache.end() && It->second.Verify == H2) {
+      WasHit = true;
+      return It->second.Empty;
+    }
+    if (It != Cache.end())
+      ++Collisions; // Same primary hash, different inputs: re-evaluate.
   }
-  if (It != Cache.end())
-    ++Collisions; // Same primary hash, different inputs: re-evaluate.
   WasHit = false;
-  auto V = Compiled ? Compiled->emptiness(S, B, Pool, Stats)
+  auto V = Compiled ? Compiled->emptiness(S, B, Pool, Stats, Frames)
                     : usr::evalUSREmpty(S, B, 1u << 22, Stats);
-  if (V)
+  if (V) {
+    std::lock_guard<std::mutex> L(M);
     Cache[K] = Entry{H2, *V}; // Most recent inputs win the slot.
+  }
   return V;
 }
 
@@ -197,10 +206,12 @@ int Executor::runCascade(const TestCascade &C, const CompiledCascade *Pre,
 ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
                                sym::Bindings &B, ThreadPool &Pool,
                                HoistCache *Hoist, const PlanCascades *Pre,
-                               FramePool *Frames,
+                               ExecContext *Ctx,
                                USRCompileCache *UsrCompile) {
   assert((!Pre || Pre->Arrays.size() == Plan.Arrays.size()) &&
          "plan cascades must be built from this plan");
+  FramePool *Frames = Ctx ? &Ctx->Frames : nullptr;
+  USRFramePool *UsrFrames = Ctx ? &Ctx->UsrFrames : nullptr;
   ExecStats Stats;
   double T0 = nowSeconds();
   const DoLoop &Loop = *Plan.Loop;
@@ -254,9 +265,9 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
       usr::USREvalStats US;
       bool Hit = false;
       if (Hoist)
-        V = Hoist->emptiness(S, B, Sym, Hit, UC, &Pool, &US);
+        V = Hoist->emptiness(S, B, Sym, Hit, UC, &Pool, &US, UsrFrames);
       else if (UC)
-        V = UC->emptiness(S, B, &Pool, &US);
+        V = UC->emptiness(S, B, &Pool, &US, UsrFrames);
       else
         V = usr::evalUSREmpty(S, B, 1u << 22, &US);
       if (!Hit)

@@ -18,8 +18,9 @@
 /// (rt/Interp.h); plan-time cascade compilation and frame pooling in
 /// rt/CompiledCascade.h. A standalone Executor compiles cascades lazily
 /// through its own cache; the session layer (session/Session.h) instead
-/// hands in pre-built PlanCascades and a FramePool so repeated executions
-/// of the same plan do no per-execution setup at all.
+/// hands in pre-built PlanCascades and a leased rt::ExecContext so
+/// repeated executions of the same plan do no per-execution setup at all
+/// — and so concurrent executions never share mutable frames.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +37,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -121,23 +123,38 @@ struct ExecStats {
 /// inputs, so a primary-hash collision is detected and answered by
 /// falling back to exact evaluation instead of silently returning the
 /// colliding entry's emptiness answer.
+///
+/// Internally synchronized: concurrent emptiness() probes are safe, and
+/// the memo stays shared across every concurrent execution of a session
+/// (the amortization is per loop, not per worker). The lock covers only
+/// the map probe/insert; evaluation of a miss runs outside it, so two
+/// simultaneous first requests may both evaluate — duplicated work, same
+/// inserted answer, never a wrong one.
 class HoistCache {
 public:
   /// Returns the cached emptiness answer, or evaluates and caches it.
   /// Nullopt when evaluation itself fails. A miss evaluates through the
   /// compiled interval-run engine when \p Compiled is given (chunking a
-  /// root recurrence across \p Pool), through the reference interpreter
+  /// root recurrence across \p Pool, pooled frames from \p Frames — see
+  /// USRCompileCache::emptiness), through the reference interpreter
   /// otherwise.
   std::optional<bool> emptiness(const usr::USR *S, sym::Bindings &B,
                                 const sym::Context &Ctx, bool &WasHit,
                                 USRCompileCache *Compiled = nullptr,
                                 ThreadPool *Pool = nullptr,
-                                usr::USREvalStats *Stats = nullptr);
+                                usr::USREvalStats *Stats = nullptr,
+                                USRFramePool *Frames = nullptr);
 
-  size_t size() const { return Cache.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> L(M);
+    return Cache.size();
+  }
   /// Primary-hash collisions detected via the verification hash (the
   /// silent-wrong-answer case before it carried one).
-  uint64_t collisions() const { return Collisions; }
+  uint64_t collisions() const {
+    std::lock_guard<std::mutex> L(M);
+    return Collisions;
+  }
 
 private:
   struct Key {
@@ -158,6 +175,7 @@ private:
     uint64_t Verify; ///< Independent hash of the same inputs.
     bool Empty;
   };
+  mutable std::mutex M;
   std::unordered_map<Key, Entry, KeyHasher> Cache;
   uint64_t Collisions = 0;
 };
@@ -179,16 +197,20 @@ public:
 
   /// Hybrid execution under a plan: predicate cascades, technique
   /// selection, exact-test / TLS fallback, parallel interpretation.
-  /// \p Pre, \p Frames and \p UsrCompile are the session-provided
-  /// plan-time artifacts: when present, cascade stage vectors are neither
-  /// rebuilt nor re-sorted per execution, predicate frames are pooled,
-  /// and exact tests run the session-cached compiled USRs (a standalone
-  /// executor compiles lazily through its own caches).
+  /// \p Pre, \p Ctx and \p UsrCompile are the session-provided plan-time
+  /// and per-execution artifacts: when present, cascade stage vectors are
+  /// neither rebuilt nor re-sorted per execution, predicate and USR
+  /// frames come pooled from \p Ctx, and exact tests run the
+  /// session-cached compiled USRs (a standalone executor compiles lazily
+  /// through its own caches). With \p Pre and \p Ctx supplied this method
+  /// mutates no executor state, so concurrent calls are safe as long as
+  /// every caller brings its own Memory/Bindings/ExecContext (the
+  /// serving layer's intra-shard concurrency contract).
   ExecStats runPlanned(const analysis::LoopPlan &Plan, Memory &M,
                        sym::Bindings &B, ThreadPool &Pool,
                        HoistCache *Hoist = nullptr,
                        const PlanCascades *Pre = nullptr,
-                       FramePool *Frames = nullptr,
+                       ExecContext *Ctx = nullptr,
                        USRCompileCache *UsrCompile = nullptr);
 
   /// CIV-COMP: precomputes civ@pre / join pseudo-arrays into \p B by a

@@ -12,7 +12,6 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 using namespace halo;
@@ -27,7 +26,64 @@ EngineOptions sanitized(EngineOptions O) {
   return O;
 }
 
+/// Identity of the engine worker running on this thread, recorded by
+/// drainLoop. Worker threads belong to exactly one engine for their whole
+/// lifetime, so a (engine, index) pair never goes stale while the thread
+/// runs.
+thread_local const void *TlEngine = nullptr;
+thread_local unsigned TlWorker = 0;
+
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Exclusive sections (warm-up / quiesce) and the writer-preference gate
+//===----------------------------------------------------------------------===//
+
+/// Raises PendingExclusive for its whole lifetime (workers park on the
+/// gate, burning no CPU) and holds the config lock exclusively. The gate
+/// stays raised until release so a stream of back-to-back exclusive
+/// sections keeps its writer preference.
+class Engine::ExclusiveSection {
+public:
+  explicit ExclusiveSection(Engine &E) : E(E) {
+    // Raising needs no GateM: it only makes workers (start to) wait,
+    // it never wakes one.
+    E.PendingExclusive.fetch_add(1, std::memory_order_release);
+    Lock = std::unique_lock<std::shared_mutex>(E.ConfigLock);
+  }
+  ~ExclusiveSection() {
+    Lock.unlock();
+    {
+      // Decrement under GateM: a worker between its predicate check and
+      // its sleep holds GateM, so this transition cannot slip past it
+      // (no lost wakeup).
+      std::lock_guard<std::mutex> G(E.GateM);
+      E.PendingExclusive.fetch_sub(1, std::memory_order_release);
+    }
+    E.GateCv.notify_all();
+  }
+  ExclusiveSection(const ExclusiveSection &) = delete;
+  ExclusiveSection &operator=(const ExclusiveSection &) = delete;
+
+private:
+  Engine &E;
+  std::unique_lock<std::shared_mutex> Lock;
+};
+
+struct Engine::ExclusiveHold::Impl {
+  explicit Impl(Engine &E) : Section(E) {}
+  ExclusiveSection Section;
+};
+
+Engine::ExclusiveHold::ExclusiveHold(Engine &E)
+    : I(std::make_unique<Impl>(E)) {}
+Engine::ExclusiveHold::~ExclusiveHold() = default;
+
+Engine::ExclusiveHold Engine::quiesce() { return ExclusiveHold(*this); }
+
+//===----------------------------------------------------------------------===//
+// Construction / shutdown
+//===----------------------------------------------------------------------===//
 
 Engine::Engine(EngineOptions O)
     : Opts(sanitized(std::move(O))), Queue(Opts.QueueCapacity),
@@ -35,10 +91,16 @@ Engine::Engine(EngineOptions O)
   Shards.reserve(Opts.Shards);
   for (unsigned I = 0; I != Opts.Shards; ++I)
     Shards.push_back(std::make_unique<Shard>());
+  PerWorker.reserve(Opts.Workers);
+  for (unsigned W = 0; W != Opts.Workers; ++W) {
+    PerWorker.push_back(std::make_unique<WorkerCounters>());
+    PerWorker.back()->Shards.resize(Opts.Shards);
+  }
   // Every worker becomes a drainer of the request queue for the engine's
-  // whole lifetime; the pool is dedicated to that (requests fan out over
-  // shards, not over this pool).
-  Workers.drainQueue(Queue);
+  // whole lifetime; the pool is dedicated to that (one drainLoop per
+  // worker, which also stamps the thread with its accumulator index).
+  for (unsigned W = 0; W != Opts.Workers; ++W)
+    Workers.run([this, W] { drainLoop(W); });
 }
 
 Engine::~Engine() {
@@ -48,10 +110,26 @@ Engine::~Engine() {
   Queue.close();
 }
 
+void Engine::drainLoop(unsigned Worker) {
+  TlEngine = this;
+  TlWorker = Worker;
+  while (std::function<void()> Task = Queue.pop())
+    Task();
+}
+
+Engine::WorkerCounters &Engine::myCounters() {
+  // Off-worker callers (never expected) fall back to row 0; the per-row
+  // mutex keeps even that case safe, merely contended.
+  const unsigned W = TlEngine == this ? TlWorker : 0;
+  return *PerWorker[W];
+}
+
+//===----------------------------------------------------------------------===//
+// Warm-up (config-exclusive)
+//===----------------------------------------------------------------------===//
+
 ProgramId Engine::addProgram(ir::Program &Prog, usr::USRContext &Ctx) {
-  ++PendingExclusive;
-  std::unique_lock<std::shared_mutex> Cfg(ConfigLock);
-  --PendingExclusive;
+  ExclusiveSection Cfg(*this);
   Programs.push_back(ProgramEntry{&Prog, &Ctx});
   return static_cast<ProgramId>(Programs.size() - 1);
 }
@@ -59,13 +137,19 @@ ProgramId Engine::addProgram(ir::Program &Prog, usr::USRContext &Ctx) {
 const session::PreparedLoop &
 Engine::prepareImpl(ProgramId Program, const ir::DoLoop &Loop,
                     const analysis::AnalyzerOptions *AOpts) {
-  // Announce the exclusive intent first: workers pause before taking new
-  // shared locks, so a reader-preferring rwlock cannot starve warm-up
-  // under sustained traffic (see process()).
-  ++PendingExclusive;
-  std::unique_lock<std::shared_mutex> Cfg(ConfigLock);
-  --PendingExclusive;
+  ExclusiveSection Cfg(*this);
   ProgramEntry &PE = Programs.at(Program);
+  // Label collision check before touching any session: the label is the
+  // routing address, and two different loops behind one address would
+  // silently send findLoop traffic to whichever prepared last. The
+  // session re-checks its own shard-local view (a colliding loop may
+  // hash to a different shard, which only this registry can see).
+  auto Key = std::make_pair(Program, Loop.getLabel());
+  auto It = Labels.find(Key);
+  if (It != Labels.end() && It->second != &Loop)
+    throw std::invalid_argument(
+        "duplicate loop label '" + Loop.getLabel() +
+        "': a different loop of this program is already prepared under it");
   Shard &S = *Shards[shardOf(Program, Loop)];
   std::unique_ptr<session::Session> &Sess = S.Sessions[Program];
   if (!Sess)
@@ -73,7 +157,7 @@ Engine::prepareImpl(ProgramId Program, const ir::DoLoop &Loop,
                                               Opts.Session);
   const session::PreparedLoop &PL =
       AOpts ? Sess->prepare(Loop, *AOpts) : Sess->prepare(Loop);
-  Labels[{Program, Loop.getLabel()}] = &Loop;
+  Labels[std::move(Key)] = &Loop;
   return PL;
 }
 
@@ -104,6 +188,10 @@ unsigned Engine::shardOf(ProgramId Program, const ir::DoLoop &Loop) const {
   return static_cast<unsigned>(H % Shards.size());
 }
 
+//===----------------------------------------------------------------------===//
+// Request processing (config-shared, no shard-wide execution lock)
+//===----------------------------------------------------------------------===//
+
 void Engine::finishOne() {
   {
     std::lock_guard<std::mutex> L(FinMutex);
@@ -113,13 +201,20 @@ void Engine::finishOne() {
 }
 
 Response Engine::process(const Request &R) {
-  // Shared: excludes addProgram/prepare (which intern into the shared
-  // contexts) but runs concurrently with every other request. The
-  // pending-exclusive gate gives warm-up writer preference: glibc's
+  // Writer-preference gate: park (condition variable, no CPU) while an
+  // exclusive warm-up/quiesce section is pending or active. glibc's
   // rwlock lets new readers barge past a waiting writer, so without the
-  // pause a saturated serving plane would starve prepare() forever.
-  while (PendingExclusive.load(std::memory_order_acquire) > 0)
-    std::this_thread::yield();
+  // gate a saturated serving plane would starve prepare() forever. The
+  // steady state pays one atomic load; only a raised gate touches GateM.
+  if (PendingExclusive.load(std::memory_order_acquire) != 0) {
+    std::unique_lock<std::mutex> G(GateM);
+    GateCv.wait(G, [this] {
+      return PendingExclusive.load(std::memory_order_acquire) == 0;
+    });
+  }
+  // Shared: excludes addProgram/prepare (which intern into the shared
+  // contexts) but runs concurrently with every other request — including
+  // requests for the same loop on the same shard.
   std::shared_lock<std::shared_mutex> Cfg(ConfigLock);
   Response Resp;
   if (R.Program >= Programs.size() || !R.Loop) {
@@ -131,32 +226,68 @@ Response Engine::process(const Request &R) {
   const unsigned SI = shardOf(R.Program, *R.Loop);
   Resp.Shard = SI;
   Shard &S = *Shards[SI];
-  std::lock_guard<std::mutex> SL(S.M);
-  auto It = S.Sessions.find(R.Program);
-  session::Session *Sess = It == S.Sessions.end() ? nullptr
-                                                  : It->second.get();
+  WorkerCounters &WC = myCounters();
+  auto CountFailed = [&] {
+    std::lock_guard<std::mutex> L(WC.M);
+    ++WC.Shards[SI].Failed;
+  };
+  session::Session *Sess;
+  {
+    // The only shard-wide lock on this path, and it covers exactly the
+    // session-map lookup (the map mutates only under the exclusive
+    // config lock; the narrow mutex keeps the lookup defensive and
+    // documents the boundary).
+    std::lock_guard<std::mutex> SL(S.M);
+    auto It = S.Sessions.find(R.Program);
+    Sess = It == S.Sessions.end() ? nullptr : It->second.get();
+  }
   if (!Sess || !Sess->isPrepared(*R.Loop)) {
-    ++S.Stats.Failed;
+    CountFailed();
     Resp.Error = "loop was never prepared on this engine";
     return Resp;
   }
   if (!R.M || !R.B) {
-    ++S.Stats.Failed;
+    CountFailed();
     Resp.Error = "request carries no memory/bindings";
     return Resp;
   }
   const unsigned Repeats = std::max(1u, R.Repeats);
   Resp.Stats.reserve(Repeats);
+  rt::ExecStats Acc;
   for (unsigned E = 0; E != Repeats; ++E) {
     // Never analyzes (the loop is prepared): shared contexts stay
-    // read-only, per the concurrency contract.
+    // read-only and the session hands this worker its own ExecContext,
+    // per the concurrency contract. No engine lock is held beyond the
+    // shared config lock.
     std::optional<rt::ExecStats> St = Sess->runPrepared(*R.Loop, *R.M, *R.B);
-    assert(St && "isPrepared was just checked under the shard lock");
-    S.Stats.Exec += *St;
-    ++S.Stats.Executions;
+    assert(St && "prepared plans cannot vanish outside exclusive phases");
+    if (!St) {
+      // Defensive (contract violation, e.g. an embedder invalidating an
+      // engine-owned session directly): fail the request but still
+      // account the repeats that DID execute, and drop their partial
+      // Stats so OK=false never carries a half-filled success payload.
+      std::lock_guard<std::mutex> L(WC.M);
+      ShardCounters &SC = WC.Shards[SI];
+      ++SC.Failed;
+      SC.Executions += E;
+      SC.Exec += Acc;
+      Resp.Stats.clear();
+      Resp.Error = "loop was invalidated while serving";
+      return Resp;
+    }
+    Acc += *St;
     Resp.Stats.push_back(*St);
   }
-  ++S.Stats.Completed;
+  {
+    // Publish once per request into this worker's own accumulator row —
+    // never a shard-shared counter, so N workers on one hot loop do not
+    // contend.
+    std::lock_guard<std::mutex> L(WC.M);
+    ShardCounters &SC = WC.Shards[SI];
+    ++SC.Completed;
+    SC.Executions += Repeats;
+    SC.Exec += Acc;
+  }
   Resp.OK = true;
   return Resp;
 }
@@ -241,16 +372,34 @@ ServeStats Engine::stats() const {
   Out.Shards.reserve(Shards.size());
   for (const std::unique_ptr<Shard> &SP : Shards) {
     Shard &S = *SP;
-    std::lock_guard<std::mutex> SL(S.M);
-    ShardStats SS = S.Stats;
-    SS.Programs = S.Sessions.size();
-    for (const auto &KV : S.Sessions) {
-      SS.PreparedLoops += KV.second->numPreparedLoops();
-      SS.CompiledPreds += KV.second->numCompiledPreds();
-      SS.CompiledUSRs += KV.second->numCompiledUSRs();
-      SS.PooledFrames += KV.second->numPooledFrames();
+    ShardStats SS;
+    {
+      std::lock_guard<std::mutex> SL(S.M);
+      SS.Programs = S.Sessions.size();
+      for (const auto &KV : S.Sessions) {
+        SS.PreparedLoops += KV.second->numPreparedLoops();
+        SS.CompiledPreds += KV.second->numCompiledPreds();
+        SS.CompiledUSRs += KV.second->numCompiledUSRs();
+        SS.PooledFrames += KV.second->numPooledFrames();
+        SS.ExecContexts += KV.second->numExecContexts();
+      }
     }
     Out.Shards.push_back(std::move(SS));
+  }
+  // Merge every worker's accumulator rows. A worker holds its row mutex
+  // only for the += at the end of a request, so this snapshot neither
+  // blocks nor skews serving.
+  for (const std::unique_ptr<WorkerCounters> &WCP : PerWorker) {
+    WorkerCounters &WC = *WCP;
+    std::lock_guard<std::mutex> L(WC.M);
+    for (size_t SI = 0; SI < WC.Shards.size(); ++SI) {
+      const ShardCounters &SC = WC.Shards[SI];
+      ShardStats &SS = Out.Shards[SI];
+      SS.Completed += SC.Completed;
+      SS.Failed += SC.Failed;
+      SS.Executions += SC.Executions;
+      SS.Exec += SC.Exec;
+    }
   }
   return Out;
 }

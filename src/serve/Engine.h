@@ -14,9 +14,9 @@
 /// concurrent and multi-program:
 ///
 ///  - it owns N *shards*, each wrapping per-program sessions with their
-///    own plan / predicate-compile / USR-compile caches and frame pools
-///    (shard-local, so no cache ever needs a lock — see the contract in
-///    rt/CompiledCascade.h);
+///    own plan / predicate-compile / USR-compile caches (shard-local for
+///    cache warmth, internally synchronized for the execute path — see
+///    the contract in rt/CompiledCascade.h);
 ///  - a registry hash-routes every (program, loop) pair to one shard, so
 ///    a hot program's loops spread across shards while every request for
 ///    the same loop always lands where its caches are warm;
@@ -32,18 +32,24 @@
 ///  1. addProgram()/prepare() take the engine's config lock *exclusively*
 ///     — analysis interns into the program's shared symbol/predicate/USR
 ///     contexts, so it must never overlap an execution of that program.
-///  2. Workers take the config lock *shared* per request and the target
-///     shard's mutex for the execution itself; shard state (sessions,
-///     caches, pooled frames, stats) is only ever touched by the one
-///     worker holding that shard.
+///     A condition-variable gate parks workers (no spinning) while an
+///     exclusive phase is pending or active, giving warm-up writer
+///     preference over a saturated serving plane.
+///  2. Workers take the config lock *shared* per request. The shard
+///     mutex guards only the session-map lookup; the execution itself
+///     runs with NO shard-wide lock held, so one hot prepared loop is
+///     served by every worker at once (intra-shard concurrency).
 ///  3. Requests execute through Session::runPrepared(), which never
-///     analyzes: after warm-up the shared contexts are read-only, so any
-///     number of shards may serve the same program concurrently.
+///     analyzes and is safe for concurrent callers: immutable
+///     PreparedLoop plans, per-execution rt::ExecContext leases, and
+///     internally-synchronized session caches (see session/Session.h).
+///  4. Per-request stats land in per-worker accumulators (no shared
+///     counters on the execute path) and are merged by stats().
 ///
 /// Each request brings its own rt::Memory / sym::Bindings (the request's
 /// dataset); results are therefore bit-identical to running the same
 /// request sequentially through a lone Session (tests/serve_test.cpp pins
-/// this under ThreadSanitizer).
+/// this under ThreadSanitizer, including the many-clients-one-loop case).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -72,16 +78,19 @@ using ProgramId = uint32_t;
 
 /// Engine sizing knobs, fixed at construction.
 struct EngineOptions {
-  /// Number of shards (independent session groups). More shards = more
-  /// concurrent executions, at the cost of one set of caches per shard.
+  /// Number of shards (independent session groups). Shards partition the
+  /// cache working set; since executions no longer serialize per shard,
+  /// more shards buy cache locality, not concurrency (workers do that).
   unsigned Shards = 4;
-  /// Worker threads draining the request queue.
+  /// Worker threads draining the request queue. This is the execution
+  /// concurrency — even a single (program, loop) can be served by all
+  /// workers at once.
   unsigned Workers = 2;
   /// Bounded request-queue capacity (the backpressure point).
   size_t QueueCapacity = 256;
   /// Template for every shard session. Threads defaults to 1 here (unlike
-  /// a standalone session): serving-side parallelism comes from shards x
-  /// workers, not from fan-out inside one request.
+  /// a standalone session): serving-side parallelism comes from workers,
+  /// not from fan-out inside one request.
   session::SessionOptions Session;
 
   EngineOptions() { Session.Threads = 1; }
@@ -96,7 +105,7 @@ struct Request {
   rt::Memory *M = nullptr;
   sym::Bindings *B = nullptr;
   /// Executions of the loop to run back-to-back (a mini runBatch); the
-  /// whole batch runs on one shard without releasing it.
+  /// whole batch runs on one worker without re-dispatch.
   unsigned Repeats = 1;
 };
 
@@ -109,7 +118,8 @@ struct Response {
   /// Shard that served (or would have served) the request; ~0u when the
   /// request was unroutable (unknown program / null loop).
   unsigned Shard = ~0u;
-  /// Per-repeat execution stats, in order.
+  /// Per-repeat execution stats, in order. Populated only when OK is
+  /// true (a failed request never carries a partial success payload).
   std::vector<rt::ExecStats> Stats;
 };
 
@@ -124,6 +134,9 @@ struct ShardStats {
   size_t CompiledPreds = 0; ///< Predicates lowered by the shard's caches.
   size_t CompiledUSRs = 0;  ///< USRs lowered by the shard's caches.
   size_t PooledFrames = 0;  ///< Pooled predicate frames on the shard.
+  size_t ExecContexts = 0;  ///< Execution contexts created on the shard —
+                            ///< the high-water mark of concurrent
+                            ///< executions its sessions have served.
 
   ShardStats &operator+=(const ShardStats &O) {
     Completed += O.Completed;
@@ -135,6 +148,7 @@ struct ShardStats {
     CompiledPreds += O.CompiledPreds;
     CompiledUSRs += O.CompiledUSRs;
     PooledFrames += O.PooledFrames;
+    ExecContexts += O.ExecContexts;
     return *this;
   }
 };
@@ -178,7 +192,10 @@ public:
   /// registers it for serving (the warm-up step: plans, compiled
   /// cascades, compiled USRs and frames are all built here, so no served
   /// request ever analyzes). Takes the config lock exclusively. Invalid
-  /// \p Program throws std::out_of_range.
+  /// \p Program throws std::out_of_range; a label collision (a
+  /// *different* loop of the same program already registered under this
+  /// IR label) throws std::invalid_argument instead of silently
+  /// re-routing the label's traffic.
   const session::PreparedLoop &
   prepare(ProgramId Program, const ir::DoLoop &Loop,
           const analysis::AnalyzerOptions &Opts);
@@ -188,7 +205,8 @@ public:
 
   /// Finds a prepared loop by (program, IR label) — the engine's loop-id
   /// addressing for clients that do not hold IR pointers. Returns nullptr
-  /// for unknown ids.
+  /// for unknown ids. Labels are collision-checked at prepare time, so a
+  /// non-null result is the unique loop serving that label.
   const ir::DoLoop *findLoop(ProgramId Program,
                              std::string_view Label) const;
 
@@ -210,24 +228,69 @@ public:
   std::vector<std::future<Response>> submitBatch(std::vector<Request> Rs);
 
   /// Blocks until every accepted request has been served. Must not be
-  /// called from a worker (i.e. from inside a response future chain).
+  /// called from a worker (i.e. from inside a response future chain) or
+  /// while holding an ExclusiveHold.
   void drain();
+
+  /// RAII handle over an exclusive pause of the serving plane, as
+  /// prepare()'s warm-up critical section takes one: while it lives,
+  /// workers are parked on the writer-preference gate (blocked on a
+  /// condition variable, not spinning) and the holder may mutate the
+  /// registered programs' shared contexts safely. Released on
+  /// destruction.
+  class ExclusiveHold {
+  public:
+    ExclusiveHold(ExclusiveHold &&) noexcept = default;
+    ExclusiveHold(const ExclusiveHold &) = delete;
+    ExclusiveHold &operator=(const ExclusiveHold &) = delete;
+    ExclusiveHold &operator=(ExclusiveHold &&) = delete;
+    ~ExclusiveHold();
+
+  private:
+    friend class Engine;
+    explicit ExclusiveHold(Engine &E);
+    struct Impl;
+    std::unique_ptr<Impl> I;
+  };
+
+  /// Pauses serving (exclusive config lock + parked workers) until the
+  /// returned hold is destroyed. Do not submit-and-wait, drain(), or call
+  /// stats() while holding it.
+  ExclusiveHold quiesce();
 
   /// Snapshot of the serving counters, per shard and engine-wide.
   ServeStats stats() const;
 
 private:
-  /// One shard: per-program sessions + stats, serialized by M. Only the
-  /// worker holding M touches any of it (config-exclusive phases aside).
+  /// One shard: per-program sessions. The mutex guards only the map
+  /// lookup; executions run outside it (sessions are internally safe for
+  /// concurrent runPrepared). The map itself is only mutated during
+  /// config-exclusive phases.
   struct Shard {
     std::mutex M;
     std::map<ProgramId, std::unique_ptr<session::Session>> Sessions;
-    ShardStats Stats;
   };
   struct ProgramEntry {
     ir::Program *Prog = nullptr;
     usr::USRContext *Ctx = nullptr;
   };
+  /// Per-request counters one worker accumulated for one shard.
+  struct ShardCounters {
+    uint64_t Completed = 0;
+    uint64_t Failed = 0;
+    uint64_t Executions = 0;
+    rt::ExecStats Exec;
+  };
+  /// One worker's accumulators, one row per shard. The mutex is owned by
+  /// that worker in practice (contention-free on the serving path) and
+  /// taken by stats() snapshots only.
+  struct WorkerCounters {
+    std::mutex M;
+    std::vector<ShardCounters> Shards;
+  };
+  /// RAII writer-preference section: raises the gate (parking workers),
+  /// takes the config lock exclusively, releases both on destruction.
+  class ExclusiveSection;
 
   const session::PreparedLoop &prepareImpl(ProgramId Program,
                                            const ir::DoLoop &Loop,
@@ -235,20 +298,35 @@ private:
                                                *AOpts);
   Response process(const Request &R);
   void finishOne();
+  /// The long-running per-worker drain loop (records worker identity so
+  /// process() can find its accumulator without shared state).
+  void drainLoop(unsigned Worker);
+  /// The calling worker's accumulator row set.
+  WorkerCounters &myCounters();
 
   EngineOptions Opts;
   /// Exclusive for addProgram/prepare (analysis mutates shared contexts),
   /// shared for request processing and stats snapshots.
   mutable std::shared_mutex ConfigLock;
-  /// Writer-preference gate for ConfigLock: nonzero while an exclusive
-  /// acquisition is pending, making workers pause before taking new
-  /// shared locks (reader-preferring rwlocks would otherwise starve
-  /// warm-up under sustained traffic).
-  std::atomic<int> PendingExclusive{0};
+  /// Writer-preference gate for ConfigLock: PendingExclusive is nonzero
+  /// while an exclusive section is pending or active; workers park on
+  /// GateCv before taking new shared locks. Without the gate, glibc's
+  /// reader-preferring rwlock would let a saturated serving plane starve
+  /// warm-up forever; with a condvar (instead of the yield-spin this
+  /// replaced) the parked workers burn no CPU. The counter is atomic so
+  /// the steady-state fast path is one relaxed-cost load with no mutex;
+  /// decrements happen under GateM (a waiter between its predicate check
+  /// and its sleep holds GateM, so the wakeup cannot be lost).
+  mutable std::mutex GateM;
+  mutable std::condition_variable GateCv;
+  std::atomic<unsigned> PendingExclusive{0};
   std::vector<ProgramEntry> Programs;
   /// (program, loop label) -> prepared loop, for id-based addressing.
+  /// Collision-checked at prepare time.
   std::map<std::pair<ProgramId, std::string>, const ir::DoLoop *> Labels;
   std::vector<std::unique_ptr<Shard>> Shards;
+  /// One accumulator set per worker, created up front (index == worker).
+  std::vector<std::unique_ptr<WorkerCounters>> PerWorker;
   BoundedWorkQueue Queue;
 
   /// Request accounting for drain(): Accepted counts queue admissions,

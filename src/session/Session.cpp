@@ -7,8 +7,61 @@
 
 #include "session/Session.h"
 
+#include <algorithm>
+#include <stdexcept>
+
 using namespace halo;
 using namespace halo::session;
+
+namespace halo {
+namespace session {
+
+/// RAII lease of one rt::ExecContext from the session pool: checkout on
+/// construction, return on destruction (exception-safe). The pool hands
+/// the most-recently-returned context out first, so a sequential caller
+/// keeps hitting the same warm frames — the steady state is unchanged
+/// from the single-context design.
+class ContextLease {
+public:
+  explicit ContextLease(Session &S) : S(S) {
+    std::lock_guard<std::mutex> L(S.CtxMutex);
+    if (!S.Free.empty()) {
+      C = S.Free.back();
+      S.Free.pop_back();
+      return;
+    }
+    S.Contexts.push_back(std::make_unique<rt::ExecContext>());
+    C = S.Contexts.back().get();
+  }
+  ~ContextLease() {
+    std::lock_guard<std::mutex> L(S.CtxMutex);
+    S.Free.push_back(C);
+  }
+  ContextLease(const ContextLease &) = delete;
+  ContextLease &operator=(const ContextLease &) = delete;
+
+  rt::ExecContext &get() { return *C; }
+
+private:
+  Session &S;
+  rt::ExecContext *C = nullptr;
+};
+
+} // namespace session
+} // namespace halo
+
+namespace {
+
+/// RAII in-flight refcount on a plan (see PreparedLoop::InFlight).
+struct PlanRef {
+  explicit PlanRef(PreparedLoop &PL) : PL(PL) {
+    PL.InFlight.fetch_add(1, std::memory_order_acquire);
+  }
+  ~PlanRef() { PL.InFlight.fetch_sub(1, std::memory_order_release); }
+  PreparedLoop &PL;
+};
+
+} // namespace
 
 Session::Session(ir::Program &Prog, usr::USRContext &Ctx, SessionOptions O)
     : Prog(Prog), Ctx(Ctx), Opts(std::move(O)), Pool(Opts.Threads),
@@ -18,8 +71,21 @@ Session::Session(ir::Program &Prog, usr::USRContext &Ctx, SessionOptions O)
   Exec.setUseCompiledUSRs(Opts.UseCompiledUSRs);
 }
 
+Session::~Session() = default;
+
 PreparedLoop &Session::prepareWith(const ir::DoLoop &Loop,
                                    const analysis::AnalyzerOptions &AOpts) {
+  // Labels are the serving layer's loop addresses: a second loop with the
+  // same label would silently shadow the first in every label-based
+  // lookup, routing traffic to the wrong loop. Fail at prepare time.
+  for (const auto &KV : Plans)
+    if (KV.first != &Loop && KV.first->getLabel() == Loop.getLabel())
+      throw std::invalid_argument(
+          "duplicate loop label '" + Loop.getLabel() +
+          "': another prepared loop already carries it");
+  // This call is analysis-exclusive by contract, so nothing executes
+  // right now: reclaim retired plans whose executions have all finished.
+  sweepRetired();
   auto PL = std::make_unique<PreparedLoop>();
   analysis::HybridAnalyzer A(Ctx, Prog, AOpts);
   PL->Plan = A.analyze(Loop);
@@ -29,7 +95,8 @@ PreparedLoop &Session::prepareWith(const ir::DoLoop &Loop,
   PL->Cascades = rt::PlanCascades::build(PL->Plan, Compile);
   // Warm the compiled-USR cache at plan time: every independence USR the
   // HOIST-USR fallback can reach is lowered once here, so no execution
-  // ever pays USR compilation.
+  // ever pays USR compilation (and the code cache stays read-only on the
+  // concurrent execute path).
   if (Opts.UseCompiledUSRs && PL->Plan.Hoistable)
     for (const analysis::ArrayPlan &AP : PL->Plan.Arrays)
       for (const usr::USR *S :
@@ -37,8 +104,19 @@ PreparedLoop &Session::prepareWith(const ir::DoLoop &Loop,
         if (S)
           (void)UsrCompile.get(S);
   auto &Slot = Plans[&Loop];
+  if (Slot)
+    Retired.push_back(std::move(Slot)); // Deferred reclaim, not delete.
   Slot = std::move(PL);
   return *Slot;
+}
+
+void Session::sweepRetired() {
+  Retired.erase(std::remove_if(Retired.begin(), Retired.end(),
+                               [](const std::unique_ptr<PreparedLoop> &PL) {
+                                 return PL->InFlight.load(
+                                            std::memory_order_acquire) == 0;
+                               }),
+                Retired.end());
 }
 
 const PreparedLoop &Session::prepare(const ir::DoLoop &Loop) {
@@ -53,7 +131,17 @@ const PreparedLoop &Session::prepare(const ir::DoLoop &Loop,
   return prepareWith(Loop, AOpts);
 }
 
-void Session::invalidate(const ir::DoLoop &Loop) { Plans.erase(&Loop); }
+void Session::invalidate(const ir::DoLoop &Loop) {
+  auto It = Plans.find(&Loop);
+  if (It == Plans.end())
+    return;
+  // Sweep BEFORE retiring (like prepareWith): the plan dropped here
+  // survives this call and is reclaimed by the next exclusive phase, so
+  // stale references never dangle across the phase that retired them.
+  sweepRetired();
+  Retired.push_back(std::move(It->second));
+  Plans.erase(It);
+}
 
 bool Session::isPrepared(const ir::DoLoop &Loop) const {
   return Plans.find(&Loop) != Plans.end();
@@ -66,14 +154,22 @@ const ir::DoLoop *Session::findPreparedLoop(std::string_view Label) const {
   return nullptr;
 }
 
+rt::ExecStats Session::execute(PreparedLoop &PL, rt::Memory &M,
+                               sym::Bindings &B) {
+  PL.Executions.fetch_add(1, std::memory_order_relaxed);
+  PlanRef Ref(PL);
+  ContextLease Ctx(*this);
+  return Exec.runPlanned(PL.Plan, M, B, Pool, &Hoist, &PL.Cascades,
+                         &Ctx.get(),
+                         Opts.UseCompiledUSRs ? &UsrCompile : nullptr);
+}
+
 rt::ExecStats Session::run(const ir::DoLoop &Loop, rt::Memory &M,
                            sym::Bindings &B) {
   auto It = Plans.find(&Loop);
   PreparedLoop &PL =
       It != Plans.end() ? *It->second : prepareWith(Loop, Opts.Analyzer);
-  ++PL.Executions;
-  return Exec.runPlanned(PL.Plan, M, B, Pool, &Hoist, &PL.Cascades, &Frames,
-                         Opts.UseCompiledUSRs ? &UsrCompile : nullptr);
+  return execute(PL, M, B);
 }
 
 std::optional<rt::ExecStats> Session::runPrepared(const ir::DoLoop &Loop,
@@ -82,10 +178,7 @@ std::optional<rt::ExecStats> Session::runPrepared(const ir::DoLoop &Loop,
   auto It = Plans.find(&Loop);
   if (It == Plans.end())
     return std::nullopt;
-  PreparedLoop &PL = *It->second;
-  ++PL.Executions;
-  return Exec.runPlanned(PL.Plan, M, B, Pool, &Hoist, &PL.Cascades, &Frames,
-                         Opts.UseCompiledUSRs ? &UsrCompile : nullptr);
+  return execute(*It->second, M, B);
 }
 
 std::vector<rt::ExecStats> Session::runBatch(const ir::DoLoop &Loop,
@@ -121,4 +214,17 @@ void Session::runStmts(const std::vector<const ir::Stmt *> &Stmts,
 bool Session::computeBounds(const usr::USR *S, sym::Bindings &B, int64_t &Lo,
                             int64_t &Hi) {
   return Exec.computeBounds(S, B, Pool, Lo, Hi);
+}
+
+size_t Session::numPooledFrames() const {
+  std::lock_guard<std::mutex> L(CtxMutex);
+  size_t N = 0;
+  for (const std::unique_ptr<rt::ExecContext> &C : Contexts)
+    N += C->Frames.size();
+  return N;
+}
+
+size_t Session::numExecContexts() const {
+  std::lock_guard<std::mutex> L(CtxMutex);
+  return Contexts.size();
 }

@@ -17,13 +17,17 @@
 ///    and cost-ordered once at plan time, never per execution,
 ///  - the HOIST-USR exact-test memo cache,
 ///  - the thread pool,
-///  - pooled per-predicate CompiledPred frames, so repeated executions
-///    skip frame allocation and, when the bindings are unchanged, symbol
-///    re-binding of loop-invariant slots entirely.
+///  - a pool of rt::ExecContext (pooled CompiledPred / CompiledUSR
+///    evaluation frames + their BindingsStamp rebind bookkeeping), leased
+///    one per execution, so repeated executions skip frame allocation and
+///    — when the bindings are unchanged — symbol re-binding entirely,
+///    while *concurrent* executions never share mutable frames.
 ///
 /// run() executes one loop under its cached plan; runBatch() executes it
-/// M times back-to-back (the serve-heavy-repeated-traffic shape). See
-/// src/session/README.md for the lifecycle walkthrough.
+/// M times back-to-back (the serve-heavy-repeated-traffic shape);
+/// runPrepared() is the concurrency-safe execute-only entry point the
+/// serving layer fans out over worker threads. See src/session/README.md
+/// for the lifecycle walkthrough and the full concurrency contract.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,8 +37,10 @@
 #include "analysis/Analyzer.h"
 #include "rt/Executor.h"
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string_view>
 #include <unordered_map>
@@ -62,75 +68,107 @@ struct SessionOptions {
 
 /// One loop's analyze-once artifacts: the plan, its cascades compiled and
 /// cost-ordered at plan time, the analysis-time factorization stats, and
-/// an execution count for reporting.
+/// an execution count for reporting. Immutable after prepare() except for
+/// the two atomic counters, which is what lets any number of concurrent
+/// runPrepared() calls execute against it.
 struct PreparedLoop {
   analysis::LoopPlan Plan;
   rt::PlanCascades Cascades;
   factor::FactorStats FactorStats;
-  uint64_t Executions = 0;
+  /// Total executions against this plan (reporting).
+  std::atomic<uint64_t> Executions{0};
+  /// Executions running against this plan right now — the lifetime
+  /// refcount behind the deferred-reclaim contract: a plan (current or
+  /// retired) is never destroyed while this is nonzero.
+  std::atomic<uint32_t> InFlight{0};
 };
 
 /// The analyze-once / execute-many driver for one program.
 ///
-/// A session is *not* thread-safe: callers (in particular the serving
-/// layer, serve/Engine.h) must serialize access to one session. The
-/// concurrency contract that makes serialized-per-session concurrent
-/// serving sound is the prepare/execute split:
+/// Concurrency contract (the serving layer, serve/Engine.h, builds on
+/// exactly this — see src/session/README.md for the long form):
 ///
-///  - prepare() (and the first run() of an unprepared loop) *analyzes*,
-///    which interns new expressions, predicates and USRs into the shared
-///    ir::Program / sym::Context / pdag::PredContext / usr::USRContext;
-///  - runPrepared() only *reads* those shared contexts — every mutation it
-///    performs lands in caller-owned Memory/Bindings or in session-local
-///    state (pooled frames, HOIST-USR memo, stats counters).
+///  - **Analysis is exclusive.** prepare(), invalidate(), and run() /
+///    runBatch() on an *unprepared* loop analyze, which interns new
+///    expressions, predicates and USRs into the shared ir::Program /
+///    sym::Context / pdag::PredContext / usr::USRContext. None of these
+///    may overlap any other call into the session (or into any session
+///    sharing those contexts).
+///  - **Prepared execution is concurrent.** runPrepared() (and run() /
+///    runBatch() on already-prepared loops, which route through the same
+///    machinery) only *reads* the shared contexts and the PreparedLoop;
+///    every mutation lands in caller-owned Memory/Bindings, in a leased
+///    per-execution rt::ExecContext, or in internally-synchronized
+///    session caches (HOIST-USR memo, compile caches, context pool).
+///    Any number of threads may therefore call runPrepared()
+///    concurrently — against the same loop or different ones — as long
+///    as each brings its own Memory/Bindings and no analysis overlaps.
 ///
-/// Therefore sessions sharing a program may execute prepared loops
-/// concurrently (one thread per session), as long as no session analyzes
-/// while another executes. See src/serve/README.md for how the engine
-/// enforces exactly that.
+/// Plan lifetime: the reference returned by prepare() stays valid while
+/// the loop's plan is current. A re-prepare (prepare(Loop, Opts)) or
+/// invalidate() *retires* the old plan instead of destroying it: retired
+/// plans stay alive while any execution is in flight against them and
+/// are reclaimed lazily by the next analysis-exclusive call (prepare /
+/// invalidate), i.e. exactly when the concurrency contract already
+/// guarantees no execution is running. Callers holding a PreparedLoop
+/// reference across a re-prepare must re-lookup before the *next*
+/// exclusive phase after that.
 class Session {
 public:
   /// Builds a session serving \p Prog. \p Ctx must be the USR context the
   /// program was built against; both must outlive the session.
   Session(ir::Program &Prog, usr::USRContext &Ctx,
           SessionOptions Opts = SessionOptions());
+  ~Session();
 
   /// Returns the cached plan for \p Loop, analyzing it (with the
-  /// session's default analyzer options) on first use. The returned
-  /// reference stays valid until the loop's entry is replaced by a
-  /// prepare(Loop, Opts) re-analysis or dropped by invalidate().
+  /// session's default analyzer options) on first use. See the class
+  /// comment for the returned reference's lifetime. Throws
+  /// std::invalid_argument when first-use analysis would register a
+  /// second prepared loop with the same IR label (labels are the serving
+  /// layer's loop ids; silent duplicates would mis-route requests).
   const PreparedLoop &prepare(const ir::DoLoop &Loop);
 
   /// Analyzes \p Loop with explicit options and (re)caches the result.
   /// Always re-analyzes: call it once up front when a loop needs
-  /// non-default options, then run() against the cache. Replacing the
-  /// entry destroys the previous PreparedLoop — references returned by
-  /// earlier prepare() calls for the same loop are invalidated.
+  /// non-default options, then run() against the cache. The previous
+  /// plan, if any, is retired (kept alive until no execution references
+  /// it, reclaimed at a later exclusive phase — see the class comment),
+  /// so references returned by earlier prepare() calls survive the
+  /// re-prepare itself but must be re-looked-up afterwards. Duplicate
+  /// labels throw std::invalid_argument as in prepare(Loop).
   const PreparedLoop &prepare(const ir::DoLoop &Loop,
                               const analysis::AnalyzerOptions &Opts);
 
-  /// Drops the cached plan (e.g. after the program was mutated),
-  /// invalidating references previously returned by prepare() for it.
+  /// Drops the cached plan (e.g. after the program was mutated): the plan
+  /// is retired, then reclaimed like a re-prepared one. Analysis-
+  /// exclusive like prepare().
   void invalidate(const ir::DoLoop &Loop);
 
   /// True when a plan for \p Loop is already cached, i.e. runPrepared()
-  /// would execute without analyzing.
+  /// would execute without analyzing. Safe concurrently with executions
+  /// (never with analysis).
   bool isPrepared(const ir::DoLoop &Loop) const;
 
   /// Finds an already-prepared loop by its IR label (the serving layer's
-  /// loop id). Returns nullptr when no prepared loop carries \p Label;
-  /// with duplicate labels the first prepared match wins.
+  /// loop id). Returns nullptr when no prepared loop carries \p Label.
+  /// Labels are unique among prepared loops: prepare() rejects
+  /// duplicates, so the match is unambiguous.
   const ir::DoLoop *findPreparedLoop(std::string_view Label) const;
 
   /// Executes \p Loop under its cached plan (preparing it on first use):
   /// cascades pre-sorted at plan time, pooled frames, HOIST-USR cache.
+  /// Because of the may-analyze first use, run() is analysis-exclusive;
+  /// use runPrepared() from concurrent callers.
   rt::ExecStats run(const ir::DoLoop &Loop, rt::Memory &M, sym::Bindings &B);
 
   /// Executes \p Loop under an *already cached* plan, or returns nullopt
   /// when the loop was never prepared. Unlike run(), this never analyzes
   /// and therefore never mutates the shared IR/symbol/predicate/USR
-  /// contexts — the execute side of the concurrency contract above, used
-  /// by the serving layer after warm-up.
+  /// contexts — the execute side of the concurrency contract above. Safe
+  /// for any number of concurrent callers (each with its own
+  /// Memory/Bindings); the serving layer fans one hot loop out over its
+  /// whole worker pool through this entry point.
   std::optional<rt::ExecStats> runPrepared(const ir::DoLoop &Loop,
                                            rt::Memory &M, sym::Bindings &B);
 
@@ -169,24 +207,39 @@ public:
   ThreadPool &pool() { return Pool; }
   /// The governor executing plans for this session.
   rt::Executor &executor() { return Exec; }
-  /// The HOIST-USR exact-test memo cache (collision-verified).
+  /// The HOIST-USR exact-test memo cache (collision-verified, internally
+  /// synchronized — shared by all concurrent executions).
   rt::HoistCache &hoistCache() { return Hoist; }
   /// The session-wide compiled-USR cache (warmed at plan time).
   rt::USRCompileCache &usrCompileCache() { return UsrCompile; }
   /// The options the session was constructed with.
   const SessionOptions &options() const { return Opts; }
-  /// Number of loops with a cached plan.
+  /// Number of loops with a cached (current, not retired) plan.
   size_t numPreparedLoops() const { return Plans.size(); }
   /// Number of distinct predicates lowered by the shared compile cache.
   size_t numCompiledPreds() const { return Compile.size(); }
   /// Number of independence USRs lowered to interval-run bytecode.
   size_t numCompiledUSRs() const { return UsrCompile.size(); }
-  /// Number of pooled per-predicate evaluation frames.
-  size_t numPooledFrames() const { return Frames.size(); }
+  /// Number of pooled per-predicate evaluation frames, summed over every
+  /// execution context the session has created.
+  size_t numPooledFrames() const;
+  /// Number of rt::ExecContexts created so far — its high-water mark is
+  /// the session's peak execution concurrency.
+  size_t numExecContexts() const;
+  /// Retired (re-prepared / invalidated) plans not yet reclaimed.
+  size_t numRetiredPlans() const { return Retired.size(); }
 
 private:
+  friend class ContextLease;
+
   PreparedLoop &prepareWith(const ir::DoLoop &Loop,
                             const analysis::AnalyzerOptions &Opts);
+  /// Frees retired plans no execution references anymore. Called from
+  /// the analysis-exclusive entry points only.
+  void sweepRetired();
+  /// The shared execute path of run()/runPrepared(): leases a context,
+  /// refcounts the plan, runs the governor.
+  rt::ExecStats execute(PreparedLoop &PL, rt::Memory &M, sym::Bindings &B);
 
   ir::Program &Prog;
   usr::USRContext &Ctx;
@@ -195,12 +248,23 @@ private:
   rt::Executor Exec;
   rt::PredCompileCache Compile;
   rt::HoistCache Hoist;
-  rt::FramePool Frames;
   /// Compiled independence USRs (exact-test fallbacks), warmed at plan
   /// time for hoistable plans and shared across executions.
   rt::USRCompileCache UsrCompile;
   std::unordered_map<const ir::DoLoop *, std::unique_ptr<PreparedLoop>>
       Plans;
+  /// Re-prepared / invalidated plans kept alive for in-flight executions
+  /// and stale references; swept by the next exclusive phase.
+  std::vector<std::unique_ptr<PreparedLoop>> Retired;
+
+  /// Execution-context pool: Contexts owns every context ever created
+  /// (so stats can walk them), Free lists the ones available for lease.
+  /// CtxMutex is the only lock an execution takes inside the session —
+  /// held for the two pointer swaps of checkout/return, never across the
+  /// execution itself.
+  mutable std::mutex CtxMutex;
+  std::vector<std::unique_ptr<rt::ExecContext>> Contexts;
+  std::vector<rt::ExecContext *> Free;
 };
 
 } // namespace session

@@ -85,6 +85,15 @@ private:
 /// contiguous chunk per worker and blocks until all chunks finish. With
 /// NumThreads == 1 `parallelFor` degenerates to an inline sequential loop so
 /// that single-threaded baselines pay no synchronization cost.
+///
+/// Concurrent parallelFor/parallelForBlocked/parallelAllOf callers on one
+/// pool do not corrupt each other (the task queue is locked; every chunk
+/// runs exactly once), but completion is NOT tracked per call: each
+/// caller returns via wait(), which blocks until the pool is *globally*
+/// idle. Under sustained load from other callers that wait can be
+/// arbitrarily long. Callers that need isolated completion (e.g.
+/// per-request fan-out under the serving engine) should use
+/// NumThreads == 1 sessions (inline) or dedicated pools.
 class ThreadPool {
 public:
   /// Whether a 1-thread pool executes run() inline on the caller (the

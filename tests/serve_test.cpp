@@ -17,7 +17,10 @@
 #include "support/Rng.h"
 #include "suite/Suite.h"
 
+#include <chrono>
 #include <cstring>
+#include <ctime>
+#include <stdexcept>
 #include <thread>
 #include <gtest/gtest.h>
 
@@ -414,6 +417,250 @@ TEST(ServeEngineTest, DrainAndShutdownFulfillEveryAcceptedRequest) {
   }
   for (auto &F : Futs)
     EXPECT_TRUE(F.get().OK);
+}
+
+TEST(ServeEngineTest, ManyClientsOneLoopMatchSequentialSession) {
+  // The intra-shard concurrency contract: every request targets ONE
+  // prepared loop — one shard, one session — served by 4 workers at
+  // once, the configuration the old shard-wide execute lock used to
+  // serialize. Aggregate results must stay bit-identical to a lone
+  // sequential session. Runs once per loop kind so the concurrent
+  // surface covers O(1) cascades, the O(N) parallel and-reduction, the
+  // hoistable exact test (shared HOIST-USR memo under contention) and
+  // the reduction path. TSan-covered in CI.
+  serve::EngineOptions EO;
+  EO.Shards = 2;
+  EO.Workers = 4;
+  EO.QueueCapacity = 16;
+
+  std::vector<ServedProgram> Progs(1);
+  ServedProgram &P = Progs[0];
+  std::vector<serve::ProgramId> Ids;
+  serve::Engine E(EO);
+  prepareAll(E, Progs, Ids);
+
+  session::Session Ref(P.B.prog(), P.B.usr(), EO.Session);
+  for (ir::DoLoop *L : P.loops())
+    Ref.prepare(*L, P.optsFor(L));
+
+  const unsigned Clients = 4;
+  const size_t PerClient = 6;
+  const size_t NumRequests = Clients * PerClient;
+  size_t TotalOk = 0;
+  for (size_t LI = 0; LI < P.loops().size(); ++LI) {
+    ir::DoLoop *L = P.loops()[LI];
+    struct Slot {
+      rt::Memory M;
+      sym::Bindings B;
+      std::future<serve::Response> Fut;
+      uint64_t Seed = 0;
+    };
+    std::vector<Slot> Slots(NumRequests);
+    // Seeds repeat (mod 4): concurrent workers race on identical
+    // datasets, so HOIST-USR memo hits and context checkout happen under
+    // genuine contention, not just distinct-input parallelism.
+    for (size_t I = 0; I < NumRequests; ++I)
+      Slots[I].Seed = 3000 + 16 * LI + (I % 4);
+
+    std::vector<std::thread> Cs;
+    for (unsigned C = 0; C < Clients; ++C)
+      Cs.emplace_back([&, C] {
+        for (size_t I = C; I < NumRequests; I += Clients) {
+          P.dataset(Slots[I].Seed, Slots[I].M, Slots[I].B);
+          serve::Request Req;
+          Req.Program = Ids[0];
+          Req.Loop = L;
+          Req.M = &Slots[I].M;
+          Req.B = &Slots[I].B;
+          Slots[I].Fut = E.submit(Req);
+        }
+      });
+    for (std::thread &T : Cs)
+      T.join();
+    E.drain();
+
+    for (size_t I = 0; I < NumRequests; ++I) {
+      ASSERT_TRUE(Slots[I].Fut.valid());
+      serve::Response Resp = Slots[I].Fut.get();
+      ASSERT_TRUE(Resp.OK) << L->getLabel() << ": " << Resp.Error;
+      ASSERT_EQ(Resp.Stats.size(), 1u);
+      ++TotalOk;
+
+      rt::Memory MR;
+      sym::Bindings BR;
+      P.dataset(Slots[I].Seed, MR, BR);
+      std::optional<rt::ExecStats> RefSt = Ref.runPrepared(*L, MR, BR);
+      ASSERT_TRUE(RefSt.has_value()) << L->getLabel();
+
+      const rt::ExecStats &Got = Resp.Stats[0];
+      EXPECT_EQ(Got.RanParallel, RefSt->RanParallel) << L->getLabel();
+      EXPECT_EQ(Got.UsedTLS, RefSt->UsedTLS) << L->getLabel();
+      EXPECT_EQ(Got.TLSSucceeded, RefSt->TLSSucceeded) << L->getLabel();
+      EXPECT_EQ(Got.UsedExactTest, RefSt->UsedExactTest) << L->getLabel();
+      EXPECT_EQ(Got.CascadeDepthUsed, RefSt->CascadeDepthUsed)
+          << L->getLabel();
+      expectMemoryEq(Slots[I].M, MR, L->getLabel().c_str());
+    }
+  }
+  serve::ServeStats St = E.stats();
+  serve::ShardStats T = St.totals();
+  EXPECT_EQ(T.Completed, TotalOk);
+  EXPECT_EQ(T.Failed, 0u);
+  EXPECT_EQ(T.Executions, TotalOk);
+}
+
+#if defined(__linux__)
+namespace {
+double processCpuSeconds() {
+  timespec TS;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &TS);
+  return static_cast<double>(TS.tv_sec) + 1e-9 * TS.tv_nsec;
+}
+} // namespace
+
+TEST(ServeEngineTest, WorkersParkNotSpinDuringExclusivePhases) {
+  // The writer-preference gate must park workers on a condition variable
+  // while an exclusive phase is pending — the yield-spin it replaced
+  // burned one full core per worker for the whole duration of a
+  // prepare(). Process CPU time over a quiesced window is the observable:
+  // spinning workers consume ~wall-clock x min(cores, workers); parked
+  // workers consume (almost) nothing.
+  serve::EngineOptions EO;
+  EO.Shards = 1;
+  EO.Workers = 3;
+  EO.QueueCapacity = 8;
+  std::vector<ServedProgram> Progs(1);
+  ServedProgram &P = Progs[0];
+  std::vector<serve::ProgramId> Ids;
+  serve::Engine E(EO);
+  prepareAll(E, Progs, Ids);
+
+  std::vector<std::unique_ptr<rt::Memory>> Ms;
+  std::vector<std::unique_ptr<sym::Bindings>> Bs;
+  std::vector<std::future<serve::Response>> Futs;
+  {
+    serve::Engine::ExclusiveHold Hold = E.quiesce();
+    // Workers pop these and hit the gate with requests in hand (the
+    // exact spot the old code spun at).
+    for (int I = 0; I < 5; ++I) {
+      Ms.push_back(std::make_unique<rt::Memory>());
+      Bs.push_back(std::make_unique<sym::Bindings>());
+      P.dataset(400 + I, *Ms.back(), *Bs.back());
+      serve::Request Req;
+      Req.Program = Ids[0];
+      Req.Loop = P.Strided;
+      Req.M = Ms.back().get();
+      Req.B = Bs.back().get();
+      Futs.push_back(E.submit(Req));
+    }
+    // Let every worker reach the gate, then measure a quiet window.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const double Cpu0 = processCpuSeconds();
+    const auto Wall0 = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    const double CpuBurn = processCpuSeconds() - Cpu0;
+    const double Wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Wall0)
+            .count();
+    // Generous bound for CI noise: even ONE spinning worker on one core
+    // would burn ~1.0x wall.
+    EXPECT_LT(CpuBurn, 0.5 * Wall)
+        << "workers appear to busy-wait during an exclusive phase";
+  }
+  // Releasing the hold must wake the parked workers and serve everything.
+  E.drain();
+  for (auto &F : Futs)
+    EXPECT_TRUE(F.get().OK);
+}
+#endif // __linux__
+
+TEST(ServeEngineTest, DuplicateLoopLabelsAreRejectedAtPrepare) {
+  // The label registry is the engine's routing address space: two
+  // different loops of one program behind one label would silently route
+  // findLoop traffic to whichever prepared last. prepare() must throw.
+  serve::EngineOptions EO;
+  std::vector<ServedProgram> Progs(1);
+  ServedProgram &P = Progs[0];
+  serve::Engine E(EO);
+  serve::ProgramId Id = E.addProgram(P.B.prog(), P.B.usr());
+  E.prepare(Id, *P.Strided, P.optsFor(P.Strided));
+
+  // A different loop under the already-registered label.
+  ir::DoLoop *Dup = P.BB.loop("strided", "i", P.BB.c(1), P.BB.s("N"), 1);
+  Dup->append(P.BB.reduce(
+      P.XR, P.BB.Sym.arrayRef(P.Q, P.BB.sv(P.BB.Sym.symbol("i", 1)))));
+  EXPECT_THROW(E.prepare(Id, *Dup), std::invalid_argument);
+
+  // The registry still routes to the original loop, and re-preparing the
+  // SAME loop under its own label stays legal (idempotent warm-up).
+  EXPECT_EQ(E.findLoop(Id, "strided"), P.Strided);
+  EXPECT_NO_THROW(E.prepare(Id, *P.Strided, P.optsFor(P.Strided)));
+
+  // The engine must keep serving after the rejected prepare (the
+  // exclusive section unwound cleanly).
+  rt::Memory M;
+  sym::Bindings B;
+  P.dataset(7, M, B);
+  serve::Request Req;
+  Req.Program = Id;
+  Req.Loop = P.Strided;
+  Req.M = &M;
+  Req.B = &B;
+  EXPECT_TRUE(E.submit(Req).get().OK);
+}
+
+TEST(ServeEngineTest, RePrepareWhileServingKeepsServedPlansAlive) {
+  // The deferred-reclaim contract: re-preparing a loop mid-traffic
+  // retires the old plan instead of destroying it, so requests already
+  // executing against it finish safely (TSan-covered; before the fix
+  // this was a use-after-free on the plan's cascade stages).
+  serve::EngineOptions EO;
+  EO.Shards = 1;
+  EO.Workers = 2;
+  std::vector<ServedProgram> Progs(1);
+  ServedProgram &P = Progs[0];
+  serve::Engine E(EO);
+  serve::ProgramId Id = E.addProgram(P.B.prog(), P.B.usr());
+  E.prepare(Id, *P.Irregular, P.optsFor(P.Irregular));
+
+  const int Rounds = 4, PerRound = 6;
+  std::vector<std::unique_ptr<rt::Memory>> Ms;
+  std::vector<std::unique_ptr<sym::Bindings>> Bs;
+  std::vector<std::future<serve::Response>> Futs;
+  std::vector<uint64_t> Seeds;
+  for (int R = 0; R < Rounds; ++R) {
+    for (int I = 0; I < PerRound; ++I) {
+      uint64_t Seed = 9000 + static_cast<uint64_t>(R) * PerRound + I;
+      Seeds.push_back(Seed);
+      Ms.push_back(std::make_unique<rt::Memory>());
+      Bs.push_back(std::make_unique<sym::Bindings>());
+      P.dataset(Seed, *Ms.back(), *Bs.back());
+      serve::Request Req;
+      Req.Program = Id;
+      Req.Loop = P.Irregular;
+      Req.M = Ms.back().get();
+      Req.B = Bs.back().get();
+      Futs.push_back(E.submit(Req));
+    }
+    // Re-analysis races the in-flight requests above (the exclusive
+    // section waits for executions, the retired plan outlives them).
+    E.prepare(Id, *P.Irregular, P.optsFor(P.Irregular));
+  }
+  E.drain();
+
+  session::Session Ref(P.B.prog(), P.B.usr(), EO.Session);
+  Ref.prepare(*P.Irregular, P.optsFor(P.Irregular));
+  for (size_t I = 0; I < Futs.size(); ++I) {
+    serve::Response Resp = Futs[I].get();
+    ASSERT_TRUE(Resp.OK) << Resp.Error;
+    rt::Memory MR;
+    sym::Bindings BR;
+    P.dataset(Seeds[I], MR, BR);
+    std::optional<rt::ExecStats> RefSt = Ref.runPrepared(*P.Irregular, MR, BR);
+    ASSERT_TRUE(RefSt.has_value());
+    expectMemoryEq(*Ms[I], MR, "re-prepare-while-serving");
+  }
 }
 
 TEST(ServeEngineTest, TrySubmitAcceptsWithRoomAndCountsSheds) {

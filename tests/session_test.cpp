@@ -17,6 +17,7 @@
 #include "suite/Suite.h"
 
 #include <cstring>
+#include <stdexcept>
 #include <gtest/gtest.h>
 
 using namespace halo;
@@ -437,6 +438,73 @@ TEST_F(SessionFixture, CompiledUSREngineMatchesInterpreterSessions) {
   }
   EXPECT_GT(CompiledEvals, 0u);
   EXPECT_EQ(CompiledEvals, InterpEvals);
+}
+
+TEST_F(SessionFixture, DuplicatePreparedLabelThrows) {
+  // Labels are the serving layer's loop ids; a second prepared loop with
+  // the same label would shadow the first in findPreparedLoop and every
+  // label-routed request. prepare() must fail loudly instead.
+  session::Session S(B.prog(), B.usr());
+  S.prepare(*Strided, optsFor(Strided));
+
+  ir::DoLoop *Dup = BB.loop("strided", "i", BB.c(1), BB.s("N"), 1);
+  Dup->append(
+      BB.reduce(XR, BB.Sym.arrayRef(Q, BB.sv(BB.Sym.symbol("i", 1)))));
+  EXPECT_THROW(S.prepare(*Dup), std::invalid_argument);
+  EXPECT_THROW(S.prepare(*Dup, optsFor(Dup)), std::invalid_argument);
+  EXPECT_FALSE(S.isPrepared(*Dup));
+
+  // Re-preparing the SAME loop under its own label stays legal, and the
+  // label still resolves to the original loop.
+  EXPECT_NO_THROW(S.prepare(*Strided, optsFor(Strided)));
+  EXPECT_EQ(S.findPreparedLoop("strided"), Strided);
+}
+
+TEST_F(SessionFixture, RePrepareRetiresOldPlanUntilNextExclusivePhase) {
+  // The deferred-reclaim lifetime contract (see Session.h): a re-prepare
+  // retires the old PreparedLoop instead of destroying it, so references
+  // returned by the earlier prepare() survive the re-prepare itself.
+  session::Session S(B.prog(), B.usr());
+  const session::PreparedLoop &P1 = S.prepare(*Strided, optsFor(Strided));
+  const analysis::LoopPlan *OldPlan = &P1.Plan;
+
+  const session::PreparedLoop &P2 = S.prepare(*Strided, optsFor(Strided));
+  EXPECT_NE(&P2, &P1); // Fresh plan; the old one retired, not recycled.
+  EXPECT_EQ(S.numRetiredPlans(), 1u);
+  // The retired plan is still alive and readable through the old
+  // reference (before the fix this was a use-after-free).
+  EXPECT_EQ(OldPlan->Loop, Strided);
+
+  // The next exclusive phase sweeps it (nothing is in flight).
+  S.prepare(*Blocks, optsFor(Blocks));
+  EXPECT_EQ(S.numRetiredPlans(), 0u);
+
+  // invalidate() retires the same way: the plan survives the call that
+  // dropped it and disappears at the next exclusive phase.
+  const session::PreparedLoop &P3 = S.prepare(*Strided, optsFor(Strided));
+  const analysis::LoopPlan *DroppedPlan = &P3.Plan;
+  S.invalidate(*Strided); // Sweeps P2's retired plan, then retires P3's.
+  EXPECT_FALSE(S.isPrepared(*Strided));
+  EXPECT_EQ(S.numRetiredPlans(), 1u);
+  EXPECT_EQ(DroppedPlan->Loop, Strided);
+  S.invalidate(*Blocks); // Sweeps P3's plan, retires the Blocks plan.
+  EXPECT_EQ(S.numRetiredPlans(), 1u);
+
+  // The session still executes correctly against re-prepared plans.
+  S.prepare(*Strided, optsFor(Strided));
+  rt::Memory MS, MR;
+  sym::Bindings BS, BR;
+  Rng R(11);
+  mutate(R, BS, BR, MS, MR, true);
+  std::optional<rt::ExecStats> St = S.runPrepared(*Strided, MS, BS);
+  ASSERT_TRUE(St.has_value());
+  ThreadPool RefPool(2);
+  analysis::HybridAnalyzer A(B.usr(), B.prog(), optsFor(Strided));
+  analysis::LoopPlan Plan = A.analyze(*Strided);
+  rt::Executor Ex(B.prog(), B.usr());
+  rt::ExecStats Rs = Ex.runPlanned(Plan, MR, BR, RefPool);
+  expectStatsEq(*St, Rs, "post-retire");
+  expectMemoryEq(MS, MR, "post-retire");
 }
 
 TEST(SessionHoistCacheTest, VerifiedHitsStayCorrectAcrossDatasets) {

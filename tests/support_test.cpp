@@ -285,6 +285,60 @@ TEST(BoundedWorkQueueTest, MpmcStressConsumesEveryTaskExactlyOnce) {
   EXPECT_EQ(Ran.load(), 3 * PerProducer);
 }
 
+TEST(BoundedWorkQueueTest, PeakDepthIsMonotoneUnderMpmcStress) {
+  // peakDepth() is a high-water mark: under concurrent producers,
+  // consumers and samplers it must never appear to move backwards (each
+  // thread's successive samples are non-decreasing) and must stay within
+  // [deepest observed size, capacity].
+  BoundedWorkQueue Q(16);
+  const int PerProducer = 200;
+  std::atomic<int> Ran{0};
+  std::atomic<bool> Monotone{true};
+  std::atomic<size_t> DeepestSeen{0};
+
+  std::vector<std::thread> Consumers;
+  for (int C = 0; C < 2; ++C)
+    Consumers.emplace_back([&] {
+      size_t LastPeak = 0;
+      while (std::function<void()> T = Q.pop()) {
+        T();
+        const size_t Pk = Q.peakDepth();
+        if (Pk < LastPeak)
+          Monotone.store(false, std::memory_order_relaxed);
+        LastPeak = Pk;
+      }
+    });
+  std::vector<std::thread> Producers;
+  for (int P = 0; P < 3; ++P)
+    Producers.emplace_back([&] {
+      size_t LastPeak = 0;
+      for (int I = 0; I < PerProducer; ++I) {
+        EXPECT_TRUE(Q.push([&Ran] { ++Ran; }));
+        const size_t Sz = Q.size();
+        size_t Prev = DeepestSeen.load(std::memory_order_relaxed);
+        while (Sz > Prev &&
+               !DeepestSeen.compare_exchange_weak(
+                   Prev, Sz, std::memory_order_relaxed))
+          ;
+        const size_t Pk = Q.peakDepth();
+        if (Pk < LastPeak)
+          Monotone.store(false, std::memory_order_relaxed);
+        LastPeak = Pk;
+      }
+    });
+  for (std::thread &T : Producers)
+    T.join();
+  Q.close();
+  for (std::thread &T : Consumers)
+    T.join();
+
+  EXPECT_TRUE(Monotone.load());
+  EXPECT_EQ(Ran.load(), 3 * PerProducer);
+  EXPECT_GE(Q.peakDepth(), DeepestSeen.load());
+  EXPECT_LE(Q.peakDepth(), Q.capacity());
+  EXPECT_GE(Q.peakDepth(), 1u);
+}
+
 TEST(ThreadPoolTest, DrainQueueServesUntilClosed) {
   // The serving shape: a pool whose workers drain the bounded queue as
   // long-running tasks, including the 1-thread pool that must spawn a
