@@ -582,7 +582,8 @@ std::optional<bool> CompiledPred::evalPooled(PooledFrame &PF,
 std::optional<bool>
 CompiledPred::evalParallelPooled(PooledFrame &PF, const sym::Bindings &B,
                                  ThreadPool &Pool, EvalStats *Stats,
-                                 int64_t MinParallelIters) const {
+                                 int64_t MinParallelIters,
+                                 const support::CancelToken *Cancel) const {
   if (RootLoop < 0 || Pool.numThreads() <= 1)
     return evalPooled(PF, B, Stats);
   const bool Reused = bindPooled(PF, B);
@@ -592,12 +593,12 @@ CompiledPred::evalParallelPooled(PooledFrame &PF, const sym::Bindings &B,
     F.Stats.FrameRebindsSkipped = 1;
   else
     F.Stats.FrameBinds = 1;
-  return evalParallelImpl(F, &PF, Pool, Stats, MinParallelIters);
+  return evalParallelImpl(F, &PF, Pool, Stats, MinParallelIters, Cancel);
 }
 
 std::optional<bool> CompiledPred::evalParallelImpl(
     Frame &F, PooledFrame *PF, ThreadPool &Pool, EvalStats *Stats,
-    int64_t MinParallelIters) const {
+    int64_t MinParallelIters, const support::CancelToken *Cancel) const {
   const CompiledLoop &L = Loops[static_cast<size_t>(RootLoop)];
   auto Lo = evalExpr(L.LoExprBegin, L.LoExprEnd, F);
   auto Hi = evalExpr(L.HiExprBegin, L.HiExprEnd, F);
@@ -616,6 +617,8 @@ std::optional<bool> CompiledPred::evalParallelImpl(
     return true;
   }
   const unsigned NT = Pool.numThreads();
+  if (support::stopRequested(Cancel))
+    return std::nullopt; // Cancelled: no answer, not "false".
   if (*Hi - *Lo + 1 < MinParallelIters * static_cast<int64_t>(NT))
     return runMainOnFrame(F, Stats);
 
@@ -676,7 +679,8 @@ std::optional<bool> CompiledPred::evalParallelImpl(
         }
         WorkerStats[W] = FW.Stats;
         return Ok;
-      });
+      },
+      Cancel);
 
   EvalStats Agg;
   for (unsigned W = 0; W < NT; ++W)
@@ -686,6 +690,12 @@ std::optional<bool> CompiledPred::evalParallelImpl(
   Agg.FrameRebindsSkipped = F.Stats.FrameRebindsSkipped;
   if (Stats)
     *Stats += Agg;
+
+  // A fired token may have suppressed blocks entirely, so Outcome/BadAt
+  // no longer describe the true first-failure frontier: discard them.
+  // (Counted stats above only describe the work actually done.)
+  if (support::stopRequested(Cancel))
+    return std::nullopt;
 
   int64_t Best = INT64_MAX;
   uint8_t R = TriTrue;
@@ -699,14 +709,14 @@ std::optional<bool> CompiledPred::evalParallelImpl(
   return R == TriTrue;
 }
 
-std::optional<bool> CompiledPred::evalParallel(const sym::Bindings &B,
-                                               ThreadPool &Pool,
-                                               EvalStats *Stats,
-                                               int64_t MinParallelIters) const {
+std::optional<bool>
+CompiledPred::evalParallel(const sym::Bindings &B, ThreadPool &Pool,
+                           EvalStats *Stats, int64_t MinParallelIters,
+                           const support::CancelToken *Cancel) const {
   if (RootLoop < 0 || Pool.numThreads() <= 1)
     return eval(B, Stats);
   Frame &F = scratchFrame();
   F.Stats = EvalStats();
   bindFrame(F, B);
-  return evalParallelImpl(F, nullptr, Pool, Stats, MinParallelIters);
+  return evalParallelImpl(F, nullptr, Pool, Stats, MinParallelIters, Cancel);
 }

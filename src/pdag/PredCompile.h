@@ -140,9 +140,13 @@ public:
   /// Fan-out only pays off when every worker gets a chunk that dwarfs the
   /// dispatch cost, so ranges shorter than MinParallelIters * numThreads
   /// iterations (and non-LoopAll roots) fall back to the serial path.
+  /// A fired \p Cancel token makes the evaluation bail at the next chunk
+  /// boundary and return nullopt — no answer, as opposed to "false".
   std::optional<bool> evalParallel(const sym::Bindings &B, ThreadPool &Pool,
                                    EvalStats *Stats = nullptr,
-                                   int64_t MinParallelIters = 4096) const;
+                                   int64_t MinParallelIters = 4096,
+                                   const support::CancelToken *Cancel =
+                                       nullptr) const;
 
   /// eval() against a caller-owned pooled frame: binds the frame on first
   /// use (or whenever \p B's stamp changed since the last bind) and skips
@@ -156,7 +160,8 @@ public:
   std::optional<bool>
   evalParallelPooled(PooledFrame &PF, const sym::Bindings &B, ThreadPool &Pool,
                      EvalStats *Stats = nullptr,
-                     int64_t MinParallelIters = 4096) const;
+                     int64_t MinParallelIters = 4096,
+                     const support::CancelToken *Cancel = nullptr) const;
 
   /// eval() with scalar overrides written into the frame after binding:
   /// (slot, value) pairs over slots resolved via scalarSlotIndex(). This
@@ -216,7 +221,9 @@ private:
   /// null) or live pooled inside \p PF.
   std::optional<bool> evalParallelImpl(Frame &F, PooledFrame *PF,
                                        ThreadPool &Pool, EvalStats *Stats,
-                                       int64_t MinParallelIters) const;
+                                       int64_t MinParallelIters,
+                                       const support::CancelToken *Cancel)
+      const;
   std::optional<int64_t> evalExpr(uint32_t Begin, uint32_t End,
                                   Frame &F) const;
 

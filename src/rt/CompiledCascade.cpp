@@ -7,6 +7,8 @@
 
 #include "rt/CompiledCascade.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 
 using namespace halo;
@@ -20,6 +22,7 @@ const pdag::CompiledPred *PredCompileCache::get(const pdag::Pred *P) {
   auto It = Cache.find(P);
   if (It != Cache.end())
     return It->second.get();
+  support::faultAt("rt.compile.pred");
   auto CP = pdag::CompiledPred::compile(P, Sym);
   return Cache.emplace(P, std::move(CP)).first->second.get();
 }
@@ -28,6 +31,7 @@ USRCompileCache::Entry &USRCompileCache::entryForLocked(const usr::USR *S) {
   auto It = Cache.find(S);
   if (It != Cache.end())
     return It->second;
+  support::faultAt("rt.compile.usr");
   Entry E;
   E.Code = usr::CompiledUSR::compile(
       S, Sym, [this](const pdag::Pred *P) { return Preds.get(P); });
@@ -43,7 +47,9 @@ std::optional<bool> USRCompileCache::emptiness(const usr::USR *S,
                                                const sym::Bindings &B,
                                                ThreadPool *Pool,
                                                usr::USREvalStats *Stats,
-                                               USRFramePool *Frames) {
+                                               USRFramePool *Frames,
+                                               const support::CancelToken
+                                                   *Cancel) {
   const usr::CompiledUSR *Code;
   usr::CompiledUSR::PooledFrame *F;
   {
@@ -56,8 +62,11 @@ std::optional<bool> USRCompileCache::emptiness(const usr::USR *S,
   }
   if (Frames)
     F = &Frames->frameFor(Code);
+  if (support::stopRequested(Cancel))
+    return std::nullopt; // No answer for an aborted evaluation.
   if (Pool && Pool->numThreads() > 1 && Code->hasParallelRoot())
-    return Code->evalEmptyParallel(*F, B, *Pool, 1u << 22, Stats);
+    return Code->evalEmptyParallel(*F, B, *Pool, 1u << 22, Stats, 2048,
+                                   Cancel);
   return Code->evalEmptyPooled(*F, B, 1u << 22, Stats);
 }
 

@@ -46,6 +46,7 @@
 
 #include "analysis/Analyzer.h"
 #include "pdag/PredCompile.h"
+#include "support/CancelToken.h"
 #include "usr/USRCompile.h"
 
 #include <atomic>
@@ -147,6 +148,12 @@ using USRFramePool =
 struct ExecContext {
   FramePool Frames;
   USRFramePool UsrFrames;
+  /// Per-execution cancellation token (deadline and/or caller cancel),
+  /// set by the lease holder for the duration of one execution and
+  /// cleared on return to the pool. The governor polls it at stage,
+  /// exact-test and repeat boundaries; a pooled context itself carries no
+  /// cross-execution cancel state.
+  const support::CancelToken *Cancel = nullptr;
 };
 
 /// Compile-once cache over independence USRs (the exact-test / HOIST-USR
@@ -171,11 +178,14 @@ public:
   /// chunked across \p Pool when one is given. The pooled evaluation
   /// frame comes from \p Frames when provided — required for concurrent
   /// callers — and from the cache entry's single fallback frame
-  /// otherwise (single-threaded callers only).
+  /// otherwise (single-threaded callers only). A fired \p Cancel token
+  /// aborts the evaluation and yields nullopt (no answer — never a
+  /// cacheable one).
   std::optional<bool> emptiness(const usr::USR *S, const sym::Bindings &B,
                                 ThreadPool *Pool = nullptr,
                                 usr::USREvalStats *Stats = nullptr,
-                                USRFramePool *Frames = nullptr);
+                                USRFramePool *Frames = nullptr,
+                                const support::CancelToken *Cancel = nullptr);
 
   size_t size() const {
     std::lock_guard<std::mutex> L(M);

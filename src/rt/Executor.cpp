@@ -9,6 +9,7 @@
 
 #include "pdag/PredEval.h"
 #include "support/Error.h"
+#include "support/FaultInjection.h"
 #include "usr/USREval.h"
 
 #include <algorithm>
@@ -71,7 +72,8 @@ std::optional<bool> HoistCache::emptiness(const usr::USR *S,
                                           USRCompileCache *Compiled,
                                           ThreadPool *Pool,
                                           usr::USREvalStats *Stats,
-                                          USRFramePool *Frames) {
+                                          USRFramePool *Frames,
+                                          const support::CancelToken *Cancel) {
   // Hash the values of the USR's free symbols (scalars + index arrays)
   // twice with independent mixings: H keys the cache, H2 verifies the hit
   // so a primary collision cannot silently return a wrong emptiness
@@ -122,8 +124,15 @@ std::optional<bool> HoistCache::emptiness(const usr::USR *S,
       ++Collisions; // Same primary hash, different inputs: re-evaluate.
   }
   WasHit = false;
-  auto V = Compiled ? Compiled->emptiness(S, B, Pool, Stats, Frames)
+  // An aborted miss evaluation yields nullopt — no answer — so the `if
+  // (V)` below can never cache a half-evaluated emptiness result on
+  // behalf of a cancelled request.
+  if (support::stopRequested(Cancel))
+    return std::nullopt;
+  auto V = Compiled ? Compiled->emptiness(S, B, Pool, Stats, Frames, Cancel)
                     : usr::evalUSREmpty(S, B, 1u << 22, Stats);
+  if (support::stopRequested(Cancel))
+    return std::nullopt;
   if (V) {
     std::lock_guard<std::mutex> L(M);
     Cache[K] = Entry{H2, *V}; // Most recent inputs win the slot.
@@ -149,7 +158,8 @@ struct ArrayDecision {
 
 int Executor::runCascade(const TestCascade &C, const CompiledCascade *Pre,
                          sym::Bindings &B, ThreadPool &Pool,
-                         ExecStats &Stats, FramePool *Frames) {
+                         ExecStats &Stats, FramePool *Frames,
+                         const support::CancelToken *Cancel) {
   if (C.StaticallyTrue)
     return -1;
 
@@ -158,6 +168,8 @@ int Executor::runCascade(const TestCascade &C, const CompiledCascade *Pre,
     // stage evaluation is counted here by the governor (symmetric with
     // the compiled branch below).
     for (const pdag::CascadeStage &St : C.Stages) {
+      if (support::stopRequested(Cancel))
+        return -3; // Aborted: no stage answer (distinct from -2).
       pdag::EvalStats ES;
       auto V = pdag::tryEvalPred(St.P, B, &ES);
       Stats.PredicateLeafEvals += ES.LeafEvals;
@@ -177,6 +189,11 @@ int Executor::runCascade(const TestCascade &C, const CompiledCascade *Pre,
     Pre = &Local;
   }
   for (const CompiledCascade::Stage &St : Pre->Stages) {
+    // Stage-boundary cancellation poll: the serving path runs inline
+    // (1-thread sessions), so this — not the parallel chunk boundary —
+    // is where a deadline fires between pieces of predicate work.
+    if (support::stopRequested(Cancel))
+      return -3;
     pdag::EvalStats ES;
     // O(1) stages run inline; O(N)+ stages fan their root LoopAll range
     // out across the pool with the exact early-exit and-reduction.
@@ -186,11 +203,12 @@ int Executor::runCascade(const TestCascade &C, const CompiledCascade *Pre,
     if (Frames) {
       auto &PF = Frames->frameFor(St.Code);
       V = St.Code->loopDepth() >= 1
-              ? St.Code->evalParallelPooled(PF, B, Pool, &ES)
+              ? St.Code->evalParallelPooled(PF, B, Pool, &ES, 4096, Cancel)
               : St.Code->evalPooled(PF, B, &ES);
     } else {
-      V = St.Code->loopDepth() >= 1 ? St.Code->evalParallel(B, Pool, &ES)
-                                    : St.Code->eval(B, &ES);
+      V = St.Code->loopDepth() >= 1
+              ? St.Code->evalParallel(B, Pool, &ES, 4096, Cancel)
+              : St.Code->eval(B, &ES);
     }
     Stats.PredicateLeafEvals += ES.LeafEvals;
     Stats.PredMemoHits += ES.MemoHits;
@@ -210,11 +228,28 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
                                USRCompileCache *UsrCompile) {
   assert((!Pre || Pre->Arrays.size() == Plan.Arrays.size()) &&
          "plan cascades must be built from this plan");
+  support::faultAt("rt.exec");
   FramePool *Frames = Ctx ? &Ctx->Frames : nullptr;
   USRFramePool *UsrFrames = Ctx ? &Ctx->UsrFrames : nullptr;
+  const support::CancelToken *Cancel = Ctx ? Ctx->Cancel : nullptr;
   ExecStats Stats;
   double T0 = nowSeconds();
   const DoLoop &Loop = *Plan.Loop;
+
+  // Classifies a fired token into the stats and finalizes timing. Every
+  // abort below fires *between* units of work: either nothing ran yet, or
+  // only complete phases (CIV slice, decided predicates) ran — the
+  // caller's Memory is never left mid-loop-body.
+  auto finishAborted = [&]() -> ExecStats {
+    Stats.Aborted =
+        Cancel->state() == support::CancelToken::State::Expired
+            ? ExecStats::AbortReason::Expired
+            : ExecStats::AbortReason::Cancelled;
+    Stats.TotalSeconds = nowSeconds() - T0;
+    return Stats;
+  };
+  if (support::stopRequested(Cancel))
+    return finishAborted();
 
   // Loops proven dependent (or abandoned by the static-only baseline)
   // execute sequentially without any dynamic machinery.
@@ -236,15 +271,23 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
   // Per-array decisions.
   std::map<SymbolId, ArrayDecision> Decisions;
   bool AllOk = true;
+  bool AbortRun = false;
   double TP = nowSeconds();
-  for (size_t PI = 0; PI < Plan.Arrays.size(); ++PI) {
+  for (size_t PI = 0; PI < Plan.Arrays.size() && !AbortRun; ++PI) {
     const ArrayPlan &AP = Plan.Arrays[PI];
     if (AP.ReadOnly)
       continue;
+    if (support::stopRequested(Cancel)) {
+      AbortRun = true;
+      break;
+    }
     const PlanCascades::ArrayCascades *AC = Pre ? &Pre->Arrays[PI] : nullptr;
     auto Casc = [&](const TestCascade &C,
                     const CompiledCascade *CC) -> int {
-      return runCascade(C, CC, B, Pool, Stats, Frames);
+      int D = runCascade(C, CC, B, Pool, Stats, Frames, Cancel);
+      if (D == -3)
+        AbortRun = true;
+      return D;
     };
     ArrayDecision D;
     // Exact USR evaluation is deployed only when its cost amortizes
@@ -265,9 +308,10 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
       usr::USREvalStats US;
       bool Hit = false;
       if (Hoist)
-        V = Hoist->emptiness(S, B, Sym, Hit, UC, &Pool, &US, UsrFrames);
+        V = Hoist->emptiness(S, B, Sym, Hit, UC, &Pool, &US, UsrFrames,
+                             Cancel);
       else if (UC)
-        V = UC->emptiness(S, B, &Pool, &US, UsrFrames);
+        V = UC->emptiness(S, B, &Pool, &US, UsrFrames, Cancel);
       else
         V = usr::evalUSREmpty(S, B, 1u << 22, &US);
       if (!Hit)
@@ -276,11 +320,18 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
       Stats.USRPointsAvoided += US.PointsAvoided;
       Stats.ExactTestSeconds += nowSeconds() - TE;
       Stats.UsedExactTest = true;
+      // An exact-test boundary is also a cancellation boundary: a fired
+      // token means V is nullopt (no answer), which must abort the run
+      // rather than read as "not independent" and route to fallbacks.
+      if (support::stopRequested(Cancel))
+        AbortRun = true;
       return V.value_or(false);
     };
 
     // Flow independence.
     int FD = Casc(AP.Flow, AC ? &AC->Flow : nullptr);
+    if (AbortRun)
+      break;
     if (FD == -2 && !ExactEmpty(AP.FlowUSR)) {
       AllOk = false;
       break;
@@ -308,6 +359,8 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
     } else {
       Stats.CascadeDepthUsed = std::max(Stats.CascadeDepthUsed, OD);
     }
+    if (AbortRun)
+      break;
 
     // Reductions.
     if (AP.HasReduction) {
@@ -319,6 +372,8 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
         }
       }
       int RD = Casc(AP.RRed, AC ? &AC->RRed : nullptr);
+      if (AbortRun)
+        break;
       D.ReductionPrivate = (RD == -2); // Injective => direct updates.
       if (AP.NeedsBoundsComp && AP.BoundsUSR) {
         double TB = nowSeconds();
@@ -331,6 +386,12 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
   }
   Stats.PredicateSeconds =
       nowSeconds() - TP - Stats.ExactTestSeconds - Stats.BoundsCompSeconds;
+
+  // Last poll before committing to body execution (parallel, speculative
+  // or sequential): once a body starts, it runs to completion so the
+  // caller's Memory is never partially updated.
+  if (AbortRun || support::stopRequested(Cancel))
+    return finishAborted();
 
   if (AllOk) {
     // Parallel execution with the selected techniques.

@@ -46,6 +46,13 @@ namespace rt {
 
 /// How one loop execution was resolved (for RTov and table reporting).
 struct ExecStats {
+  /// Whether (and why) the execution was abandoned before producing a
+  /// result. A non-None reason means the caller's Memory/Bindings were
+  /// either left untouched or reflect only fully-completed repeats —
+  /// cancellation only fires *between* units of work, never mid-body.
+  enum class AbortReason : uint8_t { None = 0, Cancelled, Expired };
+  AbortReason Aborted = AbortReason::None;
+
   double TotalSeconds = 0;
   double PredicateSeconds = 0; ///< Cascade evaluation time.
   double CivSliceSeconds = 0;  ///< CIV-COMP precomputation time.
@@ -88,6 +95,8 @@ struct ExecStats {
   /// stage. The serving layer folds per-request stats into per-shard
   /// totals with this.
   ExecStats &operator+=(const ExecStats &O) {
+    if (Aborted == AbortReason::None)
+      Aborted = O.Aborted; // First latched abort reason wins.
     TotalSeconds += O.TotalSeconds;
     PredicateSeconds += O.PredicateSeconds;
     CivSliceSeconds += O.CivSliceSeconds;
@@ -138,12 +147,16 @@ public:
   /// root recurrence across \p Pool, pooled frames from \p Frames — see
   /// USRCompileCache::emptiness), through the reference interpreter
   /// otherwise.
+  /// A fired \p Cancel token makes the evaluation of a miss bail and
+  /// return nullopt — a cancelled evaluation has no answer and is never
+  /// cached, so an aborted request can never poison the memo.
   std::optional<bool> emptiness(const usr::USR *S, sym::Bindings &B,
                                 const sym::Context &Ctx, bool &WasHit,
                                 USRCompileCache *Compiled = nullptr,
                                 ThreadPool *Pool = nullptr,
                                 usr::USREvalStats *Stats = nullptr,
-                                USRFramePool *Frames = nullptr);
+                                USRFramePool *Frames = nullptr,
+                                const support::CancelToken *Cancel = nullptr);
 
   size_t size() const {
     std::lock_guard<std::mutex> L(M);
@@ -252,9 +265,12 @@ private:
   /// returns the stage depth used (-1 static, -2 all failed). O(N)+
   /// stages run through the chunked parallel and-reduction. \p Pre is the
   /// plan-time compiled cascade when the caller has one.
+  /// \p Cancel adds a poll before every stage: a fired token aborts the
+  /// cascade and returns -3 (no stage answer — distinct from -2 "all
+  /// stages failed", which routes to fallbacks).
   int runCascade(const analysis::TestCascade &C, const CompiledCascade *Pre,
                  sym::Bindings &B, ThreadPool &Pool, ExecStats &Stats,
-                 FramePool *Frames);
+                 FramePool *Frames, const support::CancelToken *Cancel);
 
   ir::Program &Prog;
   usr::USRContext &Ctx;

@@ -7,15 +7,36 @@
 
 #include "serve/Engine.h"
 
+#include "support/FaultInjection.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 using namespace halo;
 using namespace halo::serve;
+
+const char *halo::serve::statusName(Status S) {
+  switch (S) {
+  case Status::Ok:
+    return "Ok";
+  case Status::Rejected:
+    return "Rejected";
+  case Status::Expired:
+    return "Expired";
+  case Status::Cancelled:
+    return "Cancelled";
+  case Status::ExecError:
+    return "ExecError";
+  case Status::DegradedOk:
+    return "DegradedOk";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -24,6 +45,15 @@ EngineOptions sanitized(EngineOptions O) {
   O.Workers = std::max(1u, O.Workers);
   O.QueueCapacity = std::max<size_t>(1, O.QueueCapacity);
   return O;
+}
+
+/// Breaker state encoding (Engine::Breaker::State).
+constexpr uint8_t BrClosed = 0, BrOpen = 1, BrHalfOpen = 2;
+
+double nowSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
 }
 
 /// Identity of the engine worker running on this thread, recorded by
@@ -104,10 +134,20 @@ Engine::Engine(EngineOptions O)
 }
 
 Engine::~Engine() {
-  // Refuse new requests, let the workers serve everything already
-  // accepted (close() keeps the queue poppable until drained), then the
-  // ThreadPool member's destructor joins them.
+  // Orderly close -> drain -> join (the ordering contract documented on
+  // BoundedWorkQueue): refuse new requests, wait until the workers have
+  // served everything already accepted, then the ThreadPool member's
+  // destructor joins them.
+  shutdown();
+}
+
+void Engine::shutdown() {
+  // close() is idempotent and never re-notifies, and drain() merely
+  // waits on the Finished/Accepted accounting — so shutdown() racing
+  // another shutdown(), a drain(), or the destructor all settle on the
+  // same quiescent state.
   Queue.close();
+  drain();
 }
 
 void Engine::drainLoop(unsigned Worker) {
@@ -158,6 +198,17 @@ Engine::prepareImpl(ProgramId Program, const ir::DoLoop &Loop,
   const session::PreparedLoop &PL =
       AOpts ? Sess->prepare(Loop, *AOpts) : Sess->prepare(Loop);
   Labels[std::move(Key)] = &Loop;
+  // A fresh (or re-)prepare starts the loop with a closed breaker: the
+  // failure history belongs to the plan that produced it, and this call
+  // just replaced the plan.
+  std::unique_ptr<Breaker> &BrSlot = Breakers[{Program, &Loop}];
+  if (!BrSlot)
+    BrSlot = std::make_unique<Breaker>();
+  else {
+    BrSlot->State.store(BrClosed, std::memory_order_relaxed);
+    BrSlot->Fails.store(0, std::memory_order_relaxed);
+    BrSlot->OpenServed.store(0, std::memory_order_relaxed);
+  }
   return PL;
 }
 
@@ -201,6 +252,38 @@ void Engine::finishOne() {
 }
 
 Response Engine::process(const Request &R) {
+  Response Resp;
+  WorkerCounters &WC = myCounters();
+
+  // Per-request cancellation token: with a deadline, derive a child that
+  // latches whichever fires first (the deadline or the caller's token);
+  // without one, the caller's token is used directly. Stack-lived — the
+  // session's context lease clears its pointer before the context is
+  // pooled again.
+  std::optional<support::CancelToken> TokStore;
+  const support::CancelToken *Tok = R.Cancel;
+  if (R.Deadline != std::chrono::steady_clock::time_point{})
+    Tok = &TokStore.emplace(R.Deadline, R.Cancel);
+
+  // Dequeue shed: a request that is already dead is classified and
+  // counted without touching the gate, the config lock, or any session.
+  // shardOf reads only the immutable shard array, so attribution is safe
+  // here (unroutable requests attribute to shard 0).
+  if (support::stopRequested(Tok)) {
+    const bool Exp =
+        Tok->state() == support::CancelToken::State::Expired;
+    Resp.St = Exp ? Status::Expired : Status::Cancelled;
+    Resp.Error = Exp ? "deadline expired before execution"
+                     : "cancelled before execution";
+    const unsigned SI = R.Loop ? shardOf(R.Program, *R.Loop) : 0;
+    if (R.Loop)
+      Resp.Shard = SI;
+    std::lock_guard<std::mutex> L(WC.M);
+    ShardCounters &SC = WC.Shards[SI];
+    ++(Exp ? SC.Expired : SC.Cancelled);
+    return Resp;
+  }
+
   // Writer-preference gate: park (condition variable, no CPU) while an
   // exclusive warm-up/quiesce section is pending or active. glibc's
   // rwlock lets new readers barge past a waiting writer, so without the
@@ -216,7 +299,6 @@ Response Engine::process(const Request &R) {
   // contexts) but runs concurrently with every other request — including
   // requests for the same loop on the same shard.
   std::shared_lock<std::shared_mutex> Cfg(ConfigLock);
-  Response Resp;
   if (R.Program >= Programs.size() || !R.Loop) {
     std::lock_guard<std::mutex> L(FinMutex);
     ++UnroutableCount;
@@ -226,7 +308,6 @@ Response Engine::process(const Request &R) {
   const unsigned SI = shardOf(R.Program, *R.Loop);
   Resp.Shard = SI;
   Shard &S = *Shards[SI];
-  WorkerCounters &WC = myCounters();
   auto CountFailed = [&] {
     std::lock_guard<std::mutex> L(WC.M);
     ++WC.Shards[SI].Failed;
@@ -253,43 +334,253 @@ Response Engine::process(const Request &R) {
   }
   const unsigned Repeats = std::max(1u, R.Repeats);
   Resp.Stats.reserve(Repeats);
-  rt::ExecStats Acc;
-  for (unsigned E = 0; E != Repeats; ++E) {
-    // Never analyzes (the loop is prepared): shared contexts stay
-    // read-only and the session hands this worker its own ExecContext,
-    // per the concurrency contract. No engine lock is held beyond the
-    // shared config lock.
-    std::optional<rt::ExecStats> St = Sess->runPrepared(*R.Loop, *R.M, *R.B);
-    assert(St && "prepared plans cannot vanish outside exclusive phases");
-    if (!St) {
-      // Defensive (contract violation, e.g. an embedder invalidating an
-      // engine-owned session directly): fail the request but still
-      // account the repeats that DID execute, and drop their partial
-      // Stats so OK=false never carries a half-filled success payload.
+
+  // Degraded tier: the always-correct sequential interpreter, serving
+  // while the loop's breaker is open (or while a half-open probe is in
+  // flight on another worker). Results are exact — only the execution
+  // strategy (and its stats payload, timing-only) differ.
+  auto ServeDegraded = [&]() -> Response {
+    for (unsigned E = 0; E != Repeats; ++E) {
+      if (support::stopRequested(Tok)) {
+        const bool Exp =
+            Tok->state() == support::CancelToken::State::Expired;
+        std::lock_guard<std::mutex> L(WC.M);
+        ShardCounters &SC = WC.Shards[SI];
+        ++(Exp ? SC.Expired : SC.Cancelled);
+        SC.DegradedExecs += E;
+        Resp.Stats.clear();
+        Resp.St = Exp ? Status::Expired : Status::Cancelled;
+        Resp.Error = Exp ? "deadline expired during degraded execution"
+                         : "cancelled during degraded execution";
+        return Resp;
+      }
+      const double T0 = nowSeconds();
+      Sess->runSequential(*R.Loop, *R.M, *R.B);
+      rt::ExecStats St;
+      St.TotalSeconds = nowSeconds() - T0;
+      Resp.Stats.push_back(St);
+    }
+    {
       std::lock_guard<std::mutex> L(WC.M);
       ShardCounters &SC = WC.Shards[SI];
-      ++SC.Failed;
-      SC.Executions += E;
-      SC.Exec += Acc;
-      Resp.Stats.clear();
-      Resp.Error = "loop was invalidated while serving";
-      return Resp;
+      ++SC.Completed;
+      SC.DegradedExecs += Repeats;
     }
-    Acc += *St;
-    Resp.Stats.push_back(*St);
+    Resp.OK = true;
+    Resp.St = Status::DegradedOk;
+    return Resp;
+  };
+
+  // Per-loop circuit breaker. Entries exist for every prepared loop (made
+  // at prepare time under the exclusive lock); a zero threshold disables
+  // the machinery entirely.
+  Breaker *Br = nullptr;
+  if (Opts.BreakerThreshold) {
+    auto BIt = Breakers.find({R.Program, R.Loop});
+    if (BIt != Breakers.end())
+      Br = BIt->second.get();
   }
+  bool Probe = false;
+  if (Br) {
+    const uint8_t BS = Br->State.load(std::memory_order_acquire);
+    if (BS == BrOpen) {
+      // Count this request toward the cooldown; the one that crosses it
+      // CASes open -> half-open and probes the normal tier itself (the
+      // CAS elects exactly one prober among racing workers).
+      const uint32_t Served =
+          Br->OpenServed.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (Served >= Opts.BreakerCooldown) {
+        uint8_t Expect = BrOpen;
+        if (Br->State.compare_exchange_strong(Expect, BrHalfOpen,
+                                              std::memory_order_acq_rel))
+          Probe = true;
+      }
+      if (!Probe)
+        return ServeDegraded();
+    } else if (BS == BrHalfOpen) {
+      // A probe is in flight; peers stay degraded until it settles.
+      return ServeDegraded();
+    }
+  }
+
+  // Breaker outcome feedback. Every path out of the normal tier MUST
+  // settle the breaker when Probe is set — a half-open breaker nobody
+  // resolves would pin the loop on the degraded tier forever.
+  enum class BrOutcome { Success, Failure, Inconclusive };
+  uint64_t BreakerOpened = 0;
+  auto FeedBreaker = [&](BrOutcome O) {
+    if (!Br)
+      return;
+    switch (O) {
+    case BrOutcome::Success:
+      Br->Fails.store(0, std::memory_order_relaxed);
+      if (Probe) {
+        // Healthy again: close and forget the failure history.
+        Br->OpenServed.store(0, std::memory_order_relaxed);
+        Br->State.store(BrClosed, std::memory_order_release);
+      }
+      return;
+    case BrOutcome::Inconclusive:
+      // Cancelled / shed before the tier could prove anything. A probe
+      // re-opens already ripe, so the next request re-probes at once.
+      if (Probe) {
+        Br->OpenServed.store(Opts.BreakerCooldown,
+                             std::memory_order_relaxed);
+        Br->State.store(BrOpen, std::memory_order_release);
+      }
+      return;
+    case BrOutcome::Failure: {
+      if (Probe) {
+        // Failed probe: back to open for a full fresh cooldown.
+        Br->OpenServed.store(0, std::memory_order_relaxed);
+        Br->State.store(BrOpen, std::memory_order_release);
+        ++BreakerOpened;
+        return;
+      }
+      const uint32_t F =
+          Br->Fails.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (F >= Opts.BreakerThreshold) {
+        uint8_t Expect = BrClosed;
+        if (Br->State.compare_exchange_strong(Expect, BrOpen,
+                                              std::memory_order_acq_rel)) {
+          Br->OpenServed.store(0, std::memory_order_relaxed);
+          Br->Fails.store(0, std::memory_order_relaxed);
+          ++BreakerOpened;
+        }
+      }
+      return;
+    }
+    }
+  };
+
+  rt::ExecStats Acc;
+  uint64_t ExecsDone = 0;
+  // Abort epilogue: account whole repeats that DID complete, drop the
+  // partial Stats payload (a non-OK response never carries one), and
+  // classify. Only a mid-run expiry is the loop's fault (too slow), so
+  // only that feeds the breaker as a failure.
+  auto FinishAborted = [&](bool Exp, bool MidRun) -> Response {
+    FeedBreaker(MidRun && Exp ? BrOutcome::Failure
+                              : BrOutcome::Inconclusive);
+    std::lock_guard<std::mutex> L(WC.M);
+    ShardCounters &SC = WC.Shards[SI];
+    ++(Exp ? SC.Expired : SC.Cancelled);
+    SC.Executions += ExecsDone;
+    SC.Exec += Acc;
+    SC.Retried += Resp.Retries;
+    SC.BreakerOpen += BreakerOpened;
+    Resp.Stats.clear();
+    Resp.St = Exp ? Status::Expired : Status::Cancelled;
+    Resp.Error = Exp ? "deadline expired during execution"
+                     : "cancelled during execution";
+    return Resp;
+  };
+
+  Status Out = Status::Ok;
+  std::string ErrMsg;
+  try {
+    for (unsigned E = 0; E != Repeats && Out == Status::Ok; ++E) {
+      for (unsigned Attempt = 0;; ++Attempt) {
+        if (support::stopRequested(Tok))
+          return FinishAborted(Tok->state() ==
+                                   support::CancelToken::State::Expired,
+                               /*MidRun=*/false);
+        // Never analyzes (the loop is prepared): shared contexts stay
+        // read-only and the session hands this worker its own
+        // ExecContext, per the concurrency contract. No engine lock is
+        // held beyond the shared config lock. The injected transient
+        // fault fires BEFORE the repeat touches the request's memory —
+        // the same retry-safe shape as losing the plan to a concurrent
+        // re-prepare.
+        std::optional<rt::ExecStats> St;
+        if (!support::faultHit("serve.process.transient"))
+          St = Sess->runPrepared(*R.Loop, *R.M, *R.B, Tok);
+        if (St && St->Aborted != rt::ExecStats::AbortReason::None)
+          return FinishAborted(St->Aborted ==
+                                   rt::ExecStats::AbortReason::Expired,
+                               /*MidRun=*/true);
+        if (St) {
+          Acc += *St;
+          Resp.Stats.push_back(*St);
+          ++ExecsDone;
+          break;
+        }
+        // Transient failure observed before this repeat ran (vanished
+        // plan or injected fault): bounded retry with doubling backoff.
+        if (Attempt >= Opts.MaxRetries) {
+          Out = Status::ExecError;
+          ErrMsg = "transient execution failure persisted through " +
+                   std::to_string(Attempt) + " retries";
+          break;
+        }
+        ++Resp.Retries;
+        const auto Backoff = Opts.RetryBackoff * (1u << Attempt);
+        if (Backoff.count() > 0)
+          std::this_thread::sleep_for(Backoff);
+      }
+    }
+  } catch (const std::exception &Ex) {
+    Out = Status::ExecError;
+    ErrMsg = Ex.what();
+  } catch (...) {
+    Out = Status::ExecError;
+    ErrMsg = "unknown execution failure";
+  }
+
+  FeedBreaker(Out == Status::Ok ? BrOutcome::Success : BrOutcome::Failure);
   {
     // Publish once per request into this worker's own accumulator row —
     // never a shard-shared counter, so N workers on one hot loop do not
     // contend.
     std::lock_guard<std::mutex> L(WC.M);
     ShardCounters &SC = WC.Shards[SI];
-    ++SC.Completed;
-    SC.Executions += Repeats;
+    SC.Executions += ExecsDone;
     SC.Exec += Acc;
+    SC.Retried += Resp.Retries;
+    SC.BreakerOpen += BreakerOpened;
+    if (Out == Status::Ok) {
+      ++SC.Completed;
+    } else {
+      ++SC.Failed;
+      ++SC.ExecErrors;
+    }
   }
-  Resp.OK = true;
+  if (Out == Status::Ok) {
+    Resp.OK = true;
+    Resp.St = Status::Ok;
+  } else {
+    Resp.Stats.clear();
+    Resp.St = Status::ExecError;
+    Resp.Error = std::move(ErrMsg);
+  }
   return Resp;
+}
+
+void Engine::serveTask(const Request &R,
+                       const std::shared_ptr<std::promise<Response>> &Prom) {
+  Response Resp;
+  try {
+    // Worker-infrastructure fault point, distinct from faults inside the
+    // execute path (which process() classifies itself).
+    support::faultAt("serve.worker.task");
+    Resp = process(R);
+  } catch (const std::exception &Ex) {
+    Resp.St = Status::ExecError;
+    Resp.Error = std::string("worker task failed: ") + Ex.what();
+  } catch (...) {
+    Resp.St = Status::ExecError;
+    Resp.Error = "worker task failed: unknown exception";
+  }
+  if (Resp.St == Status::ExecError && Resp.Shard == ~0u) {
+    // The task failed before process() could attribute a shard; account
+    // it on row/shard 0 so chaos-run stats stay coherent.
+    WorkerCounters &WC = myCounters();
+    std::lock_guard<std::mutex> L(WC.M);
+    ++WC.Shards[0].Failed;
+    ++WC.Shards[0].ExecErrors;
+  }
+  Prom->set_value(std::move(Resp));
+  finishOne();
 }
 
 std::future<Response> Engine::submit(Request R) {
@@ -299,13 +590,11 @@ std::future<Response> Engine::submit(Request R) {
     std::lock_guard<std::mutex> L(FinMutex);
     ++Accepted;
   }
-  const bool Queued = Queue.push([this, R, Prom] {
-    Prom->set_value(process(R));
-    finishOne();
-  });
+  const bool Queued = Queue.push([this, R, Prom] { serveTask(R, Prom); });
   if (!Queued) {
-    // Engine shutting down: resolve the future instead of abandoning it.
-    // Nothing was admitted, so this counts as rejected, not submitted.
+    // Engine shutting down (or the injected queue.push fault): resolve
+    // the future instead of abandoning it. Nothing was admitted, so this
+    // counts as rejected, not submitted.
     {
       std::lock_guard<std::mutex> L(FinMutex);
       --Accepted;
@@ -326,10 +615,8 @@ bool Engine::trySubmit(Request R, std::future<Response> &Out) {
     std::lock_guard<std::mutex> L(FinMutex);
     ++Accepted;
   }
-  const bool Queued = Queue.tryPush([this, R, Prom] {
-    Prom->set_value(process(R));
-    finishOne();
-  });
+  const bool Queued =
+      Queue.tryPush([this, R, Prom] { serveTask(R, Prom); });
   if (!Queued) {
     {
       std::lock_guard<std::mutex> L(FinMutex);
@@ -398,8 +685,21 @@ ServeStats Engine::stats() const {
       SS.Completed += SC.Completed;
       SS.Failed += SC.Failed;
       SS.Executions += SC.Executions;
+      SS.Expired += SC.Expired;
+      SS.Cancelled += SC.Cancelled;
+      SS.Retried += SC.Retried;
+      SS.ExecErrors += SC.ExecErrors;
+      SS.BreakerOpen += SC.BreakerOpen;
+      SS.DegradedExecs += SC.DegradedExecs;
       SS.Exec += SC.Exec;
     }
   }
+  // Engine-wide robustness counters, summed over the shard rows.
+  const ShardStats T = Out.totals();
+  Out.Expired = T.Expired;
+  Out.Cancelled = T.Cancelled;
+  Out.Retried = T.Retried;
+  Out.BreakerOpen = T.BreakerOpen;
+  Out.DegradedExecs = T.DegradedExecs;
   return Out;
 }

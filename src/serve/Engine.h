@@ -51,14 +51,26 @@
 /// request sequentially through a lone Session (tests/serve_test.cpp pins
 /// this under ThreadSanitizer, including the many-clients-one-loop case).
 ///
+/// Robustness layer (see src/serve/README.md for the long form): every
+/// future resolves with a classified Status (never an exception);
+/// requests carry deadlines and cancellation tokens, shed at dequeue and
+/// polled at the governor's stage/exact-test/chunk boundaries; transient
+/// retry-safe failures are retried with bounded backoff; and a per-loop
+/// circuit breaker demotes a repeatedly-failing loop to the
+/// always-correct sequential tier, probing for recovery after a
+/// deterministic cooldown. A seedable fault-injection registry
+/// (support/FaultInjection.h) drives the chaos suite pinning all of this.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HALO_SERVE_ENGINE_H
 #define HALO_SERVE_ENGINE_H
 
 #include "session/Session.h"
+#include "support/CancelToken.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <future>
 #include <map>
@@ -93,8 +105,53 @@ struct EngineOptions {
   /// not from fan-out inside one request.
   session::SessionOptions Session;
 
+  /// Retries per repeat for *transient, retry-safe* failures (a failure
+  /// observed before the repeat touched the request's memory, e.g. losing
+  /// the plan-retirement race during a concurrent re-prepare). 0 disables
+  /// retrying.
+  unsigned MaxRetries = 3;
+  /// Backoff before the first retry; doubles per attempt. The sleeping
+  /// worker is off-duty, which is exactly the point: a transient failure
+  /// signals contention somewhere.
+  std::chrono::microseconds RetryBackoff{50};
+  /// Circuit breaker: consecutive ExecError / mid-run-Expired outcomes on
+  /// one prepared loop that trip its breaker open (the loop is then
+  /// served by the always-correct sequential tier). 0 disables the
+  /// breaker.
+  unsigned BreakerThreshold = 5;
+  /// Degraded requests served while open before the breaker half-opens
+  /// and probes the normal tier again. Counted in requests (not time) so
+  /// breaker tests and replayed chaos runs are deterministic.
+  unsigned BreakerCooldown = 8;
+
   EngineOptions() { Session.Threads = 1; }
 };
+
+/// Structured outcome of a served request: every future resolves with
+/// exactly one of these — no error ever travels as an exception through a
+/// future.
+enum class Status : uint8_t {
+  /// Served by the normal (planned) tier.
+  Ok = 0,
+  /// Never executed: shed at capacity, refused at shutdown, or failed
+  /// request validation (unknown program, unprepared loop, null dataset).
+  Rejected,
+  /// The request's deadline passed — at dequeue (shed before any work) or
+  /// mid-run (the execution unwound at a cancellation boundary).
+  Expired,
+  /// The caller's CancelToken fired.
+  Cancelled,
+  /// The execute path failed (exception, exhausted retries, or a vanished
+  /// plan). Feeds the loop's circuit breaker.
+  ExecError,
+  /// Served correctly by the degraded sequential tier while the loop's
+  /// circuit breaker is open. Results are exact; only the execution
+  /// strategy differs.
+  DegradedOk,
+};
+
+/// Stable display name of \p S ("Ok", "Rejected", ...).
+const char *statusName(Status S);
 
 /// One execution request. The caller owns \p M and \p B (the request's
 /// dataset) and must keep them alive and untouched until the response
@@ -107,27 +164,55 @@ struct Request {
   /// Executions of the loop to run back-to-back (a mini runBatch); the
   /// whole batch runs on one worker without re-dispatch.
   unsigned Repeats = 1;
+  /// Absolute deadline (steady clock). Default (epoch) means none. An
+  /// expired request is shed at dequeue before any work; one expiring
+  /// mid-run unwinds at the next cancellation boundary, leaving the
+  /// request's memory either untouched or with only whole repeats
+  /// applied.
+  std::chrono::steady_clock::time_point Deadline{};
+  /// Caller-held cancellation token (optional; must outlive the response
+  /// future). The engine derives its per-request token from this, so
+  /// firing it cancels the request wherever it currently is.
+  const support::CancelToken *Cancel = nullptr;
 };
 
 /// What a request resolves to.
 struct Response {
+  /// True iff the request was served with correct results (St is Ok or
+  /// DegradedOk) — the coarse yes/no view of \p St.
   bool OK = false;
+  /// Structured outcome classification (see Status).
+  Status St = Status::Rejected;
   /// Why the request failed (set iff OK is false): unknown program id,
-  /// loop never prepared, null dataset.
+  /// loop never prepared, null dataset, expired, cancelled, exec error.
   std::string Error;
   /// Shard that served (or would have served) the request; ~0u when the
   /// request was unroutable (unknown program / null loop).
   unsigned Shard = ~0u;
+  /// Transient-failure retries this request consumed across its repeats.
+  unsigned Retries = 0;
   /// Per-repeat execution stats, in order. Populated only when OK is
   /// true (a failed request never carries a partial success payload).
+  /// Degraded (sequential-tier) repeats carry timing-only entries.
   std::vector<rt::ExecStats> Stats;
 };
 
 /// Per-shard serving totals (a snapshot; see Engine::stats).
 struct ShardStats {
-  uint64_t Completed = 0;  ///< Requests served successfully.
-  uint64_t Failed = 0;     ///< Requests that failed shard-side validation.
-  uint64_t Executions = 0; ///< Loop executions (sum of request repeats).
+  uint64_t Completed = 0;  ///< Requests served successfully (Ok or
+                           ///< DegradedOk).
+  uint64_t Failed = 0;     ///< Requests that failed shard-side validation
+                           ///< or exhausted the execute path (ExecError).
+  uint64_t Executions = 0; ///< Normal-tier loop executions (sum of served
+                           ///< request repeats; degraded repeats count in
+                           ///< DegradedExecs instead).
+  uint64_t Expired = 0;    ///< Requests shed or unwound on a deadline.
+  uint64_t Cancelled = 0;  ///< Requests stopped by a caller's token.
+  uint64_t Retried = 0;    ///< Transient-failure retry attempts.
+  uint64_t ExecErrors = 0; ///< Requests classified ExecError.
+  uint64_t BreakerOpen = 0;   ///< Circuit-breaker open transitions.
+  uint64_t DegradedExecs = 0; ///< Sequential-tier executions served while
+                              ///< a breaker was open (or probing peers).
   rt::ExecStats Exec;      ///< All per-execution stats, accumulated.
   size_t Programs = 0;      ///< Programs with a session on this shard.
   size_t PreparedLoops = 0; ///< Plans cached across the shard's sessions.
@@ -142,6 +227,12 @@ struct ShardStats {
     Completed += O.Completed;
     Failed += O.Failed;
     Executions += O.Executions;
+    Expired += O.Expired;
+    Cancelled += O.Cancelled;
+    Retried += O.Retried;
+    ExecErrors += O.ExecErrors;
+    BreakerOpen += O.BreakerOpen;
+    DegradedExecs += O.DegradedExecs;
     Exec += O.Exec;
     Programs += O.Programs;
     PreparedLoops += O.PreparedLoops;
@@ -158,6 +249,11 @@ struct ServeStats {
   uint64_t Submitted = 0;  ///< Requests accepted onto the queue.
   uint64_t Rejected = 0;   ///< trySubmit loads shed at capacity.
   uint64_t Unroutable = 0; ///< Requests with no valid shard target.
+  uint64_t Expired = 0;    ///< Deadline-shed/unwound requests (all shards).
+  uint64_t Cancelled = 0;  ///< Token-stopped requests (all shards).
+  uint64_t Retried = 0;    ///< Transient-failure retries (all shards).
+  uint64_t BreakerOpen = 0;    ///< Breaker open transitions (all shards).
+  uint64_t DegradedExecs = 0;  ///< Degraded-tier executions (all shards).
   size_t QueueDepth = 0;     ///< Requests queued right now.
   size_t PeakQueueDepth = 0; ///< Queue high-water mark since construction.
   std::vector<ShardStats> Shards; ///< One entry per shard, in shard order.
@@ -176,9 +272,16 @@ struct ServeStats {
 class Engine {
 public:
   explicit Engine(EngineOptions Opts = EngineOptions());
-  /// Closes the queue, serves every already-accepted request, then joins
-  /// the workers. No accepted request's future is ever abandoned.
+  /// Runs shutdown(), then joins the workers. No accepted request's
+  /// future is ever abandoned.
   ~Engine();
+
+  /// Explicit orderly shutdown: closes the queue (new submits are refused
+  /// and resolve Rejected) and waits until every already-accepted request
+  /// has been served. Idempotent, and safe to race with drain() or with
+  /// the destructor — the close/drain/shutdown ordering contract lives on
+  /// BoundedWorkQueue. Must not be called from a worker (it drains).
+  void shutdown();
 
   Engine(const Engine &) = delete;
   Engine &operator=(const Engine &) = delete;
@@ -279,6 +382,12 @@ private:
     uint64_t Completed = 0;
     uint64_t Failed = 0;
     uint64_t Executions = 0;
+    uint64_t Expired = 0;
+    uint64_t Cancelled = 0;
+    uint64_t Retried = 0;
+    uint64_t ExecErrors = 0;
+    uint64_t BreakerOpen = 0;
+    uint64_t DegradedExecs = 0;
     rt::ExecStats Exec;
   };
   /// One worker's accumulators, one row per shard. The mutex is owned by
@@ -292,11 +401,32 @@ private:
   /// takes the config lock exclusively, releases both on destruction.
   class ExclusiveSection;
 
+  /// Per-prepared-loop health: the closed -> open -> half-open circuit
+  /// breaker demoting a misbehaving loop to the sequential tier. Entries
+  /// are created (and reset) at prepare time under the exclusive config
+  /// lock and only read (atomics) on the serving path.
+  struct Breaker {
+    /// 0 closed, 1 open, 2 half-open (probe in flight).
+    std::atomic<uint8_t> State{0};
+    /// Consecutive breaker-relevant failures (ExecError / mid-run
+    /// Expired) while closed; reset by any Ok.
+    std::atomic<uint32_t> Fails{0};
+    /// Degraded requests served since the breaker opened; reaching
+    /// EngineOptions::BreakerCooldown triggers the half-open probe.
+    std::atomic<uint32_t> OpenServed{0};
+  };
+
   const session::PreparedLoop &prepareImpl(ProgramId Program,
                                            const ir::DoLoop &Loop,
                                            const analysis::AnalyzerOptions
                                                *AOpts);
   Response process(const Request &R);
+  /// The unit of work a worker dequeues: process() under a top-level
+  /// catch-all so no exception can cross the drained-task boundary and
+  /// kill the worker; always resolves the promise and always counts the
+  /// request finished.
+  void serveTask(const Request &R,
+                 const std::shared_ptr<std::promise<Response>> &Prom);
   void finishOne();
   /// The long-running per-worker drain loop (records worker identity so
   /// process() can find its accumulator without shared state).
@@ -324,6 +454,12 @@ private:
   /// (program, loop label) -> prepared loop, for id-based addressing.
   /// Collision-checked at prepare time.
   std::map<std::pair<ProgramId, std::string>, const ir::DoLoop *> Labels;
+  /// (program, loop) -> circuit breaker. Like Labels: inserted/reset only
+  /// under the exclusive config lock (prepare), looked up under the
+  /// shared lock; the Breaker's own fields are atomics.
+  std::map<std::pair<ProgramId, const ir::DoLoop *>,
+           std::unique_ptr<Breaker>>
+      Breakers;
   std::vector<std::unique_ptr<Shard>> Shards;
   /// One accumulator set per worker, created up front (index == worker).
   std::vector<std::unique_ptr<WorkerCounters>> PerWorker;

@@ -34,6 +34,9 @@ public:
     C = S.Contexts.back().get();
   }
   ~ContextLease() {
+    // Never return a context carrying the (stack-lived) token of the
+    // execution that just ended — also on the exception path.
+    C->Cancel = nullptr;
     std::lock_guard<std::mutex> L(S.CtxMutex);
     S.Free.push_back(C);
   }
@@ -155,10 +158,22 @@ const ir::DoLoop *Session::findPreparedLoop(std::string_view Label) const {
 }
 
 rt::ExecStats Session::execute(PreparedLoop &PL, rt::Memory &M,
-                               sym::Bindings &B) {
+                               sym::Bindings &B,
+                               const support::CancelToken *Cancel) {
+  // A token fired before any work starts sheds the execution entirely:
+  // no Executions bump, no lease, no memory access — the caller sees an
+  // aborted stats record and a bit-identical Memory.
+  if (support::stopRequested(Cancel)) {
+    rt::ExecStats S;
+    S.Aborted = Cancel->state() == support::CancelToken::State::Expired
+                    ? rt::ExecStats::AbortReason::Expired
+                    : rt::ExecStats::AbortReason::Cancelled;
+    return S;
+  }
   PL.Executions.fetch_add(1, std::memory_order_relaxed);
   PlanRef Ref(PL);
   ContextLease Ctx(*this);
+  Ctx.get().Cancel = Cancel;
   return Exec.runPlanned(PL.Plan, M, B, Pool, &Hoist, &PL.Cascades,
                          &Ctx.get(),
                          Opts.UseCompiledUSRs ? &UsrCompile : nullptr);
@@ -172,13 +187,13 @@ rt::ExecStats Session::run(const ir::DoLoop &Loop, rt::Memory &M,
   return execute(PL, M, B);
 }
 
-std::optional<rt::ExecStats> Session::runPrepared(const ir::DoLoop &Loop,
-                                                  rt::Memory &M,
-                                                  sym::Bindings &B) {
+std::optional<rt::ExecStats>
+Session::runPrepared(const ir::DoLoop &Loop, rt::Memory &M, sym::Bindings &B,
+                     const support::CancelToken *Cancel) {
   auto It = Plans.find(&Loop);
   if (It == Plans.end())
     return std::nullopt;
-  return execute(*It->second, M, B);
+  return execute(*It->second, M, B, Cancel);
 }
 
 std::vector<rt::ExecStats> Session::runBatch(const ir::DoLoop &Loop,

@@ -169,8 +169,16 @@ public:
   /// for any number of concurrent callers (each with its own
   /// Memory/Bindings); the serving layer fans one hot loop out over its
   /// whole worker pool through this entry point.
-  std::optional<rt::ExecStats> runPrepared(const ir::DoLoop &Loop,
-                                           rt::Memory &M, sym::Bindings &B);
+  /// \p Cancel (optional) aborts the execution cooperatively: when the
+  /// token is already fired on entry the call returns an aborted
+  /// rt::ExecStats (Aborted == Cancelled/Expired) without touching the
+  /// caller's Memory, the plan's Executions counter, or any session
+  /// state; when it fires mid-run the governor unwinds at the next
+  /// stage/exact-test/chunk boundary, leaving Memory either untouched or
+  /// reflecting only fully-completed work.
+  std::optional<rt::ExecStats>
+  runPrepared(const ir::DoLoop &Loop, rt::Memory &M, sym::Bindings &B,
+              const support::CancelToken *Cancel = nullptr);
 
   /// Executes \p Loop \p Repeats times back-to-back against the same
   /// memory and bindings; returns per-execution stats. Execution 2..N is
@@ -238,8 +246,10 @@ private:
   /// the analysis-exclusive entry points only.
   void sweepRetired();
   /// The shared execute path of run()/runPrepared(): leases a context,
-  /// refcounts the plan, runs the governor.
-  rt::ExecStats execute(PreparedLoop &PL, rt::Memory &M, sym::Bindings &B);
+  /// refcounts the plan, runs the governor. A pre-fired \p Cancel token
+  /// short-circuits before any counter or lease is touched.
+  rt::ExecStats execute(PreparedLoop &PL, rt::Memory &M, sym::Bindings &B,
+                        const support::CancelToken *Cancel = nullptr);
 
   ir::Program &Prog;
   usr::USRContext &Ctx;

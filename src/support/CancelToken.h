@@ -1,0 +1,119 @@
+//===- support/CancelToken.h - Cooperative cancellation --------*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A latching cancellation token with an optional deadline, threaded from
+/// the serving layer (serve::Request) through rt::ExecContext down to the
+/// chunk boundaries of ThreadPool::parallelAllOf and the chunked
+/// USR-emptiness sweep. Cancellation is cooperative: code polls
+/// stopRequested() at natural boundaries (cascade stages, exact-test
+/// chunks, between repeats) and unwinds without producing a result. A
+/// token never forces partial effects to become visible — callers abort
+/// *between* units of work, so memory is either untouched or reflects a
+/// fully-completed execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SUPPORT_CANCELTOKEN_H
+#define HALO_SUPPORT_CANCELTOKEN_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace halo {
+namespace support {
+
+/// Latching stop-signal shared between a requester and an execution.
+///
+/// The state machine only moves away from Live, never back: once a token
+/// observes its deadline in the past it latches Expired; once cancel() is
+/// called it latches Cancelled. The first latched reason wins and is the
+/// one reported — a request that was cancelled and *then* passed its
+/// deadline still classifies as Cancelled. Tokens may be chained: a child
+/// token (e.g. the engine's per-request deadline token) reports the
+/// parent's state when the parent fires first, so a caller-held token
+/// cancels everything derived from it.
+///
+/// All member functions are thread-safe; polling is one relaxed atomic
+/// load on the fast path.
+class CancelToken {
+public:
+  /// Why (or whether) the token has fired. Live means "keep going".
+  enum class State : uint8_t { Live = 0, Cancelled = 1, Expired = 2 };
+
+  CancelToken() = default;
+
+  /// A token that expires at \p Deadline (steady clock), optionally
+  /// chained under \p Parent whose firing also stops this token.
+  explicit CancelToken(std::chrono::steady_clock::time_point Deadline,
+                       const CancelToken *Parent = nullptr)
+      : Deadline(Deadline), HasDeadline(true), Parent(Parent) {}
+
+  /// A deadline-less token chained under \p Parent.
+  explicit CancelToken(const CancelToken *Parent) : Parent(Parent) {}
+
+  CancelToken(const CancelToken &) = delete;
+  CancelToken &operator=(const CancelToken &) = delete;
+
+  /// Requests cancellation. Latches: later deadline expiry does not
+  /// change the reported reason. Safe to call from any thread, any
+  /// number of times.
+  void cancel() const noexcept {
+    uint8_t Expected = static_cast<uint8_t>(State::Live);
+    Latched.compare_exchange_strong(
+        Expected, static_cast<uint8_t>(State::Cancelled),
+        std::memory_order_relaxed, std::memory_order_relaxed);
+  }
+
+  /// Current state, latching Expired when the deadline has passed and
+  /// inheriting the parent's state when the parent fired first.
+  State state() const noexcept {
+    uint8_t S = Latched.load(std::memory_order_relaxed);
+    if (S != static_cast<uint8_t>(State::Live))
+      return static_cast<State>(S);
+    if (Parent) {
+      State PS = Parent->state();
+      if (PS != State::Live) {
+        uint8_t Expected = static_cast<uint8_t>(State::Live);
+        Latched.compare_exchange_strong(Expected, static_cast<uint8_t>(PS),
+                                        std::memory_order_relaxed,
+                                        std::memory_order_relaxed);
+        return static_cast<State>(
+            Latched.load(std::memory_order_relaxed));
+      }
+    }
+    if (HasDeadline && std::chrono::steady_clock::now() >= Deadline) {
+      uint8_t Expected = static_cast<uint8_t>(State::Live);
+      Latched.compare_exchange_strong(
+          Expected, static_cast<uint8_t>(State::Expired),
+          std::memory_order_relaxed, std::memory_order_relaxed);
+      return static_cast<State>(Latched.load(std::memory_order_relaxed));
+    }
+    return State::Live;
+  }
+
+  /// True once the token has fired for any reason. The polling entry
+  /// point for executors: cheap when Live with no deadline/parent.
+  bool stopRequested() const noexcept { return state() != State::Live; }
+
+private:
+  mutable std::atomic<uint8_t> Latched{static_cast<uint8_t>(State::Live)};
+  std::chrono::steady_clock::time_point Deadline{};
+  bool HasDeadline = false;
+  const CancelToken *Parent = nullptr;
+};
+
+/// Null-safe poll helper: a missing token never stops anything.
+inline bool stopRequested(const CancelToken *T) noexcept {
+  return T && T->stopRequested();
+}
+
+} // namespace support
+} // namespace halo
+
+#endif // HALO_SUPPORT_CANCELTOKEN_H

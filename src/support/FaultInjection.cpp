@@ -1,0 +1,108 @@
+//===- support/FaultInjection.cpp - Deterministic fault injection ---------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+using namespace halo;
+using namespace halo::support;
+
+namespace {
+
+/// splitmix64 finalizer: the per-check decision hash. Good avalanche from
+/// a trivially-constructed input, no state.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+uint64_t fnv1a(const char *S) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (; *S; ++S)
+    H = (H ^ static_cast<unsigned char>(*S)) * 0x100000001b3ULL;
+  return H;
+}
+
+} // namespace
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector FI;
+  return FI;
+}
+
+void FaultInjector::arm(uint64_t NewSeed, double Rate) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Seed = NewSeed;
+  DefaultRate = Rate;
+  Points.clear();
+  Armed.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::armPoint(const std::string &Name, double Rate) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Point &P = Points[Name];
+  P.Rate = Rate;
+  P.FailNext = 0;
+  Armed.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::failNext(const std::string &Name, uint64_t N) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Point &P = Points[Name];
+  P.Rate = 0.0;
+  P.FailNext = N;
+  Armed.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Armed.store(false, std::memory_order_relaxed);
+  Points.clear();
+  DefaultRate = 0.0;
+}
+
+bool FaultInjector::shouldFail(const char *Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!Armed.load(std::memory_order_relaxed))
+    return false;
+  auto It = Points.find(Name);
+  if (It == Points.end()) {
+    Point Fresh;
+    Fresh.Rate = DefaultRate;
+    It = Points.emplace(Name, Fresh).first;
+  }
+  Point &P = It->second;
+  ++P.Checked;
+  uint64_t Seq = P.Sequence++;
+  bool Fail;
+  if (P.FailNext > 0) {
+    --P.FailNext;
+    Fail = true;
+  } else if (P.Rate <= 0.0) {
+    Fail = false;
+  } else if (P.Rate >= 1.0) {
+    Fail = true;
+  } else {
+    // (seed, point, sequence) -> uniform in [0,1): replayable regardless
+    // of thread interleaving for a given per-point check count.
+    uint64_t H = mix64(Seed ^ fnv1a(Name) ^ (Seq * 0x9e3779b97f4a7c15ULL));
+    double U = static_cast<double>(H >> 11) * 0x1.0p-53;
+    Fail = U < P.Rate;
+  }
+  if (Fail)
+    ++P.Fired;
+  return Fail;
+}
+
+std::map<std::string, FaultInjector::PointStats> FaultInjector::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::map<std::string, PointStats> Out;
+  for (const auto &KV : Points)
+    Out[KV.first] = PointStats{KV.second.Checked, KV.second.Fired};
+  return Out;
+}

@@ -1,0 +1,132 @@
+//===- support/FaultInjection.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seedable, deterministic fault-injection registry for the chaos suite.
+/// Production code marks *named injection points* (faultAt("serve.worker.
+/// task") etc.); tests arm the global injector with a seed and per-point
+/// failure rates, then drive load and assert that every outcome is
+/// classified, no worker dies, and results stay bit-identical. When the
+/// injector is disarmed (the default, and the only state outside tests)
+/// every injection point is one relaxed atomic load — the clean path pays
+/// essentially nothing.
+///
+/// Determinism: whether the Nth *check* of a point fires depends only on
+/// (seed, point name, N), not on wall-clock or scheduling, so a failing
+/// chaos run replays from its logged seed. Under concurrency the
+/// interleaving of checks is still scheduler-dependent, but the multiset
+/// of fired faults for a given per-point check count is not.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SUPPORT_FAULTINJECTION_H
+#define HALO_SUPPORT_FAULTINJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace halo {
+namespace support {
+
+/// The exception thrown by throwing injection points. Distinguishable
+/// from organic failures so tests can assert the classification path
+/// rather than the fault's origin.
+class FaultInjectedError : public std::runtime_error {
+public:
+  explicit FaultInjectedError(const std::string &Point)
+      : std::runtime_error("injected fault at " + Point) {}
+};
+
+/// Process-wide registry of named injection points.
+///
+/// Tests arm() it with a seed and a default rate, optionally override
+/// individual points with armPoint()/failNext(), run their scenario, read
+/// per-point Checked/Fired counts, and disarm(). Arming and disarming
+/// must not race active checks from other threads that are mid-scenario;
+/// the intended shape is arm → drive load → quiesce → inspect → disarm.
+class FaultInjector {
+public:
+  /// Counters for one injection point (snapshot, see stats()).
+  struct PointStats {
+    uint64_t Checked = 0; ///< Times the point was evaluated while armed.
+    uint64_t Fired = 0;   ///< Times the point decided to fail.
+  };
+
+  /// The process-wide injector used by all faultAt()/shouldFail() sites.
+  static FaultInjector &instance();
+
+  /// Arms the injector: every known point fails with probability
+  /// \p DefaultRate (0..1), deterministically derived from \p Seed.
+  /// Resets all per-point counters and overrides.
+  void arm(uint64_t Seed, double DefaultRate);
+
+  /// Overrides the failure rate of one point (points not overridden use
+  /// the default rate given to arm()). Implies armed.
+  void armPoint(const std::string &Point, double Rate);
+
+  /// Makes the next \p N checks of \p Point fail and later checks pass
+  /// (until re-armed) — the deterministic knob for retry tests. Implies
+  /// armed.
+  void failNext(const std::string &Point, uint64_t N);
+
+  /// Disarms every point and clears overrides; checks return to the
+  /// one-atomic-load fast path.
+  void disarm();
+
+  /// Whether any point may fire. The fast-path gate.
+  bool enabled() const { return Armed.load(std::memory_order_relaxed); }
+
+  /// Decides whether the current check of \p Point fails. Counts the
+  /// check either way. Returns false instantly when disarmed.
+  bool shouldFail(const char *Point);
+
+  /// Snapshot of per-point counters accumulated since the last arm().
+  std::map<std::string, PointStats> stats() const;
+
+private:
+  FaultInjector() = default;
+
+  struct Point {
+    double Rate = 0.0;
+    uint64_t FailNext = 0;  ///< Checks forced to fail before Rate applies.
+    uint64_t Sequence = 0;  ///< Per-point check counter (determinism).
+    uint64_t Checked = 0;
+    uint64_t Fired = 0;
+  };
+
+  std::atomic<bool> Armed{false};
+  mutable std::mutex Mutex;
+  uint64_t Seed = 0;
+  double DefaultRate = 0.0;
+  std::map<std::string, Point> Points;
+};
+
+/// Throwing injection point: throws FaultInjectedError when the armed
+/// injector decides this check fails; no-op otherwise. Use at sites where
+/// an organic failure would also surface as an exception.
+inline void faultAt(const char *Point) {
+  FaultInjector &FI = FaultInjector::instance();
+  if (FI.enabled() && FI.shouldFail(Point))
+    throw FaultInjectedError(Point);
+}
+
+/// Non-throwing injection point for sites that report failure by value
+/// (e.g. a queue push pretending to be full). True = inject a failure.
+inline bool faultHit(const char *Point) {
+  FaultInjector &FI = FaultInjector::instance();
+  return FI.enabled() && FI.shouldFail(Point);
+}
+
+} // namespace support
+} // namespace halo
+
+#endif // HALO_SUPPORT_FAULTINJECTION_H

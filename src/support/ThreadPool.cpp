@@ -7,6 +7,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -20,6 +22,8 @@ BoundedWorkQueue::BoundedWorkQueue(size_t Capacity)
     : Capacity(std::max<size_t>(1, Capacity)) {}
 
 bool BoundedWorkQueue::push(std::function<void()> Task) {
+  if (support::faultHit("queue.push"))
+    return false; // Injected spurious rejection (reads as closed/full).
   {
     std::unique_lock<std::mutex> Lock(Mutex);
     NotFull.wait(Lock, [this] { return Closed || Tasks.size() < Capacity; });
@@ -33,6 +37,8 @@ bool BoundedWorkQueue::push(std::function<void()> Task) {
 }
 
 bool BoundedWorkQueue::tryPush(std::function<void()> Task) {
+  if (support::faultHit("queue.push"))
+    return false; // Injected spurious rejection (reads as closed/full).
   {
     std::unique_lock<std::mutex> Lock(Mutex);
     if (Closed || Tasks.size() >= Capacity)
@@ -61,6 +67,11 @@ std::function<void()> BoundedWorkQueue::pop() {
 void BoundedWorkQueue::close() {
   {
     std::unique_lock<std::mutex> Lock(Mutex);
+    // Idempotent: a second (possibly racing) close() must not re-notify —
+    // consumers between "saw Closed+empty" and returning rely on no
+    // further wakeups arriving once the first close() has run.
+    if (Closed)
+      return;
     Closed = true;
   }
   NotFull.notify_all();
@@ -170,10 +181,13 @@ void ThreadPool::parallelFor(int64_t Lo, int64_t Hi,
 bool ThreadPool::parallelAllOf(
     int64_t Lo, int64_t Hi,
     const std::function<bool(int64_t, int64_t, unsigned, std::atomic<bool> &)>
-        &Body) {
+        &Body,
+    const support::CancelToken *Cancel) {
   std::atomic<bool> Stop{false};
   if (Lo >= Hi)
     return true;
+  if (support::stopRequested(Cancel))
+    return false;
   const int64_t Count = Hi - Lo;
   if (Workers.empty() || Count == 1)
     return Body(Lo, Hi, 0, Stop);
@@ -186,8 +200,12 @@ bool ThreadPool::parallelAllOf(
     const int64_t BHi = std::min<int64_t>(BLo + Chunk, Hi);
     if (BLo >= BHi)
       break;
-    run([&Body, &Stop, &AllOk, BLo, BHi, B] {
-      if (!Body(BLo, BHi, B, Stop)) {
+    run([&Body, &Stop, &AllOk, Cancel, BLo, BHi, B] {
+      // Chunk-boundary cancellation poll: a fired token fails the
+      // reduction without running the block, and Stop lets in-flight
+      // sibling blocks bail at their own per-iteration frontier checks.
+      if (support::stopRequested(Cancel) ||
+          !Body(BLo, BHi, B, Stop)) {
         AllOk.store(false, std::memory_order_relaxed);
         Stop.store(true, std::memory_order_relaxed);
       }

@@ -17,6 +17,8 @@
 #ifndef HALO_SUPPORT_THREADPOOL_H
 #define HALO_SUPPORT_THREADPOOL_H
 
+#include "support/CancelToken.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -37,6 +39,17 @@ namespace halo {
 /// closed. After close(), producers are refused but consumers still drain
 /// every task already queued — pop() returns an empty function only once
 /// the queue is both closed and empty, so no accepted task is dropped.
+///
+/// Shutdown ordering contract (what serve::Engine::shutdown() relies on):
+///   1. close() the queue — new producers are refused from this point on;
+///   2. wait for consumers to drain (every pop() eventually returns empty,
+///      exactly once per consumer, after the backlog is exhausted);
+///   3. join/destroy the consumers.
+/// close() is strictly idempotent: a second (or racing) close() is a
+/// no-op — it neither re-notifies nor disturbs consumers mid-drain — so
+/// an explicit shutdown() racing a destructor, or two shutdown() calls,
+/// is safe. Producers may race close() freely: each push either lands
+/// before the close (and will be drained) or returns false.
 class BoundedWorkQueue {
 public:
   /// \p Capacity is the maximum number of queued (not yet popped) tasks;
@@ -144,9 +157,17 @@ public:
   /// LoopAll evaluator, track their own failure frontier and may ignore
   /// Stop). Block indices are < numThreads(). Returns true iff every block
   /// returned true. Single-threaded pools run the whole range inline.
+  ///
+  /// \p Cancel, when non-null, is polled at the existing chunk
+  /// boundaries: a fired token suppresses blocks that have not started
+  /// yet (they count as failed and raise Stop) and makes the call return
+  /// false. Callers that must distinguish "reduction is false" from
+  /// "cancelled" re-check the token after the call and discard the
+  /// result — a cancelled evaluation has no answer.
   bool parallelAllOf(int64_t Lo, int64_t Hi,
                      const std::function<bool(int64_t, int64_t, unsigned,
-                                              std::atomic<bool> &)> &Body);
+                                              std::atomic<bool> &)> &Body,
+                     const support::CancelToken *Cancel = nullptr);
 
 private:
   void workerLoop();

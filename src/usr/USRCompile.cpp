@@ -1194,8 +1194,10 @@ std::optional<bool> CompiledUSR::evalEmptyPooled(PooledFrame &PF,
 std::optional<bool>
 CompiledUSR::evalEmptyParallel(PooledFrame &PF, const sym::Bindings &B,
                                ThreadPool &Pool, size_t Cap,
-                               USREvalStats *Stats,
-                               int64_t MinParallelIters) const {
+                               USREvalStats *Stats, int64_t MinParallelIters,
+                               const support::CancelToken *Cancel) const {
+  if (support::stopRequested(Cancel))
+    return std::nullopt; // Cancelled: no (cacheable) answer.
   if (RootRecur < 0 || Pool.numThreads() <= 1)
     return evalEmptyPooled(PF, B, Cap, Stats);
   bindPooled(PF, B);
@@ -1283,13 +1285,20 @@ CompiledUSR::evalEmptyParallel(PooledFrame &PF, const sym::Bindings &B,
         }
         WorkerStats[W] = FW.Stats;
         return Ok;
-      });
+      },
+      Cancel);
 
   USREvalStats Agg = F.Stats;
   for (unsigned W = 0; W < NT; ++W)
     Agg += WorkerStats[W];
   if (Stats)
     *Stats += Agg;
+
+  // Cancellation may have suppressed whole blocks, in which case the
+  // empty BadAt frontier would read as "every iteration empty" — a wrong
+  // (and memoizable) answer. A fired token therefore yields nullopt.
+  if (support::stopRequested(Cancel))
+    return std::nullopt;
 
   int64_t Best = INT64_MAX;
   Status Decided = Status::Ok;

@@ -214,10 +214,13 @@ public:
   /// earliest non-empty/failed iteration) is identical to the serial
   /// order, including which of nullopt / "not empty" decides. Ranges
   /// shorter than MinParallelIters * numThreads run serially.
+  /// A fired \p Cancel token makes the sweep bail at the next chunk
+  /// boundary and return nullopt — never a (cacheable) emptiness answer.
   std::optional<bool>
   evalEmptyParallel(PooledFrame &PF, const sym::Bindings &B, ThreadPool &Pool,
                     size_t Cap = 1u << 22, USREvalStats *Stats = nullptr,
-                    int64_t MinParallelIters = 2048) const;
+                    int64_t MinParallelIters = 2048,
+                    const support::CancelToken *Cancel = nullptr) const;
 
   /// Full evaluation to canonical runs. Same failure contract as
   /// usr::evalUSR.

@@ -14,12 +14,15 @@
 
 #include "serve/Engine.h"
 
+#include "support/FaultInjection.h"
 #include "support/Rng.h"
 #include "suite/Suite.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <ctime>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <gtest/gtest.h>
@@ -687,6 +690,476 @@ TEST(ServeEngineTest, TrySubmitAcceptsWithRoomAndCountsSheds) {
   E.drain();
   EXPECT_EQ(E.stats().Submitted, 1u);
   EXPECT_EQ(E.stats().Rejected, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Robustness: deadlines, cancellation, retries, circuit breaker, chaos
+//===----------------------------------------------------------------------===//
+
+/// Disarms the global fault injector on scope exit so a failing test
+/// cannot poison the rest of the binary.
+struct InjectorGuard {
+  ~InjectorGuard() { support::FaultInjector::instance().disarm(); }
+};
+
+/// Every response must be internally consistent: OK mirrors the status,
+/// failures carry a reason and never a partial success payload, and the
+/// status is a named member of the taxonomy.
+void expectClassified(const serve::Response &R) {
+  const bool OkStatus =
+      R.St == serve::Status::Ok || R.St == serve::Status::DegradedOk;
+  EXPECT_EQ(R.OK, OkStatus) << serve::statusName(R.St);
+  if (!R.OK) {
+    EXPECT_FALSE(R.Error.empty()) << serve::statusName(R.St);
+    EXPECT_TRUE(R.Stats.empty()) << serve::statusName(R.St);
+  }
+  EXPECT_STRNE(serve::statusName(R.St), "?");
+}
+
+TEST(ServeEngineTest, DeadlinesAndCancellationShedWithoutSideEffects) {
+  serve::EngineOptions EO;
+  EO.Shards = 2;
+  EO.Workers = 1;
+  std::vector<ServedProgram> Progs(1);
+  ServedProgram &P = Progs[0];
+  std::vector<serve::ProgramId> Ids;
+  serve::Engine E(EO);
+  prepareAll(E, Progs, Ids);
+
+  // Already-expired deadline: shed at dequeue, memory untouched.
+  rt::Memory M, MTwin;
+  sym::Bindings B, BTwin;
+  P.dataset(11, M, B);
+  P.dataset(11, MTwin, BTwin); // Never executed: the untouched baseline.
+  serve::Request Req;
+  Req.Program = Ids[0];
+  Req.Loop = P.Strided;
+  Req.M = &M;
+  Req.B = &B;
+  Req.Deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  serve::Response Resp = E.submit(Req).get();
+  expectClassified(Resp);
+  EXPECT_EQ(Resp.St, serve::Status::Expired);
+  EXPECT_FALSE(Resp.OK);
+  EXPECT_EQ(Resp.Shard, E.shardOf(Ids[0], *P.Strided));
+  expectMemoryEq(M, MTwin, "expired request must not touch memory");
+
+  // Pre-cancelled caller token: shed at dequeue as Cancelled.
+  support::CancelToken Tok;
+  Tok.cancel();
+  Req.Deadline = {};
+  Req.Cancel = &Tok;
+  Resp = E.submit(Req).get();
+  expectClassified(Resp);
+  EXPECT_EQ(Resp.St, serve::Status::Cancelled);
+  expectMemoryEq(M, MTwin, "cancelled request must not touch memory");
+
+  // Cancelled-then-expired classifies by the first latched reason.
+  support::CancelToken Tok2;
+  Tok2.cancel();
+  Req.Deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  Req.Cancel = &Tok2;
+  Resp = E.submit(Req).get();
+  EXPECT_EQ(Resp.St, serve::Status::Cancelled);
+
+  // A generous deadline serves normally.
+  Req.Deadline =
+      std::chrono::steady_clock::now() + std::chrono::hours(1);
+  Req.Cancel = nullptr;
+  Resp = E.submit(Req).get();
+  expectClassified(Resp);
+  EXPECT_EQ(Resp.St, serve::Status::Ok);
+
+  serve::ServeStats St = E.stats();
+  serve::ShardStats T = St.totals();
+  EXPECT_EQ(T.Expired, 1u);
+  EXPECT_EQ(T.Cancelled, 2u);
+  EXPECT_EQ(T.Completed, 1u);
+  EXPECT_EQ(St.Expired, 1u); // Engine-wide mirrors of the shard rows.
+  EXPECT_EQ(St.Cancelled, 2u);
+}
+
+TEST(ServeEngineTest, TransientFaultsRetryWithBackoffThenClassify) {
+  InjectorGuard G;
+  serve::EngineOptions EO;
+  EO.Shards = 1;
+  EO.Workers = 1;
+  EO.MaxRetries = 3;
+  EO.RetryBackoff = std::chrono::microseconds(1); // Fast test.
+  std::vector<ServedProgram> Progs(1);
+  ServedProgram &P = Progs[0];
+  std::vector<serve::ProgramId> Ids;
+  serve::Engine E(EO);
+  prepareAll(E, Progs, Ids);
+
+  // Two injected transient failures, then success: the request recovers
+  // and reports the retries it consumed.
+  support::FaultInjector::instance().arm(7, 0.0);
+  support::FaultInjector::instance().failNext("serve.process.transient", 2);
+  rt::Memory M, MR;
+  sym::Bindings B, BR;
+  P.dataset(21, M, B);
+  P.dataset(21, MR, BR);
+  serve::Request Req;
+  Req.Program = Ids[0];
+  Req.Loop = P.Blocks;
+  Req.M = &M;
+  Req.B = &B;
+  serve::Response Resp = E.submit(Req).get();
+  expectClassified(Resp);
+  ASSERT_EQ(Resp.St, serve::Status::Ok) << Resp.Error;
+  EXPECT_EQ(Resp.Retries, 2u);
+
+  // The recovered result is bit-identical to an unfaulted session.
+  session::Session Ref(P.B.prog(), P.B.usr(), EO.Session);
+  Ref.prepare(*P.Blocks, P.optsFor(P.Blocks));
+  ASSERT_TRUE(Ref.runPrepared(*P.Blocks, MR, BR).has_value());
+  expectMemoryEq(M, MR, "retried request");
+
+  // A persistent transient fault exhausts the budget and classifies
+  // ExecError (after exactly MaxRetries retries).
+  support::FaultInjector::instance().armPoint("serve.process.transient",
+                                              1.0);
+  Resp = E.submit(Req).get();
+  expectClassified(Resp);
+  EXPECT_EQ(Resp.St, serve::Status::ExecError);
+  EXPECT_EQ(Resp.Retries, EO.MaxRetries);
+  EXPECT_NE(Resp.Error.find("transient"), std::string::npos);
+
+  support::FaultInjector::instance().disarm();
+  serve::ServeStats St = E.stats();
+  serve::ShardStats T = St.totals();
+  EXPECT_EQ(T.Retried, 2u + EO.MaxRetries);
+  EXPECT_EQ(St.Retried, T.Retried);
+  EXPECT_EQ(T.ExecErrors, 1u);
+  EXPECT_EQ(T.Completed, 1u);
+}
+
+TEST(ServeEngineTest, BreakerOpensDegradesProbesAndRecovers) {
+  InjectorGuard G;
+  serve::EngineOptions EO;
+  EO.Shards = 1;
+  EO.Workers = 1; // Deterministic request ordering for the state walk.
+  EO.BreakerThreshold = 2;
+  EO.BreakerCooldown = 3;
+  std::vector<ServedProgram> Progs(1);
+  ServedProgram &P = Progs[0];
+  std::vector<serve::ProgramId> Ids;
+  serve::Engine E(EO);
+  prepareAll(E, Progs, Ids);
+
+  session::Session Ref(P.B.prog(), P.B.usr(), EO.Session);
+  Ref.prepare(*P.Strided, P.optsFor(P.Strided));
+
+  // Ok results are collected and verified after disarm (the reference
+  // session shares the global injector, so it cannot replay while the
+  // rt.exec point is armed).
+  std::vector<std::pair<uint64_t, std::unique_ptr<rt::Memory>>> OkResults;
+  auto Serve = [&](uint64_t Seed) {
+    auto M = std::make_unique<rt::Memory>();
+    sym::Bindings B;
+    P.dataset(Seed, *M, B);
+    serve::Request Req;
+    Req.Program = Ids[0];
+    Req.Loop = P.Strided;
+    Req.M = M.get();
+    Req.B = &B;
+    serve::Response Resp = E.submit(Req).get();
+    expectClassified(Resp);
+    if (Resp.OK)
+      OkResults.emplace_back(Seed, std::move(M));
+    return Resp.St;
+  };
+
+  // Every normal-tier execution of this loop now fails.
+  support::FaultInjector::instance().arm(3, 0.0);
+  support::FaultInjector::instance().armPoint("rt.exec", 1.0);
+
+  // Closed: two ExecErrors trip the breaker (threshold 2)...
+  EXPECT_EQ(Serve(500), serve::Status::ExecError);
+  EXPECT_EQ(Serve(501), serve::Status::ExecError);
+  // ...open: the sequential tier serves (exactly) until the cooldown...
+  EXPECT_EQ(Serve(502), serve::Status::DegradedOk);
+  EXPECT_EQ(Serve(503), serve::Status::DegradedOk);
+  // ...half-open: the cooldown-crossing request probes the (still
+  // faulted) normal tier and re-opens...
+  EXPECT_EQ(Serve(504), serve::Status::ExecError);
+  EXPECT_EQ(Serve(505), serve::Status::DegradedOk);
+  EXPECT_EQ(Serve(506), serve::Status::DegradedOk);
+  // ...the fault clears: the next probe succeeds and closes the breaker.
+  support::FaultInjector::instance().disarm();
+  EXPECT_EQ(Serve(507), serve::Status::Ok);
+  EXPECT_EQ(Serve(508), serve::Status::Ok); // Normal tier again.
+
+  // Both tiers must have produced exact results.
+  for (auto &[Seed, M] : OkResults) {
+    rt::Memory MR;
+    sym::Bindings BR;
+    P.dataset(Seed, MR, BR);
+    ASSERT_TRUE(Ref.runPrepared(*P.Strided, MR, BR).has_value());
+    expectMemoryEq(*M, MR, "breaker-tier result");
+  }
+
+  serve::ServeStats St = E.stats();
+  serve::ShardStats T = St.totals();
+  EXPECT_EQ(T.ExecErrors, 3u);
+  EXPECT_EQ(T.DegradedExecs, 4u);
+  EXPECT_EQ(T.BreakerOpen, 2u); // Initial trip + the failed probe.
+  EXPECT_EQ(T.Completed, 6u);   // 4 degraded + 2 normal.
+  EXPECT_EQ(T.Executions, 2u);  // Normal-tier executions only.
+  EXPECT_EQ(St.BreakerOpen, 2u);
+  EXPECT_EQ(St.DegradedExecs, 4u);
+
+  // Re-preparing the loop resets its breaker (fresh plan, fresh health).
+  E.prepare(Ids[0], *P.Strided, P.optsFor(P.Strided));
+  EXPECT_EQ(Serve(509), serve::Status::Ok);
+}
+
+TEST(ServeEngineTest, PrepareSurvivesInjectedCompileFaults) {
+  InjectorGuard G;
+  serve::EngineOptions EO;
+  EO.Workers = 1;
+  std::vector<ServedProgram> Progs(1);
+  ServedProgram &P = Progs[0];
+  serve::Engine E(EO);
+  serve::ProgramId Id = E.addProgram(P.B.prog(), P.B.usr());
+  E.prepare(Id, *P.Strided, P.optsFor(P.Strided));
+
+  // A compile-cache fault unwinds prepare() cleanly (exclusive section
+  // released, registry untouched) and a retry succeeds.
+  support::FaultInjector::instance().arm(9, 0.0);
+  support::FaultInjector::instance().failNext("rt.compile.pred", 1);
+  EXPECT_THROW(E.prepare(Id, *P.Blocks, P.optsFor(P.Blocks)),
+               support::FaultInjectedError);
+  EXPECT_EQ(E.findLoop(Id, "blocks"), nullptr);
+  EXPECT_NO_THROW(E.prepare(Id, *P.Blocks, P.optsFor(P.Blocks)));
+
+  // Same through the USR-compile warm-up path (hoistable plan).
+  support::FaultInjector::instance().failNext("rt.compile.usr", 1);
+  EXPECT_THROW(E.prepare(Id, *P.Irregular, P.optsFor(P.Irregular)),
+               support::FaultInjectedError);
+  EXPECT_NO_THROW(E.prepare(Id, *P.Irregular, P.optsFor(P.Irregular)));
+  support::FaultInjector::instance().disarm();
+
+  // The engine serves every recovered loop normally.
+  for (ir::DoLoop *L : {P.Strided, P.Blocks, P.Irregular}) {
+    rt::Memory M;
+    sym::Bindings B;
+    P.dataset(31, M, B);
+    serve::Request Req;
+    Req.Program = Id;
+    Req.Loop = L;
+    Req.M = &M;
+    Req.B = &B;
+    serve::Response Resp = E.submit(Req).get();
+    EXPECT_EQ(Resp.St, serve::Status::Ok) << Resp.Error;
+  }
+}
+
+TEST(ServeEngineTest, ShutdownRacesDrainAndStaysIdempotent) {
+  std::vector<ServedProgram> Progs(1);
+  ServedProgram &P = Progs[0];
+  std::vector<serve::ProgramId> Ids;
+  serve::EngineOptions EO;
+  EO.Workers = 2;
+  EO.QueueCapacity = 4;
+  serve::Engine E(EO);
+  prepareAll(E, Progs, Ids);
+
+  std::vector<std::unique_ptr<rt::Memory>> Ms;
+  std::vector<std::unique_ptr<sym::Bindings>> Bs;
+  std::vector<std::future<serve::Response>> Futs;
+  std::mutex FutM;
+  std::thread Client([&] {
+    for (int I = 0; I < 16; ++I) {
+      auto M = std::make_unique<rt::Memory>();
+      auto B = std::make_unique<sym::Bindings>();
+      P.dataset(600 + I, *M, *B);
+      serve::Request Req;
+      Req.Program = Ids[0];
+      Req.Loop = P.loops()[I % 4];
+      Req.M = M.get();
+      Req.B = B.get();
+      std::future<serve::Response> F = E.submit(Req);
+      std::lock_guard<std::mutex> L(FutM);
+      Ms.push_back(std::move(M));
+      Bs.push_back(std::move(B));
+      Futs.push_back(std::move(F));
+    }
+  });
+  // shutdown() races drain(), a second shutdown(), and the client above.
+  std::thread D([&] { E.drain(); });
+  std::thread S1([&] { E.shutdown(); });
+  std::thread S2([&] { E.shutdown(); });
+  Client.join();
+  D.join();
+  S1.join();
+  S2.join();
+
+  // Every future resolved: served if accepted before the close won the
+  // race, Rejected ("engine is shut down") otherwise — never abandoned.
+  for (auto &F : Futs) {
+    ASSERT_TRUE(F.valid());
+    ASSERT_EQ(F.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    serve::Response Resp = F.get();
+    expectClassified(Resp);
+    if (!Resp.OK) {
+      EXPECT_EQ(Resp.St, serve::Status::Rejected);
+      EXPECT_NE(Resp.Error.find("shut down"), std::string::npos);
+    }
+  }
+  // Still idempotent after the races, and new submits are refused.
+  E.shutdown();
+  rt::Memory M;
+  sym::Bindings B;
+  P.dataset(777, M, B);
+  serve::Request Req;
+  Req.Program = Ids[0];
+  Req.Loop = P.Strided;
+  Req.M = &M;
+  Req.B = &B;
+  serve::Response Resp = E.submit(Req).get();
+  EXPECT_EQ(Resp.St, serve::Status::Rejected);
+}
+
+TEST(ServeEngineTest, ChaosEveryFutureResolvesClassifiedAndExact) {
+  // The chaos suite: seeded faults at every serving-plane injection
+  // point, concurrent clients, random deadlines and cancellations. Pins:
+  // no abandoned future, no dead worker, every response classified, Ok
+  // results bit-identical to a lone sequential session, stats coherent,
+  // and the engine healthy again once disarmed.
+  InjectorGuard G;
+  serve::EngineOptions EO;
+  EO.Shards = 2;
+  EO.Workers = 3;
+  EO.QueueCapacity = 8;
+  EO.MaxRetries = 3;
+  EO.RetryBackoff = std::chrono::microseconds(1);
+  EO.BreakerThreshold = 3;
+  EO.BreakerCooldown = 4;
+  std::vector<ServedProgram> Progs(1);
+  ServedProgram &P = Progs[0];
+  std::vector<serve::ProgramId> Ids;
+  serve::Engine E(EO);
+  prepareAll(E, Progs, Ids);
+
+  const uint64_t ChaosSeed = 0xC4A05; // Logged so a failure replays.
+  support::FaultInjector::instance().arm(ChaosSeed, 0.0);
+  support::FaultInjector::instance().armPoint("queue.push", 0.03);
+  support::FaultInjector::instance().armPoint("serve.worker.task", 0.05);
+  support::FaultInjector::instance().armPoint("serve.process.transient",
+                                              0.15);
+  support::FaultInjector::instance().armPoint("rt.exec", 0.05);
+
+  const unsigned Clients = 3;
+  const size_t NumRequests = 48;
+  struct Slot {
+    rt::Memory M;
+    sym::Bindings B;
+    std::future<serve::Response> Fut;
+    std::unique_ptr<support::CancelToken> Tok;
+    uint64_t Seed = 0;
+    size_t Loop = 0;
+  };
+  std::vector<Slot> Slots(NumRequests);
+  for (size_t I = 0; I < NumRequests; ++I) {
+    Slots[I].Seed = 7000 + I;
+    Slots[I].Loop = I % 4;
+  }
+
+  std::vector<std::thread> Cs;
+  for (unsigned C = 0; C < Clients; ++C)
+    Cs.emplace_back([&, C] {
+      Rng R(100 + C);
+      for (size_t I = C; I < NumRequests; I += Clients) {
+        P.dataset(Slots[I].Seed, Slots[I].M, Slots[I].B);
+        serve::Request Req;
+        Req.Program = Ids[0];
+        Req.Loop = P.loops()[Slots[I].Loop];
+        Req.M = &Slots[I].M;
+        Req.B = &Slots[I].B;
+        if (R.chance(1, 6)) // Some deadlines land already expired.
+          Req.Deadline = std::chrono::steady_clock::now() +
+                         std::chrono::microseconds(
+                             R.nextInRange(-1000, 2000));
+        if (R.chance(1, 6)) {
+          Slots[I].Tok = std::make_unique<support::CancelToken>();
+          Req.Cancel = Slots[I].Tok.get();
+        }
+        Slots[I].Fut = E.submit(Req);
+        if (Slots[I].Tok && R.chance(1, 2))
+          Slots[I].Tok->cancel(); // Races the in-flight execution.
+      }
+    });
+  for (std::thread &T : Cs)
+    T.join();
+  E.drain();
+  // Chaos over: disarm before verification (the reference session below
+  // shares the global injector and must replay unfaulted).
+  support::FaultInjector::instance().disarm();
+
+  // Zero abandoned futures; every outcome classified; Ok results exact.
+  session::Session Ref(P.B.prog(), P.B.usr(), EO.Session);
+  for (ir::DoLoop *L : P.loops())
+    Ref.prepare(*L, P.optsFor(L));
+  size_t OkResponses = 0, RejectedResponses = 0;
+  for (Slot &S : Slots) {
+    ASSERT_TRUE(S.Fut.valid());
+    ASSERT_EQ(S.Fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "abandoned future (chaos seed " << ChaosSeed << ")";
+    serve::Response Resp = S.Fut.get();
+    expectClassified(Resp);
+    if (Resp.OK) {
+      ++OkResponses;
+      rt::Memory MR;
+      sym::Bindings BR;
+      P.dataset(S.Seed, MR, BR);
+      ir::DoLoop *L = P.loops()[S.Loop];
+      ASSERT_TRUE(Ref.runPrepared(*L, MR, BR).has_value());
+      expectMemoryEq(S.M, MR, "chaos Ok response");
+    } else if (Resp.St == serve::Status::Rejected) {
+      ++RejectedResponses;
+    }
+  }
+
+  // Stats coherence: every accepted request landed in exactly one
+  // outcome bucket; queue-push faults surfaced as rejections.
+  serve::ServeStats St = E.stats();
+  serve::ShardStats T = St.totals();
+  EXPECT_EQ(T.Completed, OkResponses);
+  EXPECT_EQ(St.Rejected, RejectedResponses);
+  EXPECT_EQ(St.Submitted + St.Rejected, NumRequests);
+  EXPECT_EQ(T.Completed + T.Failed + T.Expired + T.Cancelled,
+            St.Submitted);
+  EXPECT_EQ(St.Expired, T.Expired);
+  EXPECT_EQ(St.Cancelled, T.Cancelled);
+  EXPECT_EQ(St.Retried, T.Retried);
+  EXPECT_EQ(St.DegradedExecs, T.DegradedExecs);
+
+  // Disarmed, the engine is healthy: no worker died, every loop serves
+  // Ok (requests would hang or fail here if the chaos run wedged a
+  // worker, leaked the gate, or poisoned a cache with a partial result).
+  for (size_t LI = 0; LI < P.loops().size(); ++LI) {
+    rt::Memory M, MR;
+    sym::Bindings B, BR;
+    P.dataset(9000 + LI, M, B);
+    P.dataset(9000 + LI, MR, BR);
+    serve::Request Req;
+    Req.Program = Ids[0];
+    Req.Loop = P.loops()[LI];
+    Req.M = &M;
+    Req.B = &B;
+    serve::Response Resp = E.submit(Req).get();
+    expectClassified(Resp);
+    ASSERT_TRUE(Resp.OK) << Resp.Error;
+    ASSERT_TRUE(
+        Ref.runPrepared(*P.loops()[LI], MR, BR).has_value());
+    expectMemoryEq(M, MR, "post-chaos health check");
+  }
 }
 
 } // namespace

@@ -16,7 +16,9 @@
 #include "support/Rng.h"
 #include "suite/Suite.h"
 
+#include <chrono>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <gtest/gtest.h>
 
@@ -566,6 +568,48 @@ TEST(SessionHoistCacheTest, VerifiedHitsStayCorrectAcrossDatasets) {
   EXPECT_GT(S.hoistCache().size(), 0u);
   EXPECT_EQ(S.hoistCache().size(), SizeAfterBothDatasets);
   EXPECT_EQ(S.hoistCache().collisions(), 0u);
+}
+
+TEST_F(SessionFixture, RunPreparedShedsPreFiredTokensWithoutSideEffects) {
+  // A token that fired before the execution starts must shed it
+  // entirely: no Executions bump, no memory mutation, and an ExecStats
+  // record carrying the abort reason (never an exception or garbage
+  // classification).
+  session::SessionOptions SO;
+  SO.Threads = 1;
+  session::Session S(B.prog(), B.usr(), SO);
+  const session::PreparedLoop &PL = S.prepare(*Strided, optsFor(Strided));
+
+  rt::Memory MS, MR; // MR = untouched twin of MS.
+  sym::Bindings BS, BR;
+  Rng R(42);
+  mutate(R, BS, BR, MS, MR, true);
+  const uint64_t Before = PL.Executions.load();
+
+  support::CancelToken Cancelled;
+  Cancelled.cancel();
+  std::optional<rt::ExecStats> StC =
+      S.runPrepared(*Strided, MS, BS, &Cancelled);
+  ASSERT_TRUE(StC.has_value());
+  EXPECT_EQ(StC->Aborted, rt::ExecStats::AbortReason::Cancelled);
+
+  support::CancelToken Expired(std::chrono::steady_clock::now() -
+                               std::chrono::milliseconds(1));
+  std::optional<rt::ExecStats> StE =
+      S.runPrepared(*Strided, MS, BS, &Expired);
+  ASSERT_TRUE(StE.has_value());
+  EXPECT_EQ(StE->Aborted, rt::ExecStats::AbortReason::Expired);
+
+  // Neither shed execution counted or wrote anything.
+  EXPECT_EQ(PL.Executions.load(), Before);
+  expectMemoryEq(MS, MR, "shed executions must not touch memory");
+
+  // A live token runs normally and counts.
+  support::CancelToken Live;
+  std::optional<rt::ExecStats> StL = S.runPrepared(*Strided, MS, BS, &Live);
+  ASSERT_TRUE(StL.has_value());
+  EXPECT_EQ(StL->Aborted, rt::ExecStats::AbortReason::None);
+  EXPECT_EQ(PL.Executions.load(), Before + 1);
 }
 
 } // namespace

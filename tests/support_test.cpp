@@ -5,15 +5,20 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/CancelToken.h"
 #include "support/Casting.h"
+#include "support/FaultInjection.h"
 #include "support/Hashing.h"
 #include "support/Rng.h"
 #include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 
 using namespace halo;
 
@@ -337,6 +342,217 @@ TEST(BoundedWorkQueueTest, PeakDepthIsMonotoneUnderMpmcStress) {
   EXPECT_GE(Q.peakDepth(), DeepestSeen.load());
   EXPECT_LE(Q.peakDepth(), Q.capacity());
   EXPECT_GE(Q.peakDepth(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// CancelToken
+//===----------------------------------------------------------------------===//
+
+TEST(CancelTokenTest, DefaultIsLiveAndCancelLatches) {
+  support::CancelToken T;
+  EXPECT_EQ(T.state(), support::CancelToken::State::Live);
+  EXPECT_FALSE(T.stopRequested());
+  T.cancel();
+  EXPECT_EQ(T.state(), support::CancelToken::State::Cancelled);
+  EXPECT_TRUE(T.stopRequested());
+  T.cancel(); // Idempotent.
+  EXPECT_EQ(T.state(), support::CancelToken::State::Cancelled);
+}
+
+TEST(CancelTokenTest, DeadlineLatchesExpired) {
+  using Clock = std::chrono::steady_clock;
+  support::CancelToken Past(Clock::now() - std::chrono::milliseconds(1));
+  EXPECT_EQ(Past.state(), support::CancelToken::State::Expired);
+  support::CancelToken Future(Clock::now() + std::chrono::hours(1));
+  EXPECT_EQ(Future.state(), support::CancelToken::State::Live);
+  EXPECT_FALSE(Future.stopRequested());
+}
+
+TEST(CancelTokenTest, FirstLatchedReasonWins) {
+  using Clock = std::chrono::steady_clock;
+  // Cancelled before the deadline passes: stays Cancelled even after the
+  // deadline is long gone.
+  support::CancelToken T(Clock::now() + std::chrono::milliseconds(5));
+  T.cancel();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(T.state(), support::CancelToken::State::Cancelled);
+  // And the converse: an expired token ignores later cancel() calls.
+  support::CancelToken U(Clock::now() - std::chrono::milliseconds(1));
+  ASSERT_EQ(U.state(), support::CancelToken::State::Expired);
+  U.cancel();
+  EXPECT_EQ(U.state(), support::CancelToken::State::Expired);
+}
+
+TEST(CancelTokenTest, ChildInheritsParentState) {
+  support::CancelToken Parent;
+  support::CancelToken Child(&Parent);
+  EXPECT_FALSE(Child.stopRequested());
+  Parent.cancel();
+  EXPECT_EQ(Child.state(), support::CancelToken::State::Cancelled);
+  // A deadline child under a live parent fires on its own deadline.
+  support::CancelToken Parent2;
+  support::CancelToken Child2(
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1),
+      &Parent2);
+  EXPECT_EQ(Child2.state(), support::CancelToken::State::Expired);
+  EXPECT_EQ(Parent2.state(), support::CancelToken::State::Live);
+}
+
+TEST(CancelTokenTest, NullHelperNeverStops) {
+  EXPECT_FALSE(support::stopRequested(nullptr));
+  support::CancelToken T;
+  EXPECT_FALSE(support::stopRequested(&T));
+  T.cancel();
+  EXPECT_TRUE(support::stopRequested(&T));
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjection
+//===----------------------------------------------------------------------===//
+
+/// Disarms the global injector on scope exit so a failing test cannot
+/// poison the rest of the binary.
+struct InjectorGuard {
+  ~InjectorGuard() { support::FaultInjector::instance().disarm(); }
+};
+
+TEST(FaultInjectionTest, DisarmedNeverFires) {
+  support::FaultInjector::instance().disarm();
+  EXPECT_FALSE(support::faultHit("test.point"));
+  EXPECT_NO_THROW(support::faultAt("test.point"));
+  // Disarmed checks do not even count.
+  EXPECT_TRUE(support::FaultInjector::instance().stats().empty());
+}
+
+TEST(FaultInjectionTest, DeterministicForSameSeed) {
+  InjectorGuard G;
+  auto Run = [] {
+    support::FaultInjector::instance().arm(1234, 0.3);
+    std::vector<bool> Fired;
+    for (int I = 0; I < 200; ++I)
+      Fired.push_back(support::faultHit("test.determinism"));
+    return Fired;
+  };
+  const std::vector<bool> A = Run(), B = Run();
+  EXPECT_EQ(A, B);
+  // A rate of 0.3 over 200 checks fires at least once and not always.
+  EXPECT_NE(std::count(A.begin(), A.end(), true), 0);
+  EXPECT_NE(std::count(A.begin(), A.end(), true), 200);
+  // A different seed produces a different firing pattern.
+  support::FaultInjector::instance().arm(5678, 0.3);
+  std::vector<bool> C;
+  for (int I = 0; I < 200; ++I)
+    C.push_back(support::faultHit("test.determinism"));
+  EXPECT_NE(A, C);
+}
+
+TEST(FaultInjectionTest, RateExtremesAndPerPointOverride) {
+  InjectorGuard G;
+  support::FaultInjector::instance().arm(1, 0.0);
+  support::FaultInjector::instance().armPoint("test.always", 1.0);
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_TRUE(support::faultHit("test.always"));
+    EXPECT_FALSE(support::faultHit("test.never"));
+  }
+  auto St = support::FaultInjector::instance().stats();
+  EXPECT_EQ(St["test.always"].Checked, 50u);
+  EXPECT_EQ(St["test.always"].Fired, 50u);
+  EXPECT_EQ(St["test.never"].Checked, 50u);
+  EXPECT_EQ(St["test.never"].Fired, 0u);
+}
+
+TEST(FaultInjectionTest, FailNextFiresExactlyN) {
+  InjectorGuard G;
+  support::FaultInjector::instance().arm(1, 0.0);
+  support::FaultInjector::instance().failNext("test.next", 3);
+  int Fired = 0;
+  for (int I = 0; I < 10; ++I)
+    Fired += support::faultHit("test.next") ? 1 : 0;
+  EXPECT_EQ(Fired, 3);
+  // faultAt throws the dedicated error type, tagged with the point name.
+  support::FaultInjector::instance().failNext("test.throwing", 1);
+  EXPECT_THROW(support::faultAt("test.throwing"),
+               support::FaultInjectedError);
+  EXPECT_NO_THROW(support::faultAt("test.throwing"));
+}
+
+//===----------------------------------------------------------------------===//
+// parallelAllOf cancellation
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, ParallelAllOfShedsOnPreFiredToken) {
+  ThreadPool Pool(4);
+  support::CancelToken T;
+  T.cancel();
+  bool Ran = false;
+  const bool Ok = Pool.parallelAllOf(
+      0, 100,
+      [&](int64_t, int64_t, unsigned, std::atomic<bool> &) {
+        Ran = true;
+        return true;
+      },
+      &T);
+  EXPECT_FALSE(Ok);
+  EXPECT_FALSE(Ran); // Shed before any block ran.
+}
+
+TEST(ThreadPoolTest, ParallelAllOfStopsAtChunkBoundaryMidFlight) {
+  ThreadPool Pool(2);
+  support::CancelToken T;
+  std::atomic<int> Blocks{0};
+  // The first block to run fires the token; the reduction must fail even
+  // though every executed body voted true.
+  const bool Ok = Pool.parallelAllOf(
+      0, 100,
+      [&](int64_t, int64_t, unsigned, std::atomic<bool> &) {
+        ++Blocks;
+        T.cancel();
+        return true;
+      },
+      &T);
+  EXPECT_FALSE(Ok);
+  EXPECT_GE(Blocks.load(), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Queue shutdown ordering
+//===----------------------------------------------------------------------===//
+
+TEST(BoundedWorkQueueTest, CloseIsIdempotentAndRacesSafely) {
+  // Satellite of the shutdown-ordering contract: concurrent close()
+  // calls racing producers and consumers must neither lose an accepted
+  // task, run one twice, nor wedge a consumer. Closers arrive mid-drain.
+  for (int Round = 0; Round < 20; ++Round) {
+    BoundedWorkQueue Q(8);
+    std::atomic<int> Ran{0};
+    std::atomic<int> Pushed{0};
+    std::vector<std::thread> Consumers;
+    for (int C = 0; C < 2; ++C)
+      Consumers.emplace_back([&Q] {
+        while (std::function<void()> T = Q.pop())
+          T();
+        // Once exhausted, pop stays exhausted for this consumer.
+        EXPECT_EQ(Q.pop(), nullptr);
+      });
+    std::vector<std::thread> Producers;
+    for (int P = 0; P < 2; ++P)
+      Producers.emplace_back([&Q, &Ran, &Pushed] {
+        for (int I = 0; I < 100; ++I)
+          if (Q.tryPush([&Ran] { ++Ran; }))
+            ++Pushed;
+      });
+    std::vector<std::thread> Closers;
+    for (int K = 0; K < 3; ++K)
+      Closers.emplace_back([&Q] { Q.close(); });
+    for (std::thread &T : Closers)
+      T.join();
+    for (std::thread &T : Producers)
+      T.join();
+    for (std::thread &T : Consumers)
+      T.join();
+    EXPECT_TRUE(Q.closed());
+    EXPECT_EQ(Ran.load(), Pushed.load()); // Exactly once each.
+  }
 }
 
 TEST(ThreadPoolTest, DrainQueueServesUntilClosed) {
