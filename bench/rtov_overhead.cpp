@@ -41,6 +41,37 @@ double bestOf(int Reps, const std::function<double()> &Run) {
   return Best;
 }
 
+double medianOf(int Samples, const std::function<double()> &Run) {
+  std::vector<double> T(static_cast<size_t>(Samples));
+  for (double &X : T)
+    X = Run();
+  std::sort(T.begin(), T.end());
+  return T[static_cast<size_t>(Samples) / 2];
+}
+
+/// Per-section results destined for BENCH_rtov.json: section -> key ->
+/// value (times in ns/exec, ratios dimensionless, counters raw). Written
+/// once at exit so the perf trajectory is machine-trackable across PRs.
+std::map<std::string, std::map<std::string, double>> GJson;
+
+void writeJson(const char *Path) {
+  FILE *F = std::fopen(Path, "w");
+  if (!F)
+    return;
+  std::fprintf(F, "{\n");
+  size_t SI = 0;
+  for (const auto &S : GJson) {
+    std::fprintf(F, "  \"%s\": {", S.first.c_str());
+    size_t KI = 0;
+    for (const auto &KV : S.second)
+      std::fprintf(F, "%s\n    \"%s\": %.3f", KI++ ? "," : "",
+                   KV.first.c_str(), KV.second);
+    std::fprintf(F, "\n  }%s\n", ++SI < GJson.size() ? "," : "");
+  }
+  std::fprintf(F, "}\n");
+  std::fclose(F);
+}
+
 /// One O(N) cascade stage at N = 1e6: the Fig. 3b shape
 /// ALL(i=1..N-1: NS >= 0 and IB(i) <= IB(i+1)) with an invariant conjunct
 /// (memoized by the compiled evaluator) and a monotone index array.
@@ -70,43 +101,112 @@ void microBench() {
 
   auto CP = pdag::CompiledPred::compile(Stage, Sym);
 
+  // Randomized first-failure parity, aborting: plant a violation (false)
+  // and/or a truncation (the IB(i+1) read at the new end goes OOB:
+  // conservative unknown) at random iterations. The OUTCOME encodes
+  // which iteration decided first — interpreter, scalar bytecode and
+  // block tier must agree bit for bit, serial and chunked-parallel.
+  {
+    ThreadPool Pool(4);
+    uint64_t Seed = 0x5eedULL;
+    auto Next = [&Seed] {
+      Seed = Seed * 6364136223846793005ULL + 1442695040888963407ULL;
+      return Seed >> 33;
+    };
+    for (int T = 0; T < 32; ++T) {
+      sym::ArrayBinding A2 = A;
+      if (Next() % 2) // False lane: IB(k) > IB(k+1) at iteration k.
+        A2.Vals[1 + Next() % static_cast<uint64_t>(N - 2)] = -1;
+      if (Next() % 2) // Poison lane: reads past the new end are OOB.
+        A2.Vals.resize(1 + Next() % static_cast<uint64_t>(N - 1));
+      sym::Bindings B2 = B;
+      B2.setArray(IB, A2);
+      auto Ref = pdag::tryEvalPred(Stage, B2);
+      if (CP->eval(B2, nullptr, pdag::BlockEval::Off) != Ref ||
+          CP->eval(B2, nullptr, pdag::BlockEval::Force) != Ref ||
+          CP->evalParallel(B2, Pool, nullptr, 4096, nullptr,
+                           pdag::BlockEval::Force) != Ref)
+        std::abort(); // First-failure parity violated.
+    }
+  }
+
   const int Reps = 5;
-  double Interp = bestOf(Reps, [&] {
+  double Interp = medianOf(Reps, [&] {
     double T0 = nowSeconds();
     bool R = pdag::tryEvalPred(Stage, B).value_or(false);
     if (!R)
       std::abort();
     return nowSeconds() - T0;
   });
-  pdag::EvalStats Stats;
-  double Serial = bestOf(Reps, [&] {
+  pdag::EvalStats ScalStats;
+  double Scalar = medianOf(Reps, [&] {
+    ScalStats = pdag::EvalStats();
     double T0 = nowSeconds();
-    bool R = CP->eval(B, &Stats).value_or(false);
+    bool R = CP->eval(B, &ScalStats, pdag::BlockEval::Off).value_or(false);
     if (!R)
       std::abort();
     return nowSeconds() - T0;
   });
+  pdag::EvalStats BlkStats;
+  double Block = medianOf(Reps, [&] {
+    BlkStats = pdag::EvalStats();
+    double T0 = nowSeconds();
+    bool R = CP->eval(B, &BlkStats, pdag::BlockEval::Force).value_or(false);
+    if (!R)
+      std::abort();
+    return nowSeconds() - T0;
+  });
+  if (ScalStats.BlockEvals != 0 || BlkStats.BlockEvals == 0)
+    std::abort(); // The tier toggle must actually route.
 
-  std::printf("=== Compiled cascade stage, O(N) at N=1e6 (best of %d) ===\n",
+  std::printf("=== Compiled cascade stage, O(N) at N=1e6 (median of %d) ===\n",
               Reps);
-  std::printf("%-22s %10s %10s\n", "EVALUATOR", "ms", "speedup");
-  std::printf("%-22s %10.2f %10s\n", "interpreter", 1e3 * Interp, "1.00x");
-  std::printf("%-22s %10.2f %9.2fx\n", "compiled, 1 thread", 1e3 * Serial,
-              Interp / Serial);
+  std::printf("%-22s %10s %9s %10s %8s %9s %9s\n", "EVALUATOR", "ms",
+              "ns/iter", "speedup", "blockEv", "scalarEv", "poisoned");
+  std::printf("%-22s %10.2f %9.2f %10s %8s %9s %9s\n", "interpreter",
+              1e3 * Interp, 1e9 * Interp / N, "1.00x", "-", "-", "-");
+  std::printf("%-22s %10.2f %9.2f %9.2fx %8llu %9llu %9llu\n",
+              "compiled scalar, 1t", 1e3 * Scalar, 1e9 * Scalar / N,
+              Interp / Scalar,
+              static_cast<unsigned long long>(ScalStats.BlockEvals),
+              static_cast<unsigned long long>(ScalStats.ScalarEvals),
+              static_cast<unsigned long long>(ScalStats.LanesPoisoned));
+  std::printf("%-22s %10.2f %9.2f %9.2fx %8llu %9llu %9llu\n",
+              "compiled block, 1t", 1e3 * Block, 1e9 * Block / N,
+              Interp / Block,
+              static_cast<unsigned long long>(BlkStats.BlockEvals),
+              static_cast<unsigned long long>(BlkStats.ScalarEvals),
+              static_cast<unsigned long long>(BlkStats.LanesPoisoned));
+  std::printf("block tier vs scalar bytecode (1 thread): %.2fx\n",
+              Scalar / Block);
+  double Par4 = 0;
   for (unsigned T : {2u, 4u}) {
     ThreadPool Pool(T);
-    double Par = bestOf(Reps, [&] {
+    double Par = medianOf(Reps, [&] {
       double T0 = nowSeconds();
       bool R = CP->evalParallel(B, Pool).value_or(false);
       if (!R)
         std::abort();
       return nowSeconds() - T0;
     });
-    std::printf("compiled, %u threads   %10.2f %9.2fx\n", T, 1e3 * Par,
-                Interp / Par);
+    if (T == 4)
+      Par4 = Par;
+    std::printf("compiled block, %ut    %10.2f %9.2f %9.2fx\n", T, 1e3 * Par,
+                1e9 * Par / N, Interp / Par);
   }
   std::printf("bytecode=%zu instrs, memo-hits/eval=%llu\n\n", CP->codeSize(),
-              static_cast<unsigned long long>(Stats.MemoHits / Reps));
+              static_cast<unsigned long long>(BlkStats.MemoHits));
+
+  auto &J = GJson["loopall_n1e6"];
+  J["interp_ns_per_exec"] = 1e9 * Interp;
+  J["scalar_ns_per_exec"] = 1e9 * Scalar;
+  J["block_ns_per_exec"] = 1e9 * Block;
+  J["block_par4_ns_per_exec"] = 1e9 * Par4;
+  J["speedup_block_vs_scalar"] = Scalar / Block;
+  J["speedup_block_vs_interp"] = Interp / Block;
+  J["block_evals"] = static_cast<double>(BlkStats.BlockEvals);
+  J["scalar_evals"] = static_cast<double>(ScalStats.ScalarEvals);
+  J["lanes_poisoned"] = static_cast<double>(BlkStats.LanesPoisoned);
 }
 
 /// The execute-many fixture: one loop writing three symbolically-strided
@@ -252,6 +352,9 @@ void sessionReuseBench() {
 
     double FirstUs = 1e6 * FirstSum / KFresh;
     double SteadyUs = 1e6 * SteadySum / (MSteady - 1);
+    auto &J = GJson["session_reuse_n256"];
+    J["first_exec_ns_t" + std::to_string(Threads)] = 1e3 * FirstUs;
+    J["steady_ns_t" + std::to_string(Threads)] = 1e3 * SteadyUs;
     std::printf("%-8u %-14.2f %-14.2f %6.2fx   %-8llu %-8llu %s\n", Threads,
                 FirstUs, SteadyUs, FirstUs / SteadyUs,
                 static_cast<unsigned long long>(Binds),
@@ -325,6 +428,80 @@ void usrMicroBench() {
               static_cast<unsigned long long>(St.RunsProduced),
               static_cast<unsigned long long>(St.PointsAvoided),
               *Ans ? "empty (independent)" : "not-empty");
+  auto &J = GJson["usr_oind_n2048"];
+  J["interp_ns_per_exec"] = 1e9 * Interp;
+  J["compiled_ns_per_exec"] = 1e9 * Best;
+  J["speedup_compiled_vs_interp"] = Interp / Best;
+}
+
+/// The USR half of the block tier: a gated root recurrence whose gate is
+/// probed once per iteration — batched W iterations per dispatch when
+/// BlockGates is on, one predicate evaluation per iteration when off.
+/// The gate is false everywhere (empty result), so the emptiness sweep
+/// pays the full N gate probes: the directly-measured gate-batching win.
+/// Aborts if batched and scalar sweeps (or the interpreter) disagree.
+void usrGateSweepBench() {
+  sym::Context Sym;
+  pdag::PredContext P(Sym);
+  usr::USRContext U(Sym, P);
+  const int64_t N = 1000000;
+  sym::SymbolId I = Sym.symbol("i", 1);
+  sym::SymbolId IB = Sym.symbol("IB", 0, /*IsArray=*/true);
+  const usr::USR *Body =
+      U.gate(P.gt(Sym.arrayRef(IB, Sym.symRef(I)), Sym.intConst(1 << 30)),
+             U.interval(Sym.symRef(I), Sym.intConst(1)));
+  const usr::USR *R = U.recur(I, Sym.intConst(1), Sym.symRef("N"), Body);
+
+  sym::Bindings B;
+  B.setScalar(Sym.symbol("N"), N);
+  sym::ArrayBinding A;
+  A.Lo = 1;
+  A.Vals.resize(static_cast<size_t>(N));
+  for (int64_t X = 0; X < N; ++X)
+    A.Vals[static_cast<size_t>(X)] = X % 4096; // Never clears the gate.
+  B.setArray(IB, A);
+
+  auto CU = usr::CompiledUSR::compile(R, Sym);
+  const int Reps = 5;
+  usr::USREvalStats StB, StS;
+  std::optional<bool> AnsB, AnsS;
+  double Block = medianOf(Reps, [&] {
+    StB = usr::USREvalStats();
+    double T0 = nowSeconds();
+    AnsB = CU->evalEmpty(B, 1u << 22, &StB, /*BlockGates=*/true);
+    return nowSeconds() - T0;
+  });
+  double Scalar = medianOf(Reps, [&] {
+    StS = usr::USREvalStats();
+    double T0 = nowSeconds();
+    AnsS = CU->evalEmpty(B, 1u << 22, &StS, /*BlockGates=*/false);
+    return nowSeconds() - T0;
+  });
+  sym::Bindings BI = B;
+  if (AnsB != AnsS || AnsB != usr::evalUSREmpty(R, BI) ||
+      AnsB != std::optional<bool>(true))
+    std::abort(); // Batched/scalar/interpreted sweeps must agree.
+  if (StB.GateBlockEvals == 0 || StS.GateBlockEvals != 0)
+    std::abort(); // The BlockGates toggle must actually route.
+
+  std::printf("=== USR gated recurrence sweep at N=1e6 (median of %d) ===\n",
+              Reps);
+  std::printf("%-26s %10s %9s %10s %9s\n", "GATE SWEEP", "ms", "ns/iter",
+              "speedup", "gateEv");
+  std::printf("%-26s %10.2f %9.2f %10s %9llu\n", "scalar (1/iteration)",
+              1e3 * Scalar, 1e9 * Scalar / N, "1.00x",
+              static_cast<unsigned long long>(StS.GateScalarEvals));
+  std::printf("%-26s %10.2f %9.2f %9.2fx %9llu\n", "batched (W/dispatch)",
+              1e3 * Block, 1e9 * Block / N, Scalar / Block,
+              static_cast<unsigned long long>(StB.GateBlockEvals));
+  std::printf("\n");
+
+  auto &J = GJson["usr_gate_sweep_n1e6"];
+  J["scalar_ns_per_exec"] = 1e9 * Scalar;
+  J["block_ns_per_exec"] = 1e9 * Block;
+  J["speedup_block_vs_scalar"] = Scalar / Block;
+  J["gate_block_evals"] = static_cast<double>(StB.GateBlockEvals);
+  J["gate_lanes_poisoned"] = static_cast<double>(StB.GateLanesPoisoned);
 }
 
 } // namespace
@@ -333,6 +510,7 @@ int main() {
   microBench();
   sessionReuseBench();
   usrMicroBench();
+  usrGateSweepBench();
 
   std::printf("=== Runtime-test overhead (RTov, %% of parallel runtime) ===\n");
   std::printf("%-12s %-10s %-10s %-12s %-10s %-6s %-6s %-12s %s\n", "BENCH",
@@ -367,5 +545,6 @@ int main() {
                 static_cast<unsigned long long>(T.USRPointsAvoided),
                 T.AnyTLS ? "TLS used" : "");
   }
+  writeJson("BENCH_rtov.json");
   return 0;
 }

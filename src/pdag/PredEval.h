@@ -50,6 +50,17 @@ struct EvalStats {
   /// Pooled evaluations that skipped re-binding entirely because the
   /// bindings were unchanged since the frame was last bound.
   uint64_t FrameRebindsSkipped = 0;
+  /// Compiled evaluations routed through the block-vectorized tier
+  /// (ExprBlockWidth iterations per dispatch). Together with ScalarEvals
+  /// this partitions CompiledEvals, so the governor's A/B split is
+  /// observable end to end.
+  uint64_t BlockEvals = 0;
+  /// Compiled evaluations that ran the scalar bytecode tier (non-loop
+  /// roots, block-incompatible bodies, short trips, or block eval off).
+  uint64_t ScalarEvals = 0;
+  /// Block-tier lanes that hit an unbound scalar or out-of-bounds read and
+  /// degraded (that lane only) to the conservative-unknown result.
+  uint64_t LanesPoisoned = 0;
 
   EvalStats &operator+=(const EvalStats &O) {
     LeafEvals += O.LeafEvals;
@@ -59,6 +70,9 @@ struct EvalStats {
     InterpEvals += O.InterpEvals;
     FrameBinds += O.FrameBinds;
     FrameRebindsSkipped += O.FrameRebindsSkipped;
+    BlockEvals += O.BlockEvals;
+    ScalarEvals += O.ScalarEvals;
+    LanesPoisoned += O.LanesPoisoned;
     return *this;
   }
 };

@@ -49,7 +49,8 @@ std::optional<bool> USRCompileCache::emptiness(const usr::USR *S,
                                                usr::USREvalStats *Stats,
                                                USRFramePool *Frames,
                                                const support::CancelToken
-                                                   *Cancel) {
+                                                   *Cancel,
+                                               bool BlockGates) {
   const usr::CompiledUSR *Code;
   usr::CompiledUSR::PooledFrame *F;
   {
@@ -66,8 +67,8 @@ std::optional<bool> USRCompileCache::emptiness(const usr::USR *S,
     return std::nullopt; // No answer for an aborted evaluation.
   if (Pool && Pool->numThreads() > 1 && Code->hasParallelRoot())
     return Code->evalEmptyParallel(*F, B, *Pool, 1u << 22, Stats, 2048,
-                                   Cancel);
-  return Code->evalEmptyPooled(*F, B, 1u << 22, Stats);
+                                   Cancel, BlockGates);
+  return Code->evalEmptyPooled(*F, B, 1u << 22, Stats, BlockGates);
 }
 
 CompiledCascade CompiledCascade::build(const analysis::TestCascade &C,

@@ -114,22 +114,32 @@ struct PlanCascades {
 /// stamps, memo tables, prefix caches, per-worker scratch copies) per
 /// immutable CodeT. One frame per unit suffices for a single execution
 /// stream; a pool must only be used by one execution at a time (see
-/// ExecContext). size() alone is safe to read concurrently (stats
-/// snapshots) via the mirrored atomic count.
+/// ExecContext). size()/stackSlotsSaved() alone are safe to read
+/// concurrently (stats snapshots) via the mirrored atomics.
 template <class CodeT, class FrameT> class FramePoolOf {
 public:
   FrameT &frameFor(const CodeT *Code) {
     auto R = Frames.try_emplace(Code);
-    if (R.second)
+    if (R.second) {
       Count.store(Frames.size(), std::memory_order_relaxed);
+      Saved.fetch_add(Code->frameStackSlotsSaved(),
+                      std::memory_order_relaxed);
+    }
     return R.first->second;
   }
   size_t size() const { return Count.load(std::memory_order_relaxed); }
+  /// Stack slots the compiled units' exact-depth precompute saved across
+  /// every frame pooled here, relative to the old code-length-based
+  /// sizing (CodeT::frameStackSlotsSaved summed over distinct units).
+  size_t stackSlotsSaved() const {
+    return Saved.load(std::memory_order_relaxed);
+  }
 
 private:
   std::unordered_map<const CodeT *, FrameT> Frames;
   /// Mirrors Frames.size() so concurrent stats snapshots need no lock.
   std::atomic<size_t> Count{0};
+  std::atomic<size_t> Saved{0};
 };
 
 /// Pooled per-predicate evaluation frames (cascade stages).
@@ -180,12 +190,14 @@ public:
   /// callers — and from the cache entry's single fallback frame
   /// otherwise (single-threaded callers only). A fired \p Cancel token
   /// aborts the evaluation and yields nullopt (no answer — never a
-  /// cacheable one).
+  /// cacheable one). \p BlockGates selects the batched gate tier
+  /// (usr::CompiledUSR::evalEmpty).
   std::optional<bool> emptiness(const usr::USR *S, const sym::Bindings &B,
                                 ThreadPool *Pool = nullptr,
                                 usr::USREvalStats *Stats = nullptr,
                                 USRFramePool *Frames = nullptr,
-                                const support::CancelToken *Cancel = nullptr);
+                                const support::CancelToken *Cancel = nullptr,
+                                bool BlockGates = true);
 
   size_t size() const {
     std::lock_guard<std::mutex> L(M);

@@ -73,7 +73,8 @@ std::optional<bool> HoistCache::emptiness(const usr::USR *S,
                                           ThreadPool *Pool,
                                           usr::USREvalStats *Stats,
                                           USRFramePool *Frames,
-                                          const support::CancelToken *Cancel) {
+                                          const support::CancelToken *Cancel,
+                                          bool BlockGates) {
   // Hash the values of the USR's free symbols (scalars + index arrays)
   // twice with independent mixings: H keys the cache, H2 verifies the hit
   // so a primary collision cannot silently return a wrong emptiness
@@ -129,7 +130,8 @@ std::optional<bool> HoistCache::emptiness(const usr::USR *S,
   // behalf of a cancelled request.
   if (support::stopRequested(Cancel))
     return std::nullopt;
-  auto V = Compiled ? Compiled->emptiness(S, B, Pool, Stats, Frames, Cancel)
+  auto V = Compiled ? Compiled->emptiness(S, B, Pool, Stats, Frames, Cancel,
+                                          BlockGates)
                     : usr::evalUSREmpty(S, B, 1u << 22, Stats);
   if (support::stopRequested(Cancel))
     return std::nullopt;
@@ -200,20 +202,26 @@ int Executor::runCascade(const TestCascade &C, const CompiledCascade *Pre,
     // Pooled frames (when the session provides a pool) skip per-execution
     // frame allocation and, with unchanged bindings, symbol re-binding.
     std::optional<bool> V;
+    const pdag::BlockEval BE =
+        UseBlockEval ? pdag::BlockEval::Auto : pdag::BlockEval::Off;
     if (Frames) {
       auto &PF = Frames->frameFor(St.Code);
       V = St.Code->loopDepth() >= 1
-              ? St.Code->evalParallelPooled(PF, B, Pool, &ES, 4096, Cancel)
-              : St.Code->evalPooled(PF, B, &ES);
+              ? St.Code->evalParallelPooled(PF, B, Pool, &ES, 4096, Cancel,
+                                            BE)
+              : St.Code->evalPooled(PF, B, &ES, BE);
     } else {
       V = St.Code->loopDepth() >= 1
-              ? St.Code->evalParallel(B, Pool, &ES, 4096, Cancel)
-              : St.Code->eval(B, &ES);
+              ? St.Code->evalParallel(B, Pool, &ES, 4096, Cancel, BE)
+              : St.Code->eval(B, &ES, BE);
     }
     Stats.PredicateLeafEvals += ES.LeafEvals;
     Stats.PredMemoHits += ES.MemoHits;
     Stats.FrameBinds += ES.FrameBinds;
     Stats.FrameRebindsSkipped += ES.FrameRebindsSkipped;
+    Stats.BlockEvals += ES.BlockEvals;
+    Stats.ScalarEvals += ES.ScalarEvals;
+    Stats.LanesPoisoned += ES.LanesPoisoned;
     ++Stats.CompiledPredEvals;
     if (V && *V)
       return St.Source->Depth;
@@ -309,15 +317,18 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
       bool Hit = false;
       if (Hoist)
         V = Hoist->emptiness(S, B, Sym, Hit, UC, &Pool, &US, UsrFrames,
-                             Cancel);
+                             Cancel, UseBlockEval);
       else if (UC)
-        V = UC->emptiness(S, B, &Pool, &US, UsrFrames, Cancel);
+        V = UC->emptiness(S, B, &Pool, &US, UsrFrames, Cancel, UseBlockEval);
       else
         V = usr::evalUSREmpty(S, B, 1u << 22, &US);
       if (!Hit)
         ++(UC ? Stats.CompiledUSREvals : Stats.InterpUSREvals);
       Stats.USRRunsProduced += US.RunsProduced;
       Stats.USRPointsAvoided += US.PointsAvoided;
+      Stats.BlockEvals += US.GateBlockEvals;
+      Stats.ScalarEvals += US.GateScalarEvals;
+      Stats.LanesPoisoned += US.GateLanesPoisoned;
       Stats.ExactTestSeconds += nowSeconds() - TE;
       Stats.UsedExactTest = true;
       // An exact-test boundary is also a cancellation boundary: a fired

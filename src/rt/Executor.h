@@ -88,6 +88,15 @@ struct ExecStats {
   /// enumerations they made unnecessary (usr::USREvalStats).
   uint64_t USRRunsProduced = 0;
   uint64_t USRPointsAvoided = 0;
+  /// Block-vectorized vs. scalar compiled dispatches (the governor's A/B
+  /// split): predicate-side whole-evaluations (pdag::EvalStats) plus
+  /// USR-side batched gate probes (usr::USREvalStats GateBlockEvals /
+  /// GateScalarEvals), folded into one pair of columns.
+  uint64_t BlockEvals = 0;
+  uint64_t ScalarEvals = 0;
+  /// Block-tier lanes degraded to conservative-unknown by an unbound
+  /// scalar or out-of-bounds read (that lane only, never the block).
+  uint64_t LanesPoisoned = 0;
 
   /// Accumulates \p O into this: times and event counters sum, the
   /// boolean outcomes OR (e.g. `RanParallel` means "any accumulated
@@ -119,6 +128,9 @@ struct ExecStats {
     InterpUSREvals += O.InterpUSREvals;
     USRRunsProduced += O.USRRunsProduced;
     USRPointsAvoided += O.USRPointsAvoided;
+    BlockEvals += O.BlockEvals;
+    ScalarEvals += O.ScalarEvals;
+    LanesPoisoned += O.LanesPoisoned;
     return *this;
   }
 };
@@ -156,7 +168,8 @@ public:
                                 ThreadPool *Pool = nullptr,
                                 usr::USREvalStats *Stats = nullptr,
                                 USRFramePool *Frames = nullptr,
-                                const support::CancelToken *Cancel = nullptr);
+                                const support::CancelToken *Cancel = nullptr,
+                                bool BlockGates = true);
 
   size_t size() const {
     std::lock_guard<std::mutex> L(M);
@@ -250,6 +263,15 @@ public:
   void setUseCompiledUSRs(bool Use) { UseCompiledUSRs = Use; }
   bool useCompiledUSRs() const { return UseCompiledUSRs; }
 
+  /// Switches the block-vectorized evaluation tier (default on): compiled
+  /// cascade stages select block vs. scalar sweeps per stage under the
+  /// Auto policy (pdag::BlockEval::Auto), and exact-test gate predicates
+  /// batch their recurrence sweeps. Off pins everything to the scalar
+  /// bytecode tier — the A/B baseline bench/rtov_overhead.cpp measures
+  /// against. Results are bit-identical either way.
+  void setUseBlockEval(bool Use) { UseBlockEval = Use; }
+  bool useBlockEval() const { return UseBlockEval; }
+
   /// Number of distinct cascade-stage predicates compiled by this
   /// executor's own lazy cache (standalone use; sessions compile through
   /// their shared PredCompileCache instead).
@@ -280,6 +302,7 @@ private:
   USRCompileCache OwnUsrCompile;
   bool UseCompiledPreds = true;
   bool UseCompiledUSRs = true;
+  bool UseBlockEval = true;
 };
 
 } // namespace rt

@@ -60,6 +60,13 @@ struct SessionOptions {
   /// interval-run USR engine (default) or the reference interpreter
   /// (A/B measurement, parity oracle).
   bool UseCompiledUSRs = true;
+  /// Enable the block-vectorized evaluation tier (default): compiled
+  /// cascade stages sweep their root loop pdag::ExprBlockWidth iterations
+  /// per dispatch when the Auto governor selects it, and exact-test gate
+  /// predicates batch recurrence sweeps. Off pins every compiled
+  /// evaluation to the scalar bytecode tier (A/B measurement; results
+  /// are bit-identical either way).
+  bool UseBlockEval = true;
   /// Default analyzer options for plans prepared without explicit
   /// options. Per-loop knobs (probe bindings, hoistable context) go
   /// through prepare(Loop, Opts).
@@ -231,6 +238,10 @@ public:
   /// Number of pooled per-predicate evaluation frames, summed over every
   /// execution context the session has created.
   size_t numPooledFrames() const;
+  /// Stack slots the exact-depth frame sizing saved across every pooled
+  /// predicate and USR frame (vs. the old code-length-based bound),
+  /// summed over every execution context.
+  size_t pooledFrameSlotsSaved() const;
   /// Number of rt::ExecContexts created so far — its high-water mark is
   /// the session's peak execution concurrency.
   size_t numExecContexts() const;

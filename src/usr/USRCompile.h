@@ -198,16 +198,21 @@ public:
 
   /// Emptiness-only evaluation: same contract as usr::evalUSREmpty
   /// (nullopt on evaluation failure; "not empty" short-circuits before
-  /// any cap at union polarity).
+  /// any cap at union polarity). \p BlockGates selects the batched gate
+  /// tier: variant gate predicates guarding a whole recurrence body are
+  /// probed pdag::ExprBlockWidth iterations per dispatch (bit-identical
+  /// per-iteration tri-states; see batchableGate).
   std::optional<bool> evalEmpty(const sym::Bindings &B,
                                 size_t Cap = 1u << 22,
-                                USREvalStats *Stats = nullptr) const;
+                                USREvalStats *Stats = nullptr,
+                                bool BlockGates = true) const;
 
   /// evalEmpty against a caller-owned pooled frame.
   std::optional<bool> evalEmptyPooled(PooledFrame &PF,
                                       const sym::Bindings &B,
                                       size_t Cap = 1u << 22,
-                                      USREvalStats *Stats = nullptr) const;
+                                      USREvalStats *Stats = nullptr,
+                                      bool BlockGates = true) const;
 
   /// evalEmpty with a root recurrence chunked across \p Pool under the
   /// exact first-failure protocol: the merged answer (outcome at the
@@ -220,19 +225,22 @@ public:
   evalEmptyParallel(PooledFrame &PF, const sym::Bindings &B, ThreadPool &Pool,
                     size_t Cap = 1u << 22, USREvalStats *Stats = nullptr,
                     int64_t MinParallelIters = 2048,
-                    const support::CancelToken *Cancel = nullptr) const;
+                    const support::CancelToken *Cancel = nullptr,
+                    bool BlockGates = true) const;
 
   /// Full evaluation to canonical runs. Same failure contract as
   /// usr::evalUSR.
   std::optional<RunVec> evalRuns(const sym::Bindings &B,
                                  size_t Cap = 1u << 22,
-                                 USREvalStats *Stats = nullptr) const;
+                                 USREvalStats *Stats = nullptr,
+                                 bool BlockGates = true) const;
 
   /// Full evaluation expanded to the sorted point set: bit-identical to
   /// usr::evalUSR on every input (the parity-test entry point).
   std::optional<std::vector<int64_t>>
   evalPoints(const sym::Bindings &B, size_t Cap = 1u << 22,
-             USREvalStats *Stats = nullptr) const;
+             USREvalStats *Stats = nullptr,
+             bool BlockGates = true) const;
 
   const USR *source() const { return Source; }
   size_t codeSize() const { return Code.size() + XCode.size(); }
@@ -240,6 +248,10 @@ public:
   size_t numRecurs() const { return Recurs.size(); }
   /// True when evalEmptyParallel can actually fan out.
   bool hasParallelRoot() const { return RootRecur >= 0; }
+  /// Expression-stack slots the exact-depth precompute saves per bound
+  /// frame, relative to the old code-length-based over-allocation.
+  /// Surfaced through rt::FramePoolOf stats.
+  size_t frameStackSlotsSaved() const { return XCode.size() + 1 - XMaxDepth; }
 
 private:
   CompiledUSR() = default;
@@ -261,6 +273,16 @@ private:
   /// Tri-state: 0 false, 1 true, 2 unknown (evaluation failure).
   uint8_t evalGate(const CompiledUSRGate &G, Frame &F,
                    const sym::Bindings &B) const;
+  /// The gate of \p R when its iteration sweep may be block-batched: the
+  /// body is a single variant gate spanning the whole body, the gate
+  /// predicate is loop-free (blockableMain), a feed carries R's variable
+  /// (its pred slot is returned in \p PredVarSlot), and no *other* feed
+  /// slot is written by a nested recurrence inside the gated child — so
+  /// the non-variable overrides are uniform across the block and each
+  /// lane's tri-state is bit-identical to the scalar probe at that
+  /// iteration. Returns nullptr otherwise.
+  const CompiledUSRGate *batchableGate(const CompiledUSRRecur &R,
+                                       uint32_t &PredVarSlot) const;
   std::optional<int64_t> evalExpr(uint32_t Begin, uint32_t End,
                                   Frame &F) const;
   std::optional<bool> finishEmpty(Status St, Frame &F,
@@ -281,6 +303,9 @@ private:
   std::vector<std::unique_ptr<pdag::CompiledPred>> OwnedPreds;
   uint32_t MainCodeEnd = 0;
   uint32_t NumGateMemoSlots = 0;
+  /// Exact peak depth of the expression stack (frames size XStack from
+  /// this instead of XCode.size() + 1).
+  uint32_t XMaxDepth = 0;
   /// Index into Recurs of a root recurrence (CallSite wrappers stripped),
   /// -1 otherwise; the parallel emptiness entry point fans out over it.
   int32_t RootRecur = -1;

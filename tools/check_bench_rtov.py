@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""CI sanity check for the machine-readable RTov benchmark record.
+
+bench_rtov_overhead writes BENCH_rtov.json (per-section median ns/exec
+plus speedup ratios) so the perf trajectory is trackable across PRs. This
+script fails the job if the record is malformed, if the block-vectorized
+tier regressed to slower than the scalar bytecode on the N=1e6 LoopAll
+section or on the USR gated-recurrence sweep, or if the governor stopped
+routing through the block tier at all. Stdlib only.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"BENCH_rtov check FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_rtov.json"
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"cannot read {path}: {e}")
+
+    for sec in ("loopall_n1e6", "session_reuse_n256", "usr_oind_n2048",
+                "usr_gate_sweep_n1e6"):
+        if sec not in doc:
+            fail(f"missing section {sec!r}")
+
+    la = doc["loopall_n1e6"]
+    if la["block_evals"] < 1:
+        fail("block tier never ran on the LoopAll section")
+    if la["block_ns_per_exec"] >= la["scalar_ns_per_exec"]:
+        fail("block tier slower than scalar bytecode at N=1e6: "
+             f"{la['block_ns_per_exec']:.0f} vs "
+             f"{la['scalar_ns_per_exec']:.0f} ns/exec")
+
+    gs = doc["usr_gate_sweep_n1e6"]
+    if gs["gate_block_evals"] < 1:
+        fail("USR gate batching never ran")
+    if gs["block_ns_per_exec"] >= gs["scalar_ns_per_exec"]:
+        fail("batched gate sweep slower than the scalar sweep")
+
+    print("block tier vs scalar: "
+          f"{la['speedup_block_vs_scalar']:.2f}x (LoopAll N=1e6), "
+          f"{gs['speedup_block_vs_scalar']:.2f}x (USR gate sweep)")
+
+
+if __name__ == "__main__":
+    main()
