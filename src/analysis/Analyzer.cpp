@@ -264,14 +264,18 @@ LoopPlan HybridAnalyzer::analyze(const ir::DoLoop &Loop) {
       const USR *Overlap =
           summary::buildReductionOverlapUSR(Ctx, Space, RED);
       AP.RRed = factorToCascade(F, Overlap);
-      if (!Writes->isEmptySet()) {
-        // EXT-RRED: the direct writes must not touch reduction locations
-        // across iterations.
+      const USR *NonRed = Ctx.union2(Writes, RO);
+      if (!NonRed->isEmptySet()) {
+        // EXT-RRED: no ordinary access may touch a reduction location —
+        // writes clobber the deferred accumulation, and reads observe
+        // partial sums, so both are flow dependences on the reduction.
+        // (Testing writes alone is unsound: the loop-nest fuzzer found a
+        // case whose only dependence was a read of a reduced element.)
         const USR *AllRED = Ctx.recur(Space.Var, Space.Lo, Space.Hi, RED);
-        const USR *AllW =
-            Ctx.recur(Space.Var, Space.Lo, Space.Hi, Writes);
-        AP.ExtRedUSR = Ctx.intersect(AllW, AllRED);
-        AP.ExtRedFlow = makeCascade(F.disjoint(AllW, AllRED));
+        const USR *AllNonRed =
+            Ctx.recur(Space.Var, Space.Lo, Space.Hi, NonRed);
+        AP.ExtRedUSR = Ctx.intersect(AllNonRed, AllRED);
+        AP.ExtRedFlow = makeCascade(F.disjoint(AllNonRed, AllRED));
         Plan.Techniques.insert(Technique::ExtRed);
       }
       const ir::ArrayDecl *D = findDeclInProgram(Id);

@@ -26,7 +26,12 @@ Factorizer::Factorizer(USRContext &Ctx, FactorOptions Opts)
     : Ctx(Ctx), P(Ctx.predCtx()), Sym(Ctx.symCtx()), Opts(Opts),
       NodeBudget(Ctx.predCtx().numPreds() + 100000) {}
 
-bool Factorizer::overBudget() const { return P.numPreds() > NodeBudget; }
+bool Factorizer::overBudget() {
+  if (P.numPreds() <= NodeBudget && ++Steps <= Opts.MaxSteps)
+    return false;
+  ++Stats.BudgetBailouts;
+  return true;
+}
 
 //===----------------------------------------------------------------------===//
 // Helpers

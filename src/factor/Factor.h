@@ -51,6 +51,12 @@ struct FactorOptions {
   bool FourierMotzkin = true;
   /// LMAD-level approximation rules (INCLUDED_APP / DISJOINT_APP).
   bool LmadApproximation = true;
+  /// Work budget: total FACTOR/DISJOINT/INCLUDED rule applications per
+  /// factorization before the engine degrades to `false` (sound — every
+  /// emitted predicate is merely sufficient, and the runtime exact test
+  /// still covers the loop). Bounds analysis time on adversarial
+  /// summaries with quadratically many distinct leaf pairs.
+  uint64_t MaxSteps = 1 << 17;
 };
 
 /// Per-rule firing counters (diagnostics and ablation reporting).
@@ -66,6 +72,9 @@ struct FactorStats {
   uint64_t LmadIncludedRule = 0;
   uint64_t FillsArrayRule = 0;
   uint64_t FourierMotzkinUses = 0;
+  /// Times the factorization bailed out on an exhausted step or node
+  /// budget (nonzero means some cascade stages degraded to `false`).
+  uint64_t BudgetBailouts = 0;
 };
 
 /// The factorization engine. One instance per analyzed loop/array; holds
@@ -138,12 +147,14 @@ private:
   FactorStats Stats;
   const sym::Expr *ArraySize = nullptr;
 
-  bool overBudget() const;
+  bool overBudget();
 
   static constexpr int MaxDepth = 48;
   /// Hard cap on predicate-node growth per factorization (worst-case
   /// exponential inputs degrade to `false` instead of hanging, Sec. 3.6).
   size_t NodeBudget;
+  /// Rule applications spent so far (checked against Opts.MaxSteps).
+  uint64_t Steps = 0;
   std::unordered_map<const usr::USR *, const pdag::Pred *> FactorMemo;
   std::unordered_map<uint64_t, const pdag::Pred *> DisjointMemo;
   std::unordered_map<uint64_t, const pdag::Pred *> IncludedMemo;

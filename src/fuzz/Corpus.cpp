@@ -1,0 +1,87 @@
+//===- fuzz/Corpus.cpp - Regression-corpus serialization ------------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+
+#include <sstream>
+
+using namespace halo;
+using namespace halo::fuzz;
+
+std::string fuzz::serializeEntry(const CorpusEntry &E) {
+  std::ostringstream OS;
+  OS << "# halo_fuzz corpus entry\n";
+  if (!E.Note.empty())
+    OS << "# " << E.Note << "\n";
+  OS << "seed " << E.Opts.Seed << "\n";
+  OS << "body " << E.Opts.BodyStmts << "\n";
+  OS << "trip " << E.Opts.Trip << "\n";
+  OS << "hostile " << (E.Opts.Hostile ? 1 : 0) << "\n";
+  if (!E.Opts.Drop.empty()) {
+    OS << "drop";
+    for (unsigned D : E.Opts.Drop)
+      OS << " " << D;
+    OS << "\n";
+  }
+  OS << "expect " << E.Expect << "\n";
+  // Render the program for human triage; replay ignores comments.
+  auto Case = generate(E.Opts);
+  std::istringstream Dump(Case->dump());
+  std::string Line;
+  while (std::getline(Dump, Line))
+    OS << "# | " << Line << "\n";
+  return OS.str();
+}
+
+std::optional<CorpusEntry> fuzz::parseEntry(const std::string &Text,
+                                            std::string &Error) {
+  CorpusEntry E;
+  std::istringstream IS(Text);
+  std::string Line;
+  bool SawSeed = false;
+  while (std::getline(IS, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream LS(Line);
+    std::string Key;
+    LS >> Key;
+    if (Key == "seed") {
+      LS >> E.Opts.Seed;
+      SawSeed = true;
+    } else if (Key == "body") {
+      LS >> E.Opts.BodyStmts;
+    } else if (Key == "trip") {
+      LS >> E.Opts.Trip;
+    } else if (Key == "hostile") {
+      int V = 0;
+      LS >> V;
+      E.Opts.Hostile = V != 0;
+    } else if (Key == "drop") {
+      unsigned D;
+      while (LS >> D)
+        E.Opts.Drop.push_back(D);
+    } else if (Key == "expect") {
+      LS >> E.Expect;
+    } else {
+      Error = "unknown corpus key: " + Key;
+      return std::nullopt;
+    }
+    if (LS.bad()) {
+      Error = "malformed corpus line: " + Line;
+      return std::nullopt;
+    }
+  }
+  if (!SawSeed) {
+    Error = "corpus entry missing 'seed'";
+    return std::nullopt;
+  }
+  if (E.Expect != "clean" && E.Expect != "validation-error") {
+    Error = "corpus entry with unknown expectation: " + E.Expect;
+    return std::nullopt;
+  }
+  return E;
+}

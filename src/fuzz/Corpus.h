@@ -1,0 +1,56 @@
+//===- fuzz/Corpus.h - Regression-corpus serialization ---------*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization of fuzz repros. A corpus entry is the *recipe* for a
+/// case — seed, budgets, hostile flag, minimizer drop mask — plus the
+/// expectation replay must verify:
+///
+///   - `clean`: the case passes every oracle (a fixed defect, pinned),
+///   - `validation-error`: the front door rejects it with structured
+///     diagnostics (a hostile hardening case, pinned).
+///
+/// Entries are deterministic by construction (the generator is a pure
+/// function of the recipe), so the checked-in corpus replays bit-identically
+/// on every machine. Format: `key value` lines, `#` comments, order-free
+/// except that unknown keys are errors (a corrupted corpus should fail
+/// loudly, not silently re-fuzz something else).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_FUZZ_CORPUS_H
+#define HALO_FUZZ_CORPUS_H
+
+#include "fuzz/Generator.h"
+
+#include <optional>
+#include <string>
+
+namespace halo {
+namespace fuzz {
+
+/// One corpus entry: recipe + replay expectation.
+struct CorpusEntry {
+  GenOptions Opts;
+  /// "clean" or "validation-error".
+  std::string Expect = "clean";
+  /// Free-form provenance (what the entry pins).
+  std::string Note;
+};
+
+/// Serializes \p E (with trailing comments rendering the program dump of
+/// the recipe for human triage).
+std::string serializeEntry(const CorpusEntry &E);
+
+/// Parses an entry; nullopt (with \p Error set) on malformed input.
+std::optional<CorpusEntry> parseEntry(const std::string &Text,
+                                      std::string &Error);
+
+} // namespace fuzz
+} // namespace halo
+
+#endif // HALO_FUZZ_CORPUS_H

@@ -1,0 +1,693 @@
+//===- fuzz/Generator.cpp - Seed-deterministic loop-nest generator --------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Generator.h"
+
+#include "pdag/Pred.h"
+#include "support/Casting.h"
+#include "support/Rng.h"
+#include "usr/USR.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace halo;
+using namespace halo::fuzz;
+
+GeneratedCase::GeneratedCase() {
+  SymCtx = std::make_unique<sym::Context>();
+  PredCtx = std::make_unique<pdag::PredContext>(*SymCtx);
+  UsrCtx = std::make_unique<usr::USRContext>(*SymCtx, *PredCtx);
+  Prog = std::make_unique<ir::Program>(*SymCtx, *PredCtx);
+}
+
+GeneratedCase::~GeneratedCase() = default;
+
+void GeneratedCase::bind(rt::Memory &M, sym::Bindings &B) const {
+  for (const DataArrayPlan &A : DataArrays) {
+    std::vector<double> &V = M.alloc(A.Id, A.Elems);
+    // Deterministic non-trivial initial contents: dependent loops then
+    // produce order-sensitive values the parity oracle can distinguish.
+    for (size_t I = 0; I < V.size(); ++I)
+      V[I] = 0.25 * static_cast<double>((I * 7 + A.Id * 13) % 31);
+  }
+  for (const IndexArrayPlan &A : IndexArrays)
+    B.setArray(A.Id, A.Vals);
+  for (const ScalarPlan &S : Scalars)
+    B.setScalar(S.Id, S.Val);
+}
+
+//===----------------------------------------------------------------------===//
+// Textual rendering (determinism oracle + repro reports)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Renders expressions/predicates/statements with a recursion cap so a
+/// hostile 1500-deep expression prints as "..." instead of overflowing the
+/// printer's own stack.
+class CasePrinter {
+public:
+  CasePrinter(const sym::Context &Sym, std::ostringstream &OS)
+      : Sym(Sym), OS(OS) {}
+
+  void expr(const sym::Expr *E, unsigned Depth = 0) {
+    if (!E) {
+      OS << "<null>";
+      return;
+    }
+    if (Depth > 12) {
+      OS << "...";
+      return;
+    }
+    switch (E->getKind()) {
+    case sym::ExprKind::IntConst:
+      OS << cast<sym::IntConstExpr>(E)->getValue();
+      return;
+    case sym::ExprKind::SymRef:
+      OS << name(cast<sym::SymRefExpr>(E)->getSymbol());
+      return;
+    case sym::ExprKind::ArrayRef: {
+      const auto *A = cast<sym::ArrayRefExpr>(E);
+      OS << name(A->getArray()) << "(";
+      expr(A->getIndex(), Depth + 1);
+      OS << ")";
+      return;
+    }
+    case sym::ExprKind::Min:
+    case sym::ExprKind::Max: {
+      const auto *M = cast<sym::MinMaxExpr>(E);
+      OS << (E->getKind() == sym::ExprKind::Min ? "min(" : "max(");
+      expr(M->getLHS(), Depth + 1);
+      OS << ", ";
+      expr(M->getRHS(), Depth + 1);
+      OS << ")";
+      return;
+    }
+    case sym::ExprKind::FloorDiv:
+    case sym::ExprKind::Mod: {
+      const auto *D = cast<sym::DivModExpr>(E);
+      OS << (E->getKind() == sym::ExprKind::FloorDiv ? "div(" : "mod(");
+      expr(D->getOperand(), Depth + 1);
+      OS << ", " << D->getDivisor() << ")";
+      return;
+    }
+    case sym::ExprKind::Mul: {
+      const auto *M = cast<sym::MulExpr>(E);
+      OS << "(";
+      bool First = true;
+      for (const sym::Expr *F : M->getFactors()) {
+        if (!First)
+          OS << " * ";
+        First = false;
+        expr(F, Depth + 1);
+      }
+      OS << ")";
+      return;
+    }
+    case sym::ExprKind::Add: {
+      const auto *A = cast<sym::AddExpr>(E);
+      OS << "(";
+      bool First = true;
+      for (const sym::Monomial &T : A->getTerms()) {
+        if (!First)
+          OS << " + ";
+        First = false;
+        if (T.Coeff != 1)
+          OS << T.Coeff << "*";
+        expr(T.Prod, Depth + 1);
+      }
+      if (A->getConstant() != 0 || First) {
+        if (!First)
+          OS << " + ";
+        OS << A->getConstant();
+      }
+      OS << ")";
+      return;
+    }
+    }
+  }
+
+  void pred(const pdag::Pred *P, unsigned Depth = 0) {
+    if (!P) {
+      OS << "<null>";
+      return;
+    }
+    if (Depth > 12) {
+      OS << "...";
+      return;
+    }
+    switch (P->getKind()) {
+    case pdag::PredKind::True:
+      OS << "true";
+      return;
+    case pdag::PredKind::False:
+      OS << "false";
+      return;
+    case pdag::PredKind::Cmp: {
+      const auto *C = cast<pdag::CmpPred>(P);
+      expr(C->getExpr(), Depth + 1);
+      switch (C->getRel()) {
+      case pdag::CmpRel::GE0:
+        OS << " >= 0";
+        break;
+      case pdag::CmpRel::EQ0:
+        OS << " == 0";
+        break;
+      case pdag::CmpRel::NE0:
+        OS << " != 0";
+        break;
+      }
+      return;
+    }
+    case pdag::PredKind::Divides: {
+      const auto *D = cast<pdag::DividesPred>(P);
+      if (D->isNegated())
+        OS << "!";
+      OS << D->getDivisor() << " | ";
+      expr(D->getValue(), Depth + 1);
+      return;
+    }
+    case pdag::PredKind::And:
+    case pdag::PredKind::Or: {
+      const auto *N = cast<pdag::NaryPred>(P);
+      OS << "(";
+      bool First = true;
+      for (const pdag::Pred *C : N->getChildren()) {
+        if (!First)
+          OS << (P->getKind() == pdag::PredKind::And ? " && " : " || ");
+        First = false;
+        pred(C, Depth + 1);
+      }
+      OS << ")";
+      return;
+    }
+    case pdag::PredKind::LoopAll: {
+      const auto *L = cast<pdag::LoopAllPred>(P);
+      OS << "all(" << name(L->getVar()) << " in ";
+      expr(L->getLo(), Depth + 1);
+      OS << "..";
+      expr(L->getHi(), Depth + 1);
+      OS << ": ";
+      pred(L->getBody(), Depth + 1);
+      OS << ")";
+      return;
+    }
+    case pdag::PredKind::CallSite:
+      OS << "callsite(";
+      pred(cast<pdag::CallSitePred>(P)->getBody(), Depth + 1);
+      OS << ")";
+      return;
+    }
+  }
+
+  void stmt(const ir::Stmt *S, unsigned Indent, unsigned Depth = 0) {
+    if (Depth > 24) {
+      pad(Indent);
+      OS << "...\n";
+      return;
+    }
+    switch (S->getKind()) {
+    case ir::StmtKind::Assign: {
+      const auto *A = cast<ir::AssignStmt>(S);
+      pad(Indent);
+      if (A->getWrite()) {
+        OS << name(A->getWrite()->Array) << "[";
+        expr(A->getWrite()->Offset);
+        OS << "] " << (A->isReduction() ? "+= " : "= ");
+      } else {
+        OS << "sink ";
+      }
+      OS << "f(";
+      bool First = true;
+      for (const ir::ArrayAccess &R : A->getReads()) {
+        if (!First)
+          OS << ", ";
+        First = false;
+        OS << name(R.Array) << "[";
+        expr(R.Offset);
+        OS << "]";
+      }
+      OS << ")\n";
+      return;
+    }
+    case ir::StmtKind::DoLoop: {
+      const auto *L = cast<ir::DoLoop>(S);
+      pad(Indent);
+      OS << "do " << L->getLabel() << ": " << name(L->getVar()) << " = ";
+      expr(L->getLo());
+      OS << ", ";
+      expr(L->getHi());
+      OS << "\n";
+      for (const ir::Stmt *C : L->getBody())
+        stmt(C, Indent + 2, Depth + 1);
+      pad(Indent);
+      OS << "end do\n";
+      return;
+    }
+    case ir::StmtKind::If: {
+      const auto *I = cast<ir::IfStmt>(S);
+      pad(Indent);
+      OS << "if (";
+      pred(I->getCond());
+      OS << ")\n";
+      for (const ir::Stmt *T : I->getThen())
+        stmt(T, Indent + 2, Depth + 1);
+      if (!I->getElse().empty()) {
+        pad(Indent);
+        OS << "else\n";
+        for (const ir::Stmt *T : I->getElse())
+          stmt(T, Indent + 2, Depth + 1);
+      }
+      pad(Indent);
+      OS << "end if\n";
+      return;
+    }
+    case ir::StmtKind::Call: {
+      const auto *C = cast<ir::CallStmt>(S);
+      pad(Indent);
+      OS << "call " << C->getCallee()->getName() << "(";
+      bool First = true;
+      for (const ir::CallStmt::ArrayArg &A : C->getArrayArgs()) {
+        if (!First)
+          OS << ", ";
+        First = false;
+        OS << name(A.Formal) << "=" << name(A.Actual) << "+";
+        expr(A.Offset);
+      }
+      for (const ir::CallStmt::ScalarArg &A : C->getScalarArgs()) {
+        if (!First)
+          OS << ", ";
+        First = false;
+        OS << name(A.Formal) << "=";
+        expr(A.Actual);
+      }
+      OS << ")\n";
+      return;
+    }
+    case ir::StmtKind::CivIncr: {
+      const auto *CI = cast<ir::CivIncrStmt>(S);
+      pad(Indent);
+      OS << name(CI->getCiv()) << " += ";
+      expr(CI->getAmount());
+      OS << "\n";
+      return;
+    }
+    }
+  }
+
+private:
+  std::string name(sym::SymbolId Id) { return Sym.symbolInfo(Id).Name; }
+  void pad(unsigned N) {
+    for (unsigned I = 0; I < N; ++I)
+      OS << ' ';
+  }
+
+  const sym::Context &Sym;
+  std::ostringstream &OS;
+};
+
+} // namespace
+
+std::string GeneratedCase::dump() const {
+  std::ostringstream OS;
+  OS << "# seed " << Opts.Seed << " body " << Opts.BodyStmts << " trip "
+     << Opts.Trip << " hostile " << (Opts.Hostile ? 1 : 0) << "\n";
+  if (!Opts.Drop.empty()) {
+    OS << "# drop";
+    for (unsigned D : Opts.Drop)
+      OS << " " << D;
+    OS << "\n";
+  }
+  if (!HostileNote.empty())
+    OS << "# hostile-note " << HostileNote << "\n";
+  for (const DataArrayPlan &A : DataArrays)
+    OS << "data " << A.Name << "[" << A.Elems << "]\n";
+  for (const IndexArrayPlan &A : IndexArrays) {
+    OS << "index " << A.Name << " =";
+    for (int64_t V : A.Vals.Vals)
+      OS << " " << V;
+    OS << "\n";
+  }
+  for (const ScalarPlan &S : Scalars)
+    OS << "scalar " << S.Name << " = " << S.Val << "\n";
+  if (Loop) {
+    CasePrinter P(*SymCtx, OS);
+    P.stmt(Loop, 0);
+  }
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Generation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds one case from the RNG stream. Every random decision routes
+/// through the single Rng member, and dropped slots draw exactly the same
+/// stream as kept ones — the two invariants behind determinism and
+/// minimizer stability.
+class CaseBuilder {
+public:
+  CaseBuilder(GeneratedCase &C, const GenOptions &O)
+      : C(C), O(O), R(O.Seed ^ 0x9e3779b97f4a7c15ULL), Sym(C.sym()),
+        P(C.pred()), Prog(C.prog()) {}
+
+  void build() {
+    Main = Prog.makeSubroutine("main");
+    Trip = O.Trip + R.nextInRange(-8, 8);
+    if (Trip < 8)
+      Trip = 8;
+    InnerTrip = R.nextInRange(2, 4);
+
+    // All data arrays share one generous size that bounds every benign
+    // subscript form: affine i+c (c <= 8), inner-loop products up to
+    // Trip*InnerTrip + 2, index-array values below Trip + 8, and CIV
+    // prefixes — every slot could be a CIV bump of 2, so the prefix after
+    // the last iteration is at most 2*BodyStmts*Trip.
+    int64_t CivMax = 2 * static_cast<int64_t>(O.BodyStmts) * Trip;
+    Cap = static_cast<size_t>(
+        std::max<int64_t>({Trip * InnerTrip, 2 * Trip, CivMax}) + 16);
+
+    unsigned NData = static_cast<unsigned>(R.nextInRange(2, 3));
+    for (unsigned I = 0; I < NData; ++I) {
+      std::string N = "A" + std::to_string(I);
+      sym::SymbolId Id = Sym.symbol(N, 0, /*IsArray=*/true);
+      Main->declareArray(
+          ir::ArrayDecl{Id, Sym.intConst(static_cast<int64_t>(Cap)), false});
+      C.DataArrays.push_back({Id, N, Cap});
+    }
+    unsigned NIdx = static_cast<unsigned>(R.nextInRange(1, 2));
+    for (unsigned I = 0; I < NIdx; ++I) {
+      std::string N = "IX" + std::to_string(I);
+      sym::SymbolId Id = Sym.symbol(N, 0, /*IsArray=*/true);
+      Main->declareArray(ir::ArrayDecl{Id, nullptr, true});
+      GeneratedCase::IndexArrayPlan Plan{Id, N, makeIndexValues()};
+      C.IndexArrays.push_back(std::move(Plan));
+    }
+    for (unsigned I = 0; I < 2; ++I) {
+      std::string N = "s" + std::to_string(I);
+      sym::SymbolId Id = Sym.symbol(N, 0);
+      C.Scalars.push_back({Id, N, R.nextInRange(-2, 5)});
+    }
+    Civ = Sym.symbol("civ", 0);
+    C.Scalars.push_back({Civ, "civ", 0});
+
+    // Outer loop: constant or symbolic upper bound (symbolic bounds give
+    // the factorizer non-trivial predicates to extract).
+    IVar = Sym.symbol("i", 1);
+    const sym::Expr *Hi;
+    if (R.chance(1, 2)) {
+      Hi = Sym.intConst(Trip);
+    } else {
+      sym::SymbolId N = Sym.symbol("n", 0);
+      C.Scalars.push_back({N, "n", Trip});
+      Hi = Sym.symRef(N);
+    }
+    ir::DoLoop *L =
+        Prog.make<ir::DoLoop>("fuzz", IVar, Sym.intConst(1), Hi, 1);
+    Main->append(L);
+    C.Loop = L;
+
+    for (unsigned Slot = 0; Slot < O.BodyStmts; ++Slot) {
+      bool Dropped = std::find(O.Drop.begin(), O.Drop.end(), Slot) !=
+                     O.Drop.end();
+      emitSlot(L, Dropped);
+    }
+    C.NumSlots = O.BodyStmts;
+
+    if (O.Hostile)
+      injectHostile(L);
+  }
+
+private:
+  /// Index-array contents: a permutation of [0, Trip) (injective — often
+  /// provably independent via monotonicity/UMEG reasoning after sorting,
+  /// or exactly-tested), or random values with duplicates (dependent).
+  sym::ArrayBinding makeIndexValues() {
+    sym::ArrayBinding A;
+    A.Lo = 1;
+    A.Vals.resize(static_cast<size_t>(Trip));
+    bool Permute = R.chance(1, 2);
+    for (int64_t I = 0; I < Trip; ++I)
+      A.Vals[static_cast<size_t>(I)] =
+          Permute ? I : R.nextInRange(0, Trip - 1);
+    if (Permute)
+      for (int64_t I = Trip - 1; I > 0; --I) {
+        int64_t J = R.nextInRange(0, I);
+        std::swap(A.Vals[static_cast<size_t>(I)],
+                  A.Vals[static_cast<size_t>(J)]);
+      }
+    return A;
+  }
+
+  sym::SymbolId anyDataArray() {
+    return C.DataArrays[R.nextBelow(C.DataArrays.size())].Id;
+  }
+
+  /// A subscript over the outer iteration variable, in-bounds by
+  /// construction for arrays of size Cap.
+  const sym::Expr *outerSubscript() {
+    switch (R.nextBelow(4)) {
+    case 0: // i + c, c in [-1, 6]: range [0, Trip+6).
+      return Sym.addConst(Sym.symRef(IVar), R.nextInRange(-1, 6));
+    case 1: { // IX(i) + c, c in [0, 3]: values in [0, Trip+3).
+      const GeneratedCase::IndexArrayPlan &IA =
+          C.IndexArrays[R.nextBelow(C.IndexArrays.size())];
+      return Sym.addConst(Sym.arrayRef(IA.Id, Sym.symRef(IVar)),
+                          R.nextInRange(0, 3));
+    }
+    case 2: // civ + c, c in [0, 3]: civ stays in [0, 2*Trip].
+      return Sym.addConst(Sym.symRef(Civ), R.nextInRange(0, 3));
+    default: // 2*i + c: strided, range [1, 2*Trip+3).
+      return Sym.addConst(Sym.mulConst(Sym.symRef(IVar), 2),
+                          R.nextInRange(-1, 3));
+    }
+  }
+
+  std::vector<ir::ArrayAccess> someReads(unsigned Max) {
+    std::vector<ir::ArrayAccess> Reads;
+    unsigned N = static_cast<unsigned>(R.nextBelow(Max + 1));
+    for (unsigned I = 0; I < N; ++I)
+      Reads.push_back(ir::ArrayAccess{anyDataArray(), outerSubscript()});
+    return Reads;
+  }
+
+  const pdag::Pred *somePred() {
+    switch (R.nextBelow(3)) {
+    case 0: // mod(i, k) == 0.
+      return P.eq0(Sym.mod(Sym.symRef(IVar),
+                           R.nextInRange(2, 3)));
+    case 1: { // s >= c.
+      const GeneratedCase::ScalarPlan &S =
+          C.Scalars[R.nextBelow(C.Scalars.size())];
+      return P.ge(Sym.symRef(S.Id), Sym.intConst(R.nextInRange(-1, 3)));
+    }
+    default: // i <= Trip/2.
+      return P.le(Sym.symRef(IVar), Sym.intConst(Trip / 2));
+    }
+  }
+
+  /// Appends \p S to \p L unless the current slot is dropped.
+  void emit(ir::DoLoop *L, bool Dropped, const ir::Stmt *S) {
+    if (!Dropped)
+      L->append(S);
+  }
+
+  void emitSlot(ir::DoLoop *L, bool Dropped) {
+    uint64_t Kind = R.nextBelow(95);
+    if (Kind < 25) { // Plain assign.
+      emit(L, Dropped,
+           Prog.make<ir::AssignStmt>(
+               ir::ArrayAccess{anyDataArray(), outerSubscript()},
+               someReads(2), false, 0));
+    } else if (Kind < 37) { // Reduction update.
+      sym::SymbolId A = anyDataArray();
+      emit(L, Dropped,
+           Prog.make<ir::AssignStmt>(
+               ir::ArrayAccess{A, outerSubscript()}, someReads(1), true, 0));
+      if (!Dropped)
+        C.ReductionArrays.insert(A);
+    } else if (Kind < 49) { // IF-gated assign (optionally with else).
+      ir::IfStmt *If = Prog.make<ir::IfStmt>(somePred());
+      If->appendThen(Prog.make<ir::AssignStmt>(
+          ir::ArrayAccess{anyDataArray(), outerSubscript()}, someReads(1),
+          false, 0));
+      if (R.chance(1, 2))
+        If->appendElse(Prog.make<ir::AssignStmt>(
+            ir::ArrayAccess{anyDataArray(), outerSubscript()}, someReads(1),
+            false, 0));
+      emit(L, Dropped, If);
+    } else if (Kind < 59) { // CIV bump (possibly gated) + CIV-relative write.
+      const sym::Expr *Amt = Sym.intConst(R.nextInRange(1, 2));
+      const ir::Stmt *Incr = Prog.make<ir::CivIncrStmt>(Civ, Amt);
+      if (R.chance(1, 3)) {
+        ir::IfStmt *If = Prog.make<ir::IfStmt>(somePred());
+        If->appendThen(Incr);
+        emit(L, Dropped, If);
+      } else {
+        emit(L, Dropped, Incr);
+      }
+      emit(L, Dropped,
+           Prog.make<ir::AssignStmt>(
+               ir::ArrayAccess{anyDataArray(),
+                               Sym.addConst(Sym.symRef(Civ),
+                                            R.nextInRange(0, 2))},
+               someReads(1), false, 0));
+    } else if (Kind < 71) { // Inner loop.
+      sym::SymbolId J = Sym.symbol("j" + std::to_string(InnerCount++), 2);
+      ir::DoLoop *Inner = Prog.make<ir::DoLoop>(
+          "fz_in" + std::to_string(InnerCount), J, Sym.intConst(1),
+          Sym.intConst(InnerTrip), 2);
+      bool Disjoint = R.chance(2, 3);
+      // Disjoint flavor writes (i-1)*InnerTrip + j (per-iteration blocks,
+      // independent); the overlap flavor writes i + j (dependent).
+      const sym::Expr *Sub =
+          Disjoint
+              ? Sym.add(Sym.mulConst(Sym.addConst(Sym.symRef(IVar), -1),
+                                     InnerTrip),
+                        Sym.symRef(J))
+              : Sym.add(Sym.symRef(IVar), Sym.symRef(J));
+      Inner->append(Prog.make<ir::AssignStmt>(
+          ir::ArrayAccess{anyDataArray(), Sub}, someReads(1), false, 0));
+      emit(L, Dropped, Inner);
+    } else if (Kind < 81) { // Call through a subroutine (array reshaping).
+      ensureCallee();
+      std::vector<ir::CallStmt::ArrayArg> AA{
+          {FormalArr, anyDataArray(), Sym.intConst(R.nextInRange(0, 2))}};
+      std::vector<ir::CallStmt::ScalarArg> SA{
+          {FormalScal, Sym.addConst(Sym.symRef(IVar),
+                                    R.nextInRange(-1, 2))}};
+      emit(L, Dropped,
+           Prog.make<ir::CallStmt>(Callee, std::move(AA), std::move(SA)));
+    } else if (Kind < 90) { // Read-only statement.
+      std::vector<ir::ArrayAccess> Reads = someReads(2);
+      Reads.push_back(ir::ArrayAccess{anyDataArray(), outerSubscript()});
+      emit(L, Dropped,
+           Prog.make<ir::AssignStmt>(std::nullopt, std::move(Reads), false,
+                                     0));
+    } else { // Constant-location write: every iteration hits one element.
+      emit(L, Dropped,
+           Prog.make<ir::AssignStmt>(
+               ir::ArrayAccess{anyDataArray(),
+                               Sym.intConst(R.nextInRange(0, 7))},
+               someReads(1), false, 0));
+    }
+  }
+
+  /// Lazily creates the shared callee `f(FA, fs): FA[fs+c] = g(FA[fs+c'])`.
+  void ensureCallee() {
+    if (Callee)
+      return;
+    Callee = Prog.makeSubroutine("f");
+    FormalArr = Sym.symbol("FA", 0, /*IsArray=*/true);
+    FormalScal = Sym.symbol("fs", 0);
+    Callee->declareArray(ir::ArrayDecl{FormalArr, nullptr, false});
+    int64_t WOff = R.nextInRange(0, 2);
+    int64_t ROff = R.nextInRange(0, 2);
+    Callee->append(Prog.make<ir::AssignStmt>(
+        ir::ArrayAccess{FormalArr, Sym.addConst(Sym.symRef(FormalScal),
+                                                WOff + 1)},
+        std::vector<ir::ArrayAccess>{
+            {FormalArr, Sym.addConst(Sym.symRef(FormalScal), ROff + 1)}},
+        false, 0));
+  }
+
+  void injectHostile(ir::DoLoop *L) {
+    switch (R.nextBelow(7)) {
+    case 0: { // Access to an array no subroutine declares.
+      sym::SymbolId Ghost = Sym.symbol("ghostA", 0, /*IsArray=*/true);
+      L->append(Prog.make<ir::AssignStmt>(
+          ir::ArrayAccess{Ghost, Sym.symRef(IVar)},
+          std::vector<ir::ArrayAccess>{}, false, 0));
+      C.HostileNote = "UndeclaredArray";
+      return;
+    }
+    case 1: { // Inner loop with constant Hi < Lo.
+      sym::SymbolId J = Sym.symbol("jneg", 2);
+      ir::DoLoop *Inner = Prog.make<ir::DoLoop>(
+          "fz_negtrip", J, Sym.intConst(1), Sym.intConst(-3), 2);
+      Inner->append(Prog.make<ir::AssignStmt>(
+          ir::ArrayAccess{anyDataArray(), Sym.symRef(J)},
+          std::vector<ir::ArrayAccess>{}, false, 0));
+      L->append(Inner);
+      C.HostileNote = "NonPositiveTrip";
+      return;
+    }
+    case 2: { // Constant subscript provably out of bounds.
+      bool Neg = R.chance(1, 2);
+      int64_t Off = Neg ? -5 : static_cast<int64_t>(Cap) + 100;
+      L->append(Prog.make<ir::AssignStmt>(
+          ir::ArrayAccess{anyDataArray(), Sym.intConst(Off)},
+          std::vector<ir::ArrayAccess>{}, false, 0));
+      C.HostileNote = "OobSubscript";
+      return;
+    }
+    case 3: { // Inner loop reusing the outer loop variable.
+      ir::DoLoop *Inner = Prog.make<ir::DoLoop>(
+          "fz_dupvar", IVar, Sym.intConst(1), Sym.intConst(4), 2);
+      Inner->append(Prog.make<ir::AssignStmt>(
+          ir::ArrayAccess{anyDataArray(), Sym.symRef(IVar)},
+          std::vector<ir::ArrayAccess>{}, false, 0));
+      L->append(Inner);
+      C.HostileNote = "DuplicateLoopVar";
+      return;
+    }
+    case 4: // CIV update targeting the loop variable itself.
+      L->append(Prog.make<ir::CivIncrStmt>(IVar, Sym.intConst(1)));
+      C.HostileNote = "CivIsLoopVar";
+      return;
+    case 5: { // Subscript over a scalar no data plan binds.
+      sym::SymbolId Ghost = Sym.symbol("ghost", 0);
+      L->append(Prog.make<ir::AssignStmt>(
+          ir::ArrayAccess{anyDataArray(),
+                          Sym.add(Sym.symRef(IVar), Sym.symRef(Ghost))},
+          std::vector<ir::ArrayAccess>{}, false, 0));
+      C.HostileNote = "UnboundScalar";
+      return;
+    }
+    default: { // Expression deep enough to trip the validation depth cap.
+      const sym::Expr *E = Sym.symRef(IVar);
+      for (unsigned I = 0; I < 1500; ++I)
+        E = Sym.min(Sym.addConst(E, 1), Sym.intConst(2));
+      L->append(Prog.make<ir::AssignStmt>(
+          ir::ArrayAccess{anyDataArray(), E},
+          std::vector<ir::ArrayAccess>{}, false, 0));
+      C.HostileNote = "ExprTooDeep";
+      return;
+    }
+    }
+  }
+
+  GeneratedCase &C;
+  const GenOptions &O;
+  Rng R;
+  sym::Context &Sym;
+  pdag::PredContext &P;
+  ir::Program &Prog;
+  ir::Subroutine *Main = nullptr;
+  ir::Subroutine *Callee = nullptr;
+  sym::SymbolId FormalArr = 0;
+  sym::SymbolId FormalScal = 0;
+  sym::SymbolId IVar = 0;
+  sym::SymbolId Civ = 0;
+  int64_t Trip = 0;
+  int64_t InnerTrip = 0;
+  size_t Cap = 0;
+  unsigned InnerCount = 0;
+};
+
+} // namespace
+
+std::unique_ptr<GeneratedCase> fuzz::generate(const GenOptions &O) {
+  auto C = std::make_unique<GeneratedCase>();
+  C->Opts = O;
+  CaseBuilder B(*C, O);
+  B.build();
+  return C;
+}

@@ -1,0 +1,144 @@
+//===- fuzz/Generator.h - Seed-deterministic loop-nest generator -*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Random loop-nest generation for the differential fuzzer. A GeneratedCase
+/// is a complete, self-contained mini program — its own symbol / predicate /
+/// USR contexts, an ir::Program, one outer DoLoop, and a data plan that
+/// binds every referenced scalar, index array and data array — drawn
+/// deterministically from a single seed: the same GenOptions always
+/// reproduce the same program, byte for byte in dump() output.
+///
+/// The grammar covers the constructs the analyzer reasons about: affine
+/// subscripts `A(i+c)`, subscripted subscripts `A(IX(i)+c)`, conditionally
+/// incremented induction variables with CIV-relative writes, IF-gated
+/// statements, inner loops (both iteration-disjoint and overlapping
+/// flavors), reductions, read-only statements, and calls through a
+/// subroutine with array reshaping. Benign programs are in-bounds by
+/// construction: every subscript's runtime range is contained in the
+/// declared (and allocated) array size, so any out-of-bounds access
+/// reaching the interpreter is a generator or analyzer bug, not noise.
+///
+/// Under GenOptions::Hostile, one deliberate malformation is injected after
+/// the benign draw (undeclared array, negative constant trip, constant
+/// out-of-bounds subscript, duplicate loop variable, CIV aliasing the loop
+/// variable, unbound scalar, or a pathologically deep expression). Hostile
+/// cases must be rejected with structured diagnostics by the front door
+/// (ir/Validate.h) — never crash, never reach the interpreter's asserts.
+///
+/// The Drop mask supports the minimizer: dropped statement slots are still
+/// *drawn* from the RNG stream (so surviving slots are byte-identical to
+/// the original case) but not appended to the loop body.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_FUZZ_GENERATOR_H
+#define HALO_FUZZ_GENERATOR_H
+
+#include "ir/Program.h"
+#include "rt/Memory.h"
+#include "usr/USR.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace halo {
+namespace fuzz {
+
+/// The full input of one generation — everything reproduction needs.
+struct GenOptions {
+  /// RNG seed; the sole source of randomness.
+  uint64_t Seed = 1;
+  /// Statement slots in the outer loop body (each slot is one grammar
+  /// draw; a slot may expand to more than one IR statement).
+  unsigned BodyStmts = 6;
+  /// Nominal trip count of the outer loop (jittered ±8 by the seed).
+  int64_t Trip = 48;
+  /// Inject one deliberate malformation after the benign draw.
+  bool Hostile = false;
+  /// Slot indices to omit from the body (minimizer mask). Dropped slots
+  /// still consume their RNG draws, so the surviving slots are identical
+  /// to the unmasked case.
+  std::vector<unsigned> Drop;
+};
+
+/// One generated program plus the data plan that makes it runnable.
+class GeneratedCase {
+public:
+  GeneratedCase();
+  ~GeneratedCase();
+  GeneratedCase(const GeneratedCase &) = delete;
+  GeneratedCase &operator=(const GeneratedCase &) = delete;
+
+  /// The options the case was generated from (verbatim).
+  GenOptions Opts;
+  /// The loop under test.
+  const ir::DoLoop *Loop = nullptr;
+  /// Statement slots drawn (before Drop) — the minimizer's index space.
+  unsigned NumSlots = 0;
+  /// Which hostile malformation was injected ("" when benign).
+  std::string HostileNote;
+
+  /// Data array allocated in rt::Memory, with deterministic initial
+  /// contents derived from the seed.
+  struct DataArrayPlan {
+    sym::SymbolId Id = 0;
+    std::string Name;
+    size_t Elems = 0;
+  };
+  /// Integer index array bound in sym::Bindings.
+  struct IndexArrayPlan {
+    sym::SymbolId Id = 0;
+    std::string Name;
+    sym::ArrayBinding Vals;
+  };
+  /// Loop-invariant input scalar.
+  struct ScalarPlan {
+    sym::SymbolId Id = 0;
+    std::string Name;
+    int64_t Val = 0;
+  };
+  std::vector<DataArrayPlan> DataArrays;
+  std::vector<IndexArrayPlan> IndexArrays;
+  std::vector<ScalarPlan> Scalars;
+  /// Arrays receiving at least one reduction update (parity comparisons
+  /// use a floating-point tolerance for these: parallel merge reorders
+  /// the additions).
+  std::set<sym::SymbolId> ReductionArrays;
+
+  /// Allocates/binds every input of the case into fresh memory/bindings.
+  void bind(rt::Memory &M, sym::Bindings &B) const;
+
+  /// Deterministic textual rendering of the whole case (program, data
+  /// plan, hostile note) — the determinism test compares these byte for
+  /// byte, and repro reports embed them.
+  std::string dump() const;
+
+  sym::Context &sym() { return *SymCtx; }
+  const sym::Context &sym() const { return *SymCtx; }
+  pdag::PredContext &pred() { return *PredCtx; }
+  usr::USRContext &usrCtx() { return *UsrCtx; }
+  ir::Program &prog() { return *Prog; }
+  const ir::Program &prog() const { return *Prog; }
+
+private:
+  std::unique_ptr<sym::Context> SymCtx;
+  std::unique_ptr<pdag::PredContext> PredCtx;
+  std::unique_ptr<usr::USRContext> UsrCtx;
+  std::unique_ptr<ir::Program> Prog;
+};
+
+/// Generates the case \p O describes. Deterministic: equal options yield
+/// byte-identical dump() output.
+std::unique_ptr<GeneratedCase> generate(const GenOptions &O);
+
+} // namespace fuzz
+} // namespace halo
+
+#endif // HALO_FUZZ_GENERATOR_H

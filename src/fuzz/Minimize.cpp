@@ -1,0 +1,34 @@
+//===- fuzz/Minimize.cpp - Greedy repro minimization ----------------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Minimize.h"
+
+#include <algorithm>
+
+using namespace halo;
+using namespace halo::fuzz;
+
+GenOptions fuzz::minimizeCase(
+    const GenOptions &Failing,
+    const std::function<bool(GeneratedCase &)> &StillFails) {
+  GenOptions Cur = Failing;
+  unsigned Slots = generate(Cur)->NumSlots;
+  // One greedy sweep is 1-minimizing here because slots are independent
+  // draws: re-adding a slot never changes the others, so a slot whose
+  // removal kept the failure can never become necessary again.
+  for (unsigned S = 0; S < Slots; ++S) {
+    if (std::find(Cur.Drop.begin(), Cur.Drop.end(), S) != Cur.Drop.end())
+      continue;
+    GenOptions Trial = Cur;
+    Trial.Drop.push_back(S);
+    std::sort(Trial.Drop.begin(), Trial.Drop.end());
+    auto Case = generate(Trial);
+    if (StillFails(*Case))
+      Cur = std::move(Trial);
+  }
+  return Cur;
+}

@@ -1,0 +1,40 @@
+//===- fuzz/Minimize.h - Greedy repro minimization -------------*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy statement-slot deletion for failing fuzz cases. The generator
+/// draws its whole RNG stream regardless of the Drop mask, so masking out
+/// a slot leaves every surviving slot byte-identical — minimization is
+/// pure search over Drop sets, with the failure re-established by the
+/// caller's predicate (normally: the oracle still reports the same
+/// failure kind). The result is 1-minimal: removing any single surviving
+/// slot makes the failure disappear.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_FUZZ_MINIMIZE_H
+#define HALO_FUZZ_MINIMIZE_H
+
+#include "fuzz/Generator.h"
+
+#include <functional>
+
+namespace halo {
+namespace fuzz {
+
+/// Re-generates the case under each trial mask and keeps a slot dropped
+/// whenever \p StillFails holds on the result. \p Failing must already
+/// fail; the returned options carry the final Drop mask. \p StillFails is
+/// invoked once per trial with a freshly generated case.
+GenOptions
+minimizeCase(const GenOptions &Failing,
+             const std::function<bool(GeneratedCase &)> &StillFails);
+
+} // namespace fuzz
+} // namespace halo
+
+#endif // HALO_FUZZ_MINIMIZE_H

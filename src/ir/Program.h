@@ -236,6 +236,8 @@ public:
 
   sym::Context &symCtx() { return SymCtx; }
   pdag::PredContext &predCtx() { return PredCtx; }
+  const sym::Context &symCtx() const { return SymCtx; }
+  const pdag::PredContext &predCtx() const { return PredCtx; }
 
   Subroutine *makeSubroutine(const std::string &Name) {
     Subs.push_back(std::make_unique<Subroutine>(Name));

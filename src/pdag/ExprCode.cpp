@@ -191,9 +191,84 @@ void ExprCodeBuilder::emitExpr(const sym::Expr *E) {
 std::pair<uint32_t, uint32_t> ExprCodeBuilder::compile(const sym::Expr *E) {
   uint32_t Begin = static_cast<uint32_t>(Code.size());
   Depth = 0; // each range starts from an empty stack
+  // Resource guards: the depth pre-check runs *before* the recursive
+  // emitter (an in-recursion cap would overflow the C++ stack first on
+  // hostile nesting), and the code ceiling bounds total emitted bytecode.
+  // A tripped guard emits one balanced dummy constant so every caller's
+  // range bookkeeping stays well-formed; the owning compiler checks
+  // exceeded() and discards the whole object.
+  if (exprNestDepth(E, LoweringMaxNestDepth) > LoweringMaxNestDepth ||
+      Code.size() >= LoweringMaxCodeLen) {
+    Exceeded = true;
+    emit(ExprInstr::Op::Const, 0, 0);
+    return {Begin, static_cast<uint32_t>(Code.size())};
+  }
   emitExpr(E);
+  if (Code.size() > LoweringMaxCodeLen)
+    Exceeded = true;
   assert(Depth == 1 && "expression range must leave exactly one value");
   return {Begin, static_cast<uint32_t>(Code.size())};
+}
+
+unsigned pdag::exprNestDepth(const sym::Expr *E, unsigned Cap) {
+  using sym::ExprKind;
+  // Iterative post-order with per-node memo, saturating at Cap + 1.
+  std::unordered_map<const sym::Expr *, unsigned> Memo;
+  auto ForEachChild = [](const sym::Expr *N, auto F) {
+    switch (N->getKind()) {
+    case ExprKind::IntConst:
+    case ExprKind::SymRef:
+      break;
+    case ExprKind::ArrayRef:
+      F(cast<sym::ArrayRefExpr>(N)->getIndex());
+      break;
+    case ExprKind::Min:
+    case ExprKind::Max:
+      F(cast<sym::MinMaxExpr>(N)->getLHS());
+      F(cast<sym::MinMaxExpr>(N)->getRHS());
+      break;
+    case ExprKind::FloorDiv:
+    case ExprKind::Mod:
+      F(cast<sym::DivModExpr>(N)->getOperand());
+      break;
+    case ExprKind::Mul:
+      for (const sym::Expr *C : cast<sym::MulExpr>(N)->getFactors())
+        F(C);
+      break;
+    case ExprKind::Add:
+      for (const sym::Monomial &M : cast<sym::AddExpr>(N)->getTerms())
+        F(M.Prod);
+      break;
+    }
+  };
+  struct Frame {
+    const sym::Expr *E;
+    bool ChildrenPushed;
+  };
+  std::vector<Frame> Stack{{E, false}};
+  while (!Stack.empty()) {
+    Frame F = Stack.back();
+    Stack.pop_back();
+    if (Memo.count(F.E))
+      continue;
+    if (!F.ChildrenPushed) {
+      Stack.push_back({F.E, true});
+      ForEachChild(F.E, [&](const sym::Expr *C) {
+        if (!Memo.count(C))
+          Stack.push_back({C, false});
+      });
+      continue;
+    }
+    unsigned MaxChild = 0;
+    ForEachChild(F.E, [&](const sym::Expr *C) {
+      auto It = Memo.find(C);
+      unsigned D = It == Memo.end() ? Cap + 1 : It->second;
+      if (D > MaxChild)
+        MaxChild = D;
+    });
+    Memo.emplace(F.E, MaxChild >= Cap ? Cap + 1 : MaxChild + 1);
+  }
+  return Memo.at(E);
 }
 
 uint32_t pdag::exprCodeMaxDepth(const ExprInstr *Code, uint32_t Begin,

@@ -53,6 +53,22 @@ namespace pdag {
 /// little work.
 inline constexpr unsigned ExprBlockWidth = 16;
 
+/// Lowering resource caps (the compile-tier guards; see docs/FUZZING.md).
+/// Expressions or predicates nested deeper than this are not lowered —
+/// the compile entry points (`CompiledPred::compile`, `CompiledUSR::compile`)
+/// return null and the governor falls back to the reference interpreters,
+/// counting the demotion in `rt::ExecStats::GuardDemotions`. Front-door
+/// validation (ir/Validate.h) admits deeper structures than this cap, so
+/// demotion — not rejection — is the contract for the gap in between.
+inline constexpr unsigned LoweringMaxNestDepth = 200;
+/// Ceiling on emitted bytecode size (instructions) per compiled object.
+inline constexpr size_t LoweringMaxCodeLen = 1u << 20;
+
+/// Nesting depth of \p E (leaves count 1), computed iteratively with an
+/// explicit stack so hostile deeply-nested expressions cannot overflow the
+/// C++ stack, and saturated at \p Cap + 1.
+unsigned exprNestDepth(const sym::Expr *E, unsigned Cap);
+
 /// One expression-bytecode instruction (operates on an int64 value stack).
 /// Packed to 16 bytes: ArrayLoadOff is the only op that needs two slots,
 /// and its index-scalar slot + small offset share the Imm field (see
@@ -116,6 +132,13 @@ public:
   /// starts from an empty stack, so this is the per-object frame bound).
   uint32_t maxStackDepth() const { return MaxDepth; }
 
+  /// True when any compiled range tripped a lowering resource guard
+  /// (nesting beyond LoweringMaxNestDepth or code beyond
+  /// LoweringMaxCodeLen). The offending range emits a balanced dummy
+  /// constant so the code stream stays well-formed; the owning compiler
+  /// must discard the object and let callers demote to the interpreter.
+  bool exceeded() const { return Exceeded; }
+
 private:
   void emit(ExprInstr::Op Op, uint32_t Slot = 0, int64_t Imm = 0);
   void emitExpr(const sym::Expr *E);
@@ -130,6 +153,7 @@ private:
   std::unordered_map<sym::SymbolId, uint32_t> ArraySlotFor;
   uint32_t Depth = 0;    ///< live stack depth of the range being compiled
   uint32_t MaxDepth = 0; ///< peak over all ranges compiled by this builder
+  bool Exceeded = false; ///< a range tripped a lowering resource guard
 };
 
 /// Exact peak stack depth of code range [Begin, End), recomputed by static

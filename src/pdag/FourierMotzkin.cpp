@@ -9,6 +9,8 @@
 
 #include "support/Error.h"
 
+#include <unordered_map>
+
 using namespace halo;
 using namespace halo::pdag;
 using sym::Expr;
@@ -20,6 +22,16 @@ namespace {
 /// exponential; real inputs eliminate one or two symbols).
 constexpr int MaxFMDepth = 12;
 
+/// Work budget for one top-level reduceGE0/reducePred invocation. Every
+/// reduce() call spends one unit; when the budget runs out the eliminator
+/// emits leaves as-is, which reducePred then strengthens to `false` — a
+/// sound degradation (the factorizer ORs the reduction with the exact
+/// LoopAll node, so precision is lost but never soundness). Found by the
+/// loop-nest fuzzer: subscript-of-subscript leaves keep every coefficient
+/// sign opaque, so the 4-way branch actually hits its exponential
+/// worst case.
+constexpr uint64_t MaxFMSteps = 1 << 14;
+
 class Eliminator {
 public:
   Eliminator(PredContext &Ctx, const sym::RangeEnv &Env)
@@ -27,11 +39,18 @@ public:
 
   /// Sufficient predicate for E >= 0.
   const Pred *reduce(const Expr *E, int Depth) {
-    if (Depth > MaxFMDepth)
+    if (Depth > MaxFMDepth || ++Steps > MaxFMSteps)
       return Ctx.ge0(E);
 
+    // Expressions are interned, so identical subproblems recur whenever
+    // the split coefficients share structure; any memoized result is a
+    // sufficient predicate for E >= 0 and can be reused regardless of the
+    // depth it was first computed at.
+    auto Hit = Memo.find(E);
+    if (Hit != Memo.end())
+      return Hit->second;
+
     // FIND_SYMBOL: a bounded symbol that occurs polynomially in E.
-    SymbolId Var = 0;
     const sym::Range *R = nullptr;
     std::optional<sym::Context::LinearSplit> Split;
     for (SymbolId S : E->freeSymbols()) {
@@ -41,7 +60,6 @@ public:
       auto SS = Sym.splitLinearIn(E, S);
       if (!SS || SS->A == Sym.intConst(0))
         continue;
-      Var = S;
       R = SR;
       Split = SS;
       break;
@@ -54,24 +72,30 @@ public:
     const Expr *AtLo = Sym.add(Sym.mul(A, R->Lo), B);
     const Expr *AtHi = Sym.add(Sym.mul(A, R->Hi), B);
 
+    const Pred *Res;
     // If the coefficient's sign is known, only one branch survives.
-    if (auto AC = Sym.constValue(A))
-      return reduce(*AC >= 0 ? AtLo : AtHi, Depth + 1);
-
-    // (A >= 0 and A*Lo + B >= 0) or (A < 0 and A*Hi + B >= 0), with the
-    // sign conditions themselves reduced (they have smaller exponent).
-    const Pred *Pos =
-        Ctx.and2(reduce(A, Depth + 1), reduce(AtLo, Depth + 1));
-    const Pred *Neg = Ctx.and2(
-        reduce(Sym.addConst(Sym.neg(A), -1), Depth + 1), // -A - 1 >= 0.
-        reduce(AtHi, Depth + 1));
-    return Ctx.or2(Pos, Neg);
+    if (auto AC = Sym.constValue(A)) {
+      Res = reduce(*AC >= 0 ? AtLo : AtHi, Depth + 1);
+    } else {
+      // (A >= 0 and A*Lo + B >= 0) or (A < 0 and A*Hi + B >= 0), with the
+      // sign conditions themselves reduced (they have smaller exponent).
+      const Pred *Pos =
+          Ctx.and2(reduce(A, Depth + 1), reduce(AtLo, Depth + 1));
+      const Pred *Neg = Ctx.and2(
+          reduce(Sym.addConst(Sym.neg(A), -1), Depth + 1), // -A - 1 >= 0.
+          reduce(AtHi, Depth + 1));
+      Res = Ctx.or2(Pos, Neg);
+    }
+    Memo.emplace(E, Res);
+    return Res;
   }
 
 private:
   PredContext &Ctx;
   sym::Context &Sym;
   const sym::RangeEnv &Env;
+  uint64_t Steps = 0;
+  std::unordered_map<const Expr *, const Pred *> Memo;
 };
 
 } // namespace
@@ -89,49 +113,87 @@ const Pred *pdag::reduceGT0(PredContext &Ctx, const Expr *E,
   return reduceGE0(Ctx, Ctx.symCtx().addConst(E, -1), Env);
 }
 
-const Pred *pdag::reducePred(PredContext &Ctx, const Pred *P,
-                             const sym::RangeEnv &Env) {
-  if (Env.empty())
-    return P;
-  auto TouchesEnv = [&Env](const Pred *Q) {
+namespace {
+
+/// One reducePred invocation: predicates are interned DAGs with heavy
+/// sharing (the factorizer composes cascades out of common subterms), so
+/// an unmemoized tree walk re-expands shared nodes exponentially — another
+/// fuzzer-found blowup. Memo entries are valid for the whole walk because
+/// Env is fixed.
+class PredReducer {
+public:
+  PredReducer(PredContext &Ctx, const sym::RangeEnv &Env)
+      : Ctx(Ctx), Env(Env), El(Ctx, Env) {}
+
+  bool touchesEnv(const Pred *Q) const {
     for (SymbolId S : Q->freeSymbols())
       if (Env.lookup(S))
         return true;
     return false;
-  };
-  if (!TouchesEnv(P))
-    return P;
-  switch (P->getKind()) {
-  case PredKind::True:
-  case PredKind::False:
-    return P;
-  case PredKind::Cmp: {
-    const auto *C = cast<CmpPred>(P);
-    if (C->getRel() == CmpRel::GE0) {
-      const Pred *R = reduceGE0(Ctx, C->getExpr(), Env);
-      // Residual occurrences (opaque atoms): strengthen to false — the
-      // caller ORs the reduction with the exact loop node, so nothing is
-      // lost overall.
-      return TouchesEnv(R) ? Ctx.getFalse() : R;
+  }
+
+  const Pred *reduce(const Pred *P) {
+    if (!touchesEnv(P))
+      return P;
+    auto Hit = Memo.find(P);
+    if (Hit != Memo.end())
+      return Hit->second;
+    const Pred *Res = reduceUncached(P);
+    Memo.emplace(P, Res);
+    return Res;
+  }
+
+private:
+  const Pred *reduceUncached(const Pred *P) {
+    switch (P->getKind()) {
+    case PredKind::True:
+    case PredKind::False:
+      return P;
+    case PredKind::Cmp: {
+      const auto *C = cast<CmpPred>(P);
+      if (C->getRel() == CmpRel::GE0) {
+        // One shared eliminator: its memo and step budget span every leaf
+        // of this walk, so pathological leaves cannot multiply.
+        const Pred *R = El.reduce(C->getExpr(), 0);
+        // Residual occurrences (opaque atoms): strengthen to false — the
+        // caller ORs the reduction with the exact loop node, so nothing is
+        // lost overall.
+        return touchesEnv(R) ? Ctx.getFalse() : R;
+      }
+      // Equalities/disequalities over the eliminated variable have no
+      // sufficient variable-free form; strengthen to false.
+      return Ctx.getFalse();
     }
-    // Equalities/disequalities over the eliminated variable have no
-    // sufficient variable-free form; strengthen to false.
-    return Ctx.getFalse();
+    case PredKind::Divides: // Congruences are not FM-reducible.
+      return Ctx.getFalse();
+    case PredKind::And:
+    case PredKind::Or: {
+      const auto *N = cast<NaryPred>(P);
+      std::vector<const Pred *> Cs;
+      Cs.reserve(N->getChildren().size());
+      for (const Pred *C : N->getChildren())
+        Cs.push_back(reduce(C));
+      return N->isAnd() ? Ctx.andN(std::move(Cs)) : Ctx.orN(std::move(Cs));
+    }
+    case PredKind::LoopAll:
+    case PredKind::CallSite:
+      return Ctx.getFalse(); // Bound variable escapes into a nested scope.
+    }
+    halo_unreachable("covered switch");
   }
-  case PredKind::Divides: // Congruences are not FM-reducible.
-    return Ctx.getFalse();
-  case PredKind::And:
-  case PredKind::Or: {
-    const auto *N = cast<NaryPred>(P);
-    std::vector<const Pred *> Cs;
-    Cs.reserve(N->getChildren().size());
-    for (const Pred *C : N->getChildren())
-      Cs.push_back(reducePred(Ctx, C, Env));
-    return N->isAnd() ? Ctx.andN(std::move(Cs)) : Ctx.orN(std::move(Cs));
-  }
-  case PredKind::LoopAll:
-  case PredKind::CallSite:
-    return Ctx.getFalse(); // Bound variable escapes into a nested scope.
-  }
-  halo_unreachable("covered switch");
+
+  PredContext &Ctx;
+  const sym::RangeEnv &Env;
+  Eliminator El;
+  std::unordered_map<const Pred *, const Pred *> Memo;
+};
+
+} // namespace
+
+const Pred *pdag::reducePred(PredContext &Ctx, const Pred *P,
+                             const sym::RangeEnv &Env) {
+  if (Env.empty())
+    return P;
+  PredReducer R(Ctx, Env);
+  return R.reduce(P);
 }

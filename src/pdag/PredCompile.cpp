@@ -57,6 +57,10 @@ public:
     finalize(P);
   }
 
+  /// True when the expression layer tripped a lowering resource guard
+  /// while emitting this object (CompiledPred::compile then discards it).
+  bool exceeded() const { return XB.exceeded(); }
+
 private:
   uint32_t scalarSlot(sym::SymbolId S) { return XB.scalarSlot(S); }
 
@@ -483,12 +487,108 @@ private:
 } // namespace pdag
 } // namespace halo
 
+namespace {
+
+/// Iterative (explicit-stack) pre-check that the predicate DAG and every
+/// leaf expression fit the lowering caps. Runs *before* the recursive
+/// PredCompiler so a hostile deeply-nested predicate cannot overflow the
+/// C++ stack during compilation; a failed check demotes the predicate to
+/// the reference interpreter instead (CompiledPred::compile returns null).
+bool predLoweringFits(const Pred *Root, unsigned Cap) {
+  auto ForEachChild = [](const Pred *N, auto F) {
+    switch (N->getKind()) {
+    case PredKind::True:
+    case PredKind::False:
+    case PredKind::Cmp:
+    case PredKind::Divides:
+      break;
+    case PredKind::And:
+    case PredKind::Or:
+      for (const Pred *C : cast<NaryPred>(N)->getChildren())
+        F(C);
+      break;
+    case PredKind::LoopAll:
+      F(cast<LoopAllPred>(N)->getBody());
+      break;
+    case PredKind::CallSite:
+      F(cast<CallSitePred>(N)->getBody());
+      break;
+    }
+  };
+  // Pred-node nesting depth, memoized and saturated at Cap + 1.
+  std::unordered_map<const Pred *, unsigned> Memo;
+  struct Frame {
+    const Pred *P;
+    bool ChildrenPushed;
+  };
+  std::vector<Frame> Stack{{Root, false}};
+  while (!Stack.empty()) {
+    Frame F = Stack.back();
+    Stack.pop_back();
+    if (Memo.count(F.P))
+      continue;
+    if (!F.ChildrenPushed) {
+      Stack.push_back({F.P, true});
+      ForEachChild(F.P, [&](const Pred *C) {
+        if (!Memo.count(C))
+          Stack.push_back({C, false});
+      });
+      continue;
+    }
+    unsigned MaxChild = 0;
+    ForEachChild(F.P, [&](const Pred *C) {
+      auto It = Memo.find(C);
+      unsigned D = It == Memo.end() ? Cap + 1 : It->second;
+      if (D > MaxChild)
+        MaxChild = D;
+    });
+    Memo.emplace(F.P, MaxChild >= Cap ? Cap + 1 : MaxChild + 1);
+  }
+  if (Memo.at(Root) > Cap)
+    return false;
+  // Every leaf expression must fit the expression lowering cap too.
+  std::vector<const Pred *> Walk{Root};
+  std::unordered_set<const Pred *> Seen;
+  while (!Walk.empty()) {
+    const Pred *N = Walk.back();
+    Walk.pop_back();
+    if (!Seen.insert(N).second)
+      continue;
+    std::vector<const sym::Expr *> Leaves;
+    if (const auto *C = dyn_cast<CmpPred>(N)) {
+      Leaves.push_back(C->getExpr());
+    } else if (const auto *D = dyn_cast<DividesPred>(N)) {
+      Leaves.push_back(D->getDivisor());
+      Leaves.push_back(D->getValue());
+    } else if (const auto *LA = dyn_cast<LoopAllPred>(N)) {
+      Leaves.push_back(LA->getLo());
+      Leaves.push_back(LA->getHi());
+    }
+    for (const sym::Expr *E : Leaves)
+      if (exprNestDepth(E, LoweringMaxNestDepth) > LoweringMaxNestDepth)
+        return false;
+    ForEachChild(N, [&](const Pred *C) { Walk.push_back(C); });
+  }
+  return true;
+}
+
+} // namespace
+
 std::unique_ptr<CompiledPred> CompiledPred::compile(const Pred *P,
                                                     const sym::Context &Ctx) {
+  // Resource guards (graceful demotion contract, docs/FUZZING.md): a
+  // predicate too deep or too large to lower returns null here; callers
+  // (PredCompileCache, USR gate lowering) fall back to tryEvalPred and
+  // the governor counts the demotion in ExecStats::GuardDemotions.
+  if (!predLoweringFits(P, LoweringMaxNestDepth))
+    return nullptr;
   std::unique_ptr<CompiledPred> CP(new CompiledPred());
   CP->Source = P;
   PredCompiler C(Ctx, *CP);
   C.compileRoot(P);
+  if (C.exceeded() || CP->PCode.size() > LoweringMaxCodeLen ||
+      CP->XCode.size() > LoweringMaxCodeLen)
+    return nullptr;
   return CP;
 }
 

@@ -141,6 +141,11 @@ public:
 
   /// Lowers \p P. \p Ctx must be the symbol context the predicate was
   /// built against (slot resolution and invariance use its symbol table).
+  /// Returns null when \p P trips a lowering resource guard (nesting
+  /// beyond pdag::LoweringMaxNestDepth or bytecode beyond
+  /// pdag::LoweringMaxCodeLen): callers must fall back to the reference
+  /// interpreter (tryEvalPred) — the governor counts such demotions in
+  /// rt::ExecStats::GuardDemotions.
   static std::unique_ptr<CompiledPred> compile(const Pred *P,
                                                const sym::Context &Ctx);
 

@@ -8,8 +8,10 @@
 #include "rt/CompiledCascade.h"
 
 #include "support/FaultInjection.h"
+#include "usr/USREval.h"
 
 #include <algorithm>
+#include <limits>
 
 using namespace halo;
 using namespace halo::rt;
@@ -61,6 +63,18 @@ std::optional<bool> USRCompileCache::emptiness(const usr::USR *S,
     // single-threaded callers. Concurrent callers must pass a pool.
     F = Frames ? nullptr : &E.Frame;
   }
+  if (!Code) {
+    // Lowering tripped a resource guard (CompiledUSR::compile returned
+    // null — nesting or bytecode-size cap): demote this exact test to the
+    // reference interpreter instead of failing the execution. Correct
+    // either way; only slower, and counted.
+    if (support::stopRequested(Cancel))
+      return std::nullopt;
+    if (Stats)
+      ++Stats->GuardDemotions;
+    sym::Bindings Local(B);
+    return usr::evalUSREmpty(S, Local, 1u << 22, Stats);
+  }
   if (Frames)
     F = &Frames->frameFor(Code);
   if (support::stopRequested(Cancel))
@@ -82,11 +96,17 @@ CompiledCascade CompiledCascade::build(const analysis::TestCascade &C,
     Out.Stages.push_back(Stage{&St, Cache.get(St.P)});
   // Cheapest-first by compiled cost estimate: buildCascade orders by loop
   // depth alone, the bytecode length refines ties between same-depth
-  // stages. Done once here, at plan time.
+  // stages. Done once here, at plan time. A stage whose predicate tripped
+  // a lowering guard (null Code — the governor interprets it instead)
+  // sorts last: interpreted evaluation is the most expensive tier.
   if (Out.Stages.size() > 1)
     std::stable_sort(Out.Stages.begin(), Out.Stages.end(),
                      [](const Stage &A, const Stage &B) {
-                       return A.Code->costEstimate() < B.Code->costEstimate();
+                       uint64_t CA = A.Code ? A.Code->costEstimate()
+                                            : std::numeric_limits<uint64_t>::max();
+                       uint64_t CB = B.Code ? B.Code->costEstimate()
+                                            : std::numeric_limits<uint64_t>::max();
+                       return CA < CB;
                      });
   return Out;
 }

@@ -197,6 +197,18 @@ int Executor::runCascade(const TestCascade &C, const CompiledCascade *Pre,
     if (support::stopRequested(Cancel))
       return -3;
     pdag::EvalStats ES;
+    if (!St.Code) {
+      // Lowering tripped a resource guard for this stage's predicate
+      // (CompiledPred::compile returned null): demote the stage to the
+      // tree-walking interpreter. Same answer, only slower, and counted.
+      auto V = pdag::tryEvalPred(St.Source->P, B, &ES);
+      Stats.PredicateLeafEvals += ES.LeafEvals;
+      ++Stats.InterpPredEvals;
+      ++Stats.GuardDemotions;
+      if (V && *V)
+        return St.Source->Depth;
+      continue;
+    }
     // O(1) stages run inline; O(N)+ stages fan their root LoopAll range
     // out across the pool with the exact early-exit and-reduction.
     // Pooled frames (when the session provides a pool) skip per-execution
@@ -322,8 +334,13 @@ ExecStats Executor::runPlanned(const LoopPlan &Plan, Memory &M,
         V = UC->emptiness(S, B, &Pool, &US, UsrFrames, Cancel, UseBlockEval);
       else
         V = usr::evalUSREmpty(S, B, 1u << 22, &US);
+      // A demoted evaluation ran on the interpreter even though the
+      // compiled cache was consulted — count it in the interpreted column
+      // so the compiled/interpreted split stays truthful.
+      bool Demoted = US.GuardDemotions > 0;
       if (!Hit)
-        ++(UC ? Stats.CompiledUSREvals : Stats.InterpUSREvals);
+        ++(UC && !Demoted ? Stats.CompiledUSREvals : Stats.InterpUSREvals);
+      Stats.GuardDemotions += US.GuardDemotions;
       Stats.USRRunsProduced += US.RunsProduced;
       Stats.USRPointsAvoided += US.PointsAvoided;
       Stats.BlockEvals += US.GateBlockEvals;

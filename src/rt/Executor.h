@@ -97,6 +97,12 @@ struct ExecStats {
   /// Block-tier lanes degraded to conservative-unknown by an unbound
   /// scalar or out-of-bounds read (that lane only, never the block).
   uint64_t LanesPoisoned = 0;
+  /// Evaluations demoted from the compiled engines to the reference
+  /// interpreters because lowering tripped a resource guard (nesting or
+  /// bytecode-size cap — see pdag/ExprCode.h). Covers both cascade stages
+  /// whose predicate failed to lower and exact tests whose USR failed to
+  /// lower; semantically identical, only slower, and visible here.
+  uint64_t GuardDemotions = 0;
 
   /// Accumulates \p O into this: times and event counters sum, the
   /// boolean outcomes OR (e.g. `RanParallel` means "any accumulated
@@ -131,6 +137,7 @@ struct ExecStats {
     BlockEvals += O.BlockEvals;
     ScalarEvals += O.ScalarEvals;
     LanesPoisoned += O.LanesPoisoned;
+    GuardDemotions += O.GuardDemotions;
     return *this;
   }
 };

@@ -7,6 +7,8 @@
 
 #include "session/Session.h"
 
+#include "ir/Validate.h"
+
 #include <algorithm>
 #include <stdexcept>
 
@@ -79,6 +81,13 @@ Session::~Session() = default;
 
 PreparedLoop &Session::prepareWith(const ir::DoLoop &Loop,
                                    const analysis::AnalyzerOptions &AOpts) {
+  // Front door: untrusted programs are validated structurally before any
+  // analysis or execution sees them. Malformed shapes (undeclared arrays,
+  // constant empty trips, provably out-of-bounds subscripts, loop-variable
+  // reuse, CIV-on-loop-var, call cycles, pathological nesting) raise a
+  // structured support::ValidationError here instead of tripping asserts
+  // or UB deeper in the pipeline.
+  ir::validateLoop(Prog, Loop);
   // Labels are the serving layer's loop addresses: a second loop with the
   // same label would silently shadow the first in every label-based
   // lookup, routing traffic to the wrong loop. Fail at prepare time.

@@ -133,7 +133,10 @@ public:
   /// comment for the returned reference's lifetime. Throws
   /// std::invalid_argument when first-use analysis would register a
   /// second prepared loop with the same IR label (labels are the serving
-  /// layer's loop ids; silent duplicates would mis-route requests).
+  /// layer's loop ids; silent duplicates would mis-route requests), and
+  /// support::ValidationError when the loop nest fails front-door
+  /// structural validation (ir/Validate.h) — untrusted programs never
+  /// reach the analyzer or the interpreter's asserts.
   const PreparedLoop &prepare(const ir::DoLoop &Loop);
 
   /// Analyzes \p Loop with explicit options and (re)caches the result.

@@ -1,0 +1,56 @@
+//===- support/Error.cpp - Structured diagnostics -------------------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+namespace halo {
+namespace support {
+
+const char *diagCodeName(Diag::Code C) {
+  switch (C) {
+  case Diag::Code::UndeclaredArray:
+    return "UndeclaredArray";
+  case Diag::Code::UnboundScalar:
+    return "UnboundScalar";
+  case Diag::Code::NonPositiveTrip:
+    return "NonPositiveTrip";
+  case Diag::Code::OobSubscript:
+    return "OobSubscript";
+  case Diag::Code::DuplicateLoopVar:
+    return "DuplicateLoopVar";
+  case Diag::Code::CivIsLoopVar:
+    return "CivIsLoopVar";
+  case Diag::Code::NegativeCivStep:
+    return "NegativeCivStep";
+  case Diag::Code::MissingCallee:
+    return "MissingCallee";
+  case Diag::Code::CallCycle:
+    return "CallCycle";
+  case Diag::Code::ExprTooDeep:
+    return "ExprTooDeep";
+  case Diag::Code::PredTooDeep:
+    return "PredTooDeep";
+  case Diag::Code::MalformedAccess:
+    return "MalformedAccess";
+  }
+  halo_unreachable("unknown Diag::Code");
+}
+
+std::string ValidationError::joinMessage(const std::vector<Diag> &Ds) {
+  std::string Msg = "invalid program:";
+  for (const Diag &D : Ds) {
+    Msg += " [";
+    Msg += diagCodeName(D.Kind);
+    Msg += "] ";
+    Msg += D.Message;
+    Msg += ";";
+  }
+  return Msg;
+}
+
+} // namespace support
+} // namespace halo

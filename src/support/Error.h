@@ -8,7 +8,9 @@
 /// \file
 /// `halo_unreachable` marks code paths that must never execute; in debug
 /// builds it aborts with a message, in release builds it is an optimizer
-/// hint.
+/// hint. `support::Diag` / `support::ValidationError` are the structured
+/// diagnostics the front door (`ir::validateLoop`, `Session::prepare`)
+/// raises for malformed untrusted input instead of tripping asserts or UB.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +19,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace halo {
 
@@ -26,6 +32,68 @@ namespace halo {
   std::abort();
 }
 
+namespace support {
+
+/// One structured validation finding about an untrusted `ir::Program`.
+/// Collected by `ir::validateLoop` / `ir::validateBindings` and carried by
+/// `ValidationError` out of `Session::prepare`.
+struct Diag {
+  /// What went wrong. Every code corresponds to an input shape that would
+  /// otherwise reach an assert or undefined behavior deeper in the
+  /// pipeline.
+  enum class Code {
+    UndeclaredArray,  ///< Array referenced but never declared in scope.
+    UnboundScalar,    ///< Free scalar with no binding at execute time.
+    NonPositiveTrip,  ///< Constant loop bounds with Hi < Lo.
+    OobSubscript,     ///< Subscript provably outside a constant-size array.
+    DuplicateLoopVar, ///< Nested loop reuses an enclosing loop's variable.
+    CivIsLoopVar,     ///< CIV increment targets a loop variable.
+    NegativeCivStep,  ///< CIV increment amount is a negative constant.
+    MissingCallee,    ///< Call statement without a resolvable subroutine.
+    CallCycle,        ///< Recursive call chain (unsupported).
+    ExprTooDeep,      ///< Expression nesting beyond the structural cap.
+    PredTooDeep,      ///< Predicate nesting beyond the structural cap.
+    MalformedAccess,  ///< Array access with a null offset expression.
+  };
+
+  Code Kind;
+  /// Human-readable one-liner naming the offending symbol/statement.
+  std::string Message;
+
+  Diag(Code K, std::string Msg) : Kind(K), Message(std::move(Msg)) {}
+};
+
+/// Returns the stable mnemonic for a diagnostic code ("UndeclaredArray",
+/// "NonPositiveTrip", ...), used in error text and fuzz-corpus files.
+const char *diagCodeName(Diag::Code C);
+
+/// Thrown by `Session::prepare` (and usable directly via
+/// `ir::validateLoop`) when an untrusted program fails structural
+/// validation. Carries every finding, not just the first; `what()` joins
+/// them into one message.
+class ValidationError : public std::runtime_error {
+public:
+  explicit ValidationError(std::vector<Diag> Ds)
+      : std::runtime_error(joinMessage(Ds)), Diags(std::move(Ds)) {}
+
+  /// All findings, in program order.
+  const std::vector<Diag> &diags() const { return Diags; }
+
+  /// True if any finding has code \p C.
+  bool has(Diag::Code C) const {
+    for (const Diag &D : Diags)
+      if (D.Kind == C)
+        return true;
+    return false;
+  }
+
+private:
+  static std::string joinMessage(const std::vector<Diag> &Ds);
+
+  std::vector<Diag> Diags;
+};
+
+} // namespace support
 } // namespace halo
 
 #ifndef NDEBUG

@@ -291,6 +291,11 @@ public:
         XB(Ctx, Out.XCode, Out.ScalarSlots, Out.ArraySlots),
         Preds(std::move(Preds)) {}
 
+  /// True when lowering tripped a resource guard (a null gate predicate
+  /// or an expression-layer cap); CompiledUSR::compile then discards the
+  /// object.
+  bool failed() const { return Failed || XB.exceeded(); }
+
   void compileRoot(const USR *S) {
     countRefs(S);
     collectRecurVars(S);
@@ -478,6 +483,15 @@ private:
       D.Pred = Out.OwnedPreds.back().get();
       PredFor.emplace(G, D.Pred);
     }
+    // A gate whose predicate tripped predicate-lowering guards (null from
+    // either provider path) fails the whole USR compile: the object would
+    // dereference the null at evaluation time. CompiledUSR::compile
+    // discards the object and callers demote to the interpreter.
+    if (!D.Pred) {
+      Failed = true;
+      Out.Gates.push_back(D);
+      return static_cast<uint32_t>(Out.Gates.size() - 1);
+    }
     // Feeds: every recurrence variable the predicate reads is served from
     // our frame slot, which tracks exactly what sym::Bindings would
     // contain under the interpreter at this point (bound from B, written
@@ -588,18 +602,122 @@ private:
   std::unordered_map<const pdag::Pred *, const pdag::CompiledPred *> PredFor;
   std::map<std::pair<const USR *, bool>, uint32_t> SubDescFor;
   std::deque<std::pair<const USR *, bool>> PendingSubs;
+  bool Failed = false; ///< a gate predicate failed lowering (see failed())
 };
 
 } // namespace usr
 } // namespace halo
 
+namespace {
+
+/// Iterative (explicit-stack) pre-check that the USR tree and every leaf
+/// expression fit the lowering caps. Runs *before* the recursive
+/// USRCompiler so hostile nesting cannot overflow the C++ stack during
+/// compilation. Gate predicates are checked by CompiledPred::compile
+/// itself (a failed gate makes compile() below return null).
+bool usrLoweringFits(const usr::USR *Root, unsigned Cap) {
+  using usr::USRKind;
+  auto ForEachChild = [](const usr::USR *N, auto F) {
+    switch (N->getKind()) {
+    case USRKind::Empty:
+    case USRKind::Leaf:
+      break;
+    case USRKind::Union:
+      for (const usr::USR *C : cast<usr::UnionUSR>(N)->getChildren())
+        F(C);
+      break;
+    case USRKind::Intersect:
+    case USRKind::Subtract:
+      F(cast<usr::BinaryUSR>(N)->getLHS());
+      F(cast<usr::BinaryUSR>(N)->getRHS());
+      break;
+    case USRKind::Gate:
+      F(cast<usr::GateUSR>(N)->getChild());
+      break;
+    case USRKind::CallSite:
+      F(cast<usr::CallSiteUSR>(N)->getChild());
+      break;
+    case USRKind::Recur:
+      F(cast<usr::RecurUSR>(N)->getBody());
+      break;
+    }
+  };
+  std::unordered_map<const usr::USR *, unsigned> Memo;
+  struct Frame {
+    const usr::USR *S;
+    bool ChildrenPushed;
+  };
+  std::vector<Frame> Stack{{Root, false}};
+  while (!Stack.empty()) {
+    Frame F = Stack.back();
+    Stack.pop_back();
+    if (Memo.count(F.S))
+      continue;
+    if (!F.ChildrenPushed) {
+      Stack.push_back({F.S, true});
+      ForEachChild(F.S, [&](const usr::USR *C) {
+        if (!Memo.count(C))
+          Stack.push_back({C, false});
+      });
+      continue;
+    }
+    unsigned MaxChild = 0;
+    ForEachChild(F.S, [&](const usr::USR *C) {
+      auto It = Memo.find(C);
+      unsigned D = It == Memo.end() ? Cap + 1 : It->second;
+      if (D > MaxChild)
+        MaxChild = D;
+    });
+    Memo.emplace(F.S, MaxChild >= Cap ? Cap + 1 : MaxChild + 1);
+  }
+  if (Memo.at(Root) > Cap)
+    return false;
+  // Leaf expressions: LMAD components and recurrence bounds.
+  std::vector<const usr::USR *> Walk{Root};
+  std::unordered_set<const usr::USR *> Seen;
+  auto ExprFits = [Cap](const sym::Expr *E) {
+    return !E || pdag::exprNestDepth(E, Cap) <= Cap;
+  };
+  while (!Walk.empty()) {
+    const usr::USR *N = Walk.back();
+    Walk.pop_back();
+    if (!Seen.insert(N).second)
+      continue;
+    if (const auto *L = dyn_cast<usr::LeafUSR>(N)) {
+      for (const lmad::LMAD &M : L->getLMADs()) {
+        if (!ExprFits(M.offset()))
+          return false;
+        for (const lmad::Dim &D : M.dims())
+          if (!ExprFits(D.Stride) || !ExprFits(D.Span))
+            return false;
+      }
+    } else if (const auto *R = dyn_cast<usr::RecurUSR>(N)) {
+      if (!ExprFits(R->getLo()) || !ExprFits(R->getHi()))
+        return false;
+    }
+    ForEachChild(N, [&](const usr::USR *C) { Walk.push_back(C); });
+  }
+  return true;
+}
+
+} // namespace
+
 std::unique_ptr<CompiledUSR> CompiledUSR::compile(const USR *S,
                                                   const sym::Context &Ctx,
                                                   PredProvider Preds) {
+  // Resource guards (graceful demotion contract, docs/FUZZING.md): a USR
+  // too deep or too large to lower — or one of whose gate predicates
+  // failed predicate lowering — returns null; callers fall back to the
+  // reference interpreter (evalUSREmpty) and the governor counts the
+  // demotion in ExecStats::GuardDemotions / USREvalStats::GuardDemotions.
+  if (!usrLoweringFits(S, pdag::LoweringMaxNestDepth))
+    return nullptr;
   std::unique_ptr<CompiledUSR> CU(new CompiledUSR());
   CU->Source = S;
   USRCompiler C(Ctx, *CU, std::move(Preds));
   C.compileRoot(S);
+  if (C.failed() || CU->XCode.size() > pdag::LoweringMaxCodeLen)
+    return nullptr;
   return CU;
 }
 

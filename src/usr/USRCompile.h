@@ -192,6 +192,12 @@ public:
   };
 
   /// Lowers \p S. \p Ctx must be the symbol context it was built against.
+  /// Returns null when \p S trips a lowering resource guard (nesting
+  /// beyond pdag::LoweringMaxNestDepth, bytecode beyond
+  /// pdag::LoweringMaxCodeLen, or a gate predicate that itself failed
+  /// predicate lowering — including a null from \p Preds): callers must
+  /// fall back to the reference interpreter (usr::evalUSREmpty); the rt
+  /// layer counts such demotions in GuardDemotions stats.
   static std::unique_ptr<CompiledUSR> compile(const USR *S,
                                               const sym::Context &Ctx,
                                               PredProvider Preds = nullptr);

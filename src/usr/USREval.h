@@ -55,6 +55,11 @@ struct USREvalStats {
   /// Block gate lanes that hit an unbound scalar or out-of-bounds read and
   /// degraded (that lane only) to the conservative-unknown tri-state.
   uint64_t GateLanesPoisoned = 0;
+  /// Exact-test evaluations that fell back to this reference interpreter
+  /// because CompiledUSR lowering tripped a resource guard (depth or
+  /// bytecode-size cap — see pdag/ExprCode.h); bumped by the rt layer's
+  /// demotion path, never by the interpreter itself.
+  uint64_t GuardDemotions = 0;
 
   USREvalStats &operator+=(const USREvalStats &O) {
     NodesVisited += O.NodesVisited;
@@ -64,6 +69,7 @@ struct USREvalStats {
     GateBlockEvals += O.GateBlockEvals;
     GateScalarEvals += O.GateScalarEvals;
     GateLanesPoisoned += O.GateLanesPoisoned;
+    GuardDemotions += O.GuardDemotions;
     return *this;
   }
 };

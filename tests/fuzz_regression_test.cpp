@@ -1,0 +1,91 @@
+//===- tests/fuzz_regression_test.cpp - Corpus replay ---------------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+// Replays every checked-in fuzz repro (tests/corpus/*.repro) against the
+// full oracle stack. Each entry pins a fixed defect or a hardened front
+// door: a failure here means a regression of a bug the fuzzer already
+// found once. The corpus directory is injected by CMake as
+// HALO_FUZZ_CORPUS_DIR; see docs/FUZZING.md for the triage workflow and
+// the policy for adding entries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Generator.h"
+#include "fuzz/Oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+using namespace halo;
+
+namespace {
+
+std::vector<std::filesystem::path> corpusFiles() {
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Ent :
+       std::filesystem::directory_iterator(HALO_FUZZ_CORPUS_DIR))
+    if (Ent.is_regular_file() && Ent.path().extension() == ".repro")
+      Files.push_back(Ent.path());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+std::string slurp(const std::filesystem::path &P) {
+  std::ifstream In(P);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::string firstFailure(const fuzz::OracleResult &R) {
+  if (!R.Soundness.empty())
+    return R.Soundness.front();
+  if (!R.Parity.empty())
+    return R.Parity.front();
+  if (!R.Other.empty())
+    return R.Other.front();
+  return "";
+}
+
+} // namespace
+
+TEST(FuzzRegression, CorpusIsNonEmpty) {
+  EXPECT_FALSE(corpusFiles().empty())
+      << "no *.repro entries under " << HALO_FUZZ_CORPUS_DIR;
+}
+
+TEST(FuzzRegression, ReplayCorpus) {
+  for (const std::filesystem::path &File : corpusFiles()) {
+    SCOPED_TRACE(File.filename().string());
+    std::string Err;
+    auto E = fuzz::parseEntry(slurp(File), Err);
+    ASSERT_TRUE(E.has_value()) << Err;
+
+    auto Case = fuzz::generate(E->Opts);
+    fuzz::OracleOptions OO;
+    OO.Threads = 3;
+    fuzz::OracleResult Res = fuzz::checkCase(*Case, OO);
+    if (E->Expect == "validation-error") {
+      EXPECT_TRUE(Res.ValidationRejected)
+          << "front door accepted a pinned hostile case";
+      EXPECT_TRUE(Res.ok()) << Res.failureKind() << ": "
+                            << firstFailure(Res);
+      EXPECT_FALSE(Res.DiagCodes.empty());
+    } else {
+      ASSERT_EQ(E->Expect, "clean");
+      EXPECT_FALSE(Res.ValidationRejected)
+          << "pinned benign case rejected by the front door";
+      EXPECT_TRUE(Res.ok())
+          << "pinned defect regressed (" << Res.failureKind()
+          << "): " << firstFailure(Res) << "\n"
+          << Case->dump();
+    }
+  }
+}
