@@ -12,10 +12,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "factor/Factor.h"
+#include "fuzz/Generator.h"
 #include "pdag/FourierMotzkin.h"
+#include "session/Session.h"
 #include "summary/Independence.h"
 
 #include <benchmark/benchmark.h>
+
+#include <sstream>
 
 using namespace halo;
 
@@ -88,10 +92,49 @@ void BM_FourierMotzkinSymbols(benchmark::State &State) {
   State.SetComplexityN(K);
 }
 
+/// Full prepare() of an FM-heavy fuzzed nest (seed 7: inner recurrences
+/// drive the eliminator) — the cost a plan cache avoids on restart.
+void BM_PrepareColdFMHeavy(benchmark::State &State) {
+  fuzz::GenOptions GO;
+  GO.Seed = 7;
+  for (auto _ : State) {
+    auto C = fuzz::generate(GO);
+    session::Session S(C->prog(), C->usrCtx());
+    benchmark::DoNotOptimize(&S.prepare(*C->Loop));
+  }
+}
+
+/// The same nest warm-started from a serialized .hplan stream: load
+/// re-interns and re-compiles bytecode (verified against the stream) but
+/// skips analysis entirely. The BENCHMARKS.md plan-cache row is the ratio
+/// of this to BM_PrepareColdFMHeavy.
+void BM_PrepareWarmStart(benchmark::State &State) {
+  fuzz::GenOptions GO;
+  GO.Seed = 7;
+  std::string Bytes;
+  {
+    auto C = fuzz::generate(GO);
+    session::Session S(C->prog(), C->usrCtx());
+    S.prepare(*C->Loop);
+    std::ostringstream OS(std::ios::binary);
+    S.savePlans(OS);
+    Bytes = OS.str();
+  }
+  for (auto _ : State) {
+    auto C = fuzz::generate(GO);
+    session::Session S(C->prog(), C->usrCtx());
+    std::istringstream IS(Bytes, std::ios::binary);
+    S.loadPlans(IS);
+    benchmark::DoNotOptimize(&S.prepare(*C->Loop));
+  }
+}
+
 } // namespace
 
 BENCHMARK(BM_FactorGatedUnion)->RangeMultiplier(2)->Range(2, 64)->Complexity();
 BENCHMARK(BM_FactorTriangularOInd);
 BENCHMARK(BM_FourierMotzkinSymbols)->DenseRange(1, 5)->Complexity();
+BENCHMARK(BM_PrepareColdFMHeavy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PrepareWarmStart)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

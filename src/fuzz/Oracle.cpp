@@ -10,6 +10,7 @@
 #include "ir/Validate.h"
 #include "pdag/PredCompile.h"
 #include "pdag/PredEval.h"
+#include "plan/Plan.h"
 #include "rt/Interp.h"
 #include "session/Session.h"
 #include "support/Casting.h"
@@ -565,6 +566,44 @@ OracleResult fuzz::checkCase(GeneratedCase &C, const OracleOptions &O) {
       rt::ExecStats ES = S.run(*C.Loop, MX, BX);
       Res.GuardDemotions += ES.GuardDemotions;
       compareMemory(MSeq, MX, RedArrays, O.Tolerance, C, CF.Name, Res);
+    }
+
+    // --- Plan-cache round trip ------------------------------------------
+    // Serialize the prepared plan, regenerate the case from its own recipe
+    // (fresh contexts: a process restart in miniature), load into a fresh
+    // session and execute through the adopted plan. The warm-started run
+    // must be adopted — not silently re-analyzed — and must agree with the
+    // sequential reference exactly like the fresh-compile configs.
+    {
+      std::stringstream PS(std::ios::in | std::ios::out |
+                           std::ios::binary);
+      {
+        session::Session SSave(C.prog(), C.usrCtx(), SOBase);
+        SSave.prepare(*C.Loop);
+        SSave.savePlans(PS);
+      }
+      std::unique_ptr<GeneratedCase> C2 = fuzz::generate(C.Opts);
+      session::Session SLoad(C2->prog(), C2->usrCtx(), SOBase);
+      plan::LoadResult LR = SLoad.loadPlans(PS);
+      for (const support::Diag &D : LR.Diags)
+        Res.Other.push_back(std::string("plan round trip: ") +
+                            support::diagCodeName(D.Kind) + ": " +
+                            D.Message);
+      rt::Memory MX;
+      sym::Bindings BX;
+      C2->bind(MX, BX);
+      rt::ExecStats ES = SLoad.run(*C2->Loop, MX, BX);
+      Res.GuardDemotions += ES.GuardDemotions;
+      if (SLoad.numPlansWarmStarted() != 1) {
+        std::string Msg =
+            "plan round trip: loaded plan was not adopted";
+        for (const support::Diag &D : SLoad.planDiags())
+          Msg += std::string("; ") + support::diagCodeName(D.Kind) + ": " +
+                 D.Message;
+        Res.Other.push_back(Msg);
+      }
+      compareMemory(MSeq, MX, RedArrays, O.Tolerance, C, "plan-roundtrip",
+                    Res);
     }
   } catch (const std::exception &E) {
     Res.Other.push_back(std::string("engine threw on a benign case: ") +

@@ -49,6 +49,9 @@
 #include <vector>
 
 namespace halo {
+namespace plan {
+struct PlanCodec;
+} // namespace plan
 namespace pdag {
 
 /// Lane count of the predicate block tier (one runBodyBlock dispatch
@@ -336,6 +339,9 @@ private:
   bool BodyHasVarLoad = false;
 
   friend class PredCompiler;
+  /// Plan serialization encodes the compiled tables for the verify-only
+  /// bytecode records of the .hplan format (src/plan/).
+  friend struct halo::plan::PlanCodec;
 };
 
 } // namespace pdag

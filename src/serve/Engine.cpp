@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <fstream>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -192,9 +193,26 @@ Engine::prepareImpl(ProgramId Program, const ir::DoLoop &Loop,
         "': a different loop of this program is already prepared under it");
   Shard &S = *Shards[shardOf(Program, Loop)];
   std::unique_ptr<session::Session> &Sess = S.Sessions[Program];
-  if (!Sess)
+  if (!Sess) {
     Sess = std::make_unique<session::Session>(*PE.Prog, *PE.Ctx,
                                               Opts.Session);
+    // Warm-start: stage the plan cache into the fresh session while we
+    // hold the exclusive gate (loading interns into the shared contexts).
+    // Every failure mode — absent file, version skew, corruption — lands
+    // here and degrades to a cold start; prepare() below then simply
+    // finds nothing to adopt.
+    if (!Opts.PlanCachePath.empty()) {
+      std::ifstream PlanIn(Opts.PlanCachePath, std::ios::binary);
+      if (PlanIn) {
+        try {
+          (void)Sess->loadPlans(PlanIn);
+        } catch (const support::ValidationError &) {
+          // Degraded cold start; the session records nothing and the
+          // next savePlans simply regenerates the cache.
+        }
+      }
+    }
+  }
   const session::PreparedLoop &PL =
       AOpts ? Sess->prepare(Loop, *AOpts) : Sess->prepare(Loop);
   Labels[std::move(Key)] = &Loop;
@@ -669,6 +687,7 @@ ServeStats Engine::stats() const {
         SS.CompiledUSRs += KV.second->numCompiledUSRs();
         SS.PooledFrames += KV.second->numPooledFrames();
         SS.ExecContexts += KV.second->numExecContexts();
+        SS.PlansWarmStarted += KV.second->numPlansWarmStarted();
       }
     }
     Out.Shards.push_back(std::move(SS));

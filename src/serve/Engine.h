@@ -105,6 +105,16 @@ struct EngineOptions {
   /// not from fan-out inside one request.
   session::SessionOptions Session;
 
+  /// Warm-start: path of a .hplan plan-cache stream (plan/Plan.h) loaded
+  /// into each shard session when it is first created (under the same
+  /// writer-preference exclusive gate prepare() takes). Prepared loops
+  /// whose label and re-derived plan key match a loaded plan skip full
+  /// analysis; everything else cold-starts exactly as without the file.
+  /// A missing, stale (version-skewed) or corrupt file degrades to a
+  /// cold start — it never fails engine construction or prepare().
+  /// Empty (default) disables warm-start.
+  std::string PlanCachePath;
+
   /// Retries per repeat for *transient, retry-safe* failures (a failure
   /// observed before the repeat touched the request's memory, e.g. losing
   /// the plan-retirement race during a concurrent re-prepare). 0 disables
@@ -222,6 +232,9 @@ struct ShardStats {
   size_t ExecContexts = 0;  ///< Execution contexts created on the shard —
                             ///< the high-water mark of concurrent
                             ///< executions its sessions have served.
+  size_t PlansWarmStarted = 0; ///< Plans adopted from the engine's plan
+                               ///< cache (EngineOptions::PlanCachePath)
+                               ///< instead of analyzed.
 
   ShardStats &operator+=(const ShardStats &O) {
     Completed += O.Completed;
@@ -240,6 +253,7 @@ struct ShardStats {
     CompiledUSRs += O.CompiledUSRs;
     PooledFrames += O.PooledFrames;
     ExecContexts += O.ExecContexts;
+    PlansWarmStarted += O.PlansWarmStarted;
     return *this;
   }
 };

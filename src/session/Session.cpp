@@ -103,6 +103,7 @@ PreparedLoop &Session::prepareWith(const ir::DoLoop &Loop,
   analysis::HybridAnalyzer A(Ctx, Prog, AOpts);
   PL->Plan = A.analyze(Loop);
   PL->FactorStats = A.lastFactorStats();
+  PL->AOpts = AOpts;
   // Built against the plan in its final (heap) location: cascade stages
   // keep pointers into Plan.Arrays.
   PL->Cascades = rt::PlanCascades::build(PL->Plan, Compile);
@@ -136,6 +137,8 @@ const PreparedLoop &Session::prepare(const ir::DoLoop &Loop) {
   auto It = Plans.find(&Loop);
   if (It != Plans.end())
     return *It->second;
+  if (PreparedLoop *PL = tryAdoptStaged(Loop))
+    return *PL;
   return prepareWith(Loop, Opts.Analyzer);
 }
 
@@ -192,9 +195,13 @@ rt::ExecStats Session::execute(PreparedLoop &PL, rt::Memory &M,
 rt::ExecStats Session::run(const ir::DoLoop &Loop, rt::Memory &M,
                            sym::Bindings &B) {
   auto It = Plans.find(&Loop);
-  PreparedLoop &PL =
-      It != Plans.end() ? *It->second : prepareWith(Loop, Opts.Analyzer);
-  return execute(PL, M, B);
+  if (It == Plans.end()) {
+    // The default-options prepare, not prepareWith: a first run of a
+    // loop with a staged (deserialized) plan must go through adoption.
+    prepare(Loop);
+    It = Plans.find(&Loop);
+  }
+  return execute(*It->second, M, B);
 }
 
 std::optional<rt::ExecStats>
@@ -239,6 +246,118 @@ void Session::runStmts(const std::vector<const ir::Stmt *> &Stmts,
 bool Session::computeBounds(const usr::USR *S, sym::Bindings &B, int64_t &Lo,
                             int64_t &Hi) {
   return Exec.computeBounds(S, B, Pool, Lo, Hi);
+}
+
+size_t Session::savePlans(std::ostream &Out) {
+  std::vector<plan::SavedLoop> Ls;
+  Ls.reserve(Plans.size());
+  for (const auto &KV : Plans) {
+    const PreparedLoop &PL = *KV.second;
+    plan::SavedLoop SL;
+    SL.Plan = &PL.Plan;
+    SL.FStats = &PL.FactorStats;
+    SL.AOpts = &PL.AOpts;
+    SL.Cascades = &PL.Cascades;
+    Ls.push_back(SL);
+  }
+  // The Plans map iterates in pointer order; serialize in label order so
+  // the same session state always produces byte-identical streams.
+  std::sort(Ls.begin(), Ls.end(),
+            [](const plan::SavedLoop &A, const plan::SavedLoop &B) {
+              return A.Plan->Loop->getLabel() < B.Plan->Loop->getLabel();
+            });
+  return plan::save(Out, Prog, Compile, UsrCompile, Ls, codegenKey());
+}
+
+plan::LoadResult Session::loadPlans(std::istream &In) {
+  std::vector<plan::StagedLoop> Ls;
+  plan::LoadResult R = plan::load(In, Ctx, Compile, UsrCompile, Ls);
+  for (plan::StagedLoop &SL : Ls) {
+    std::string Label = SL.Label;
+    StagedPlans.insert_or_assign(std::move(Label), std::move(SL));
+  }
+  PlanDiags.insert(PlanDiags.end(), R.Diags.begin(), R.Diags.end());
+  return R;
+}
+
+PreparedLoop *Session::tryAdoptStaged(const ir::DoLoop &Loop) {
+  auto SIt = StagedPlans.find(Loop.getLabel());
+  if (SIt == StagedPlans.end())
+    return nullptr;
+  // Same front door and label discipline as prepareWith: adoption must
+  // never admit a loop that full analysis would have rejected.
+  ir::validateLoop(Prog, Loop);
+  for (const auto &KV : Plans)
+    if (KV.first != &Loop && KV.first->getLabel() == Loop.getLabel())
+      throw std::invalid_argument(
+          "duplicate loop label '" + Loop.getLabel() +
+          "': another prepared loop already carries it");
+  plan::StagedLoop &SL = SIt->second;
+  // Never trust the serialized keys: re-derive both from the live loop
+  // and this session's options, and require both to match.
+  const plan::CodegenKey CG = codegenKey();
+  const uint64_t KeyA =
+      plan::planKey(Prog, Loop, Opts.Analyzer, CG, plan::PrimarySeed);
+  if (KeyA != SL.KeyA) {
+    PlanDiags.emplace_back(
+        support::Diag::Code::PlanKeyMismatch,
+        "loop '" + Loop.getLabel() +
+            "': staged plan key does not match this loop/options; "
+            "re-analyzing");
+    StagedPlans.erase(SIt);
+    return nullptr;
+  }
+  const uint64_t KeyB =
+      plan::planKey(Prog, Loop, Opts.Analyzer, CG, plan::VerifySeed);
+  if (KeyB != SL.KeyB) {
+    // Primary-hash collision, caught by the independent verify hash (the
+    // HoistCache discipline). Counted so tests can assert it fires.
+    ++PlanKeyCollisions;
+    PlanDiags.emplace_back(
+        support::Diag::Code::PlanKeyMismatch,
+        "loop '" + Loop.getLabel() +
+            "': primary plan-key collision (verify hash differs); "
+            "re-analyzing");
+    StagedPlans.erase(SIt);
+    return nullptr;
+  }
+  // Resolve CivJoin anchors against the live loop body.
+  std::vector<const ir::IfStmt *> Ifs = plan::collectIfStmts(Loop);
+  for (uint32_t Idx : SL.JoinIfIndex)
+    if (Idx >= Ifs.size()) {
+      PlanDiags.emplace_back(
+          support::Diag::Code::PlanKeyMismatch,
+          "loop '" + Loop.getLabel() +
+              "': staged CIV join anchor out of range; re-analyzing");
+      StagedPlans.erase(SIt);
+      return nullptr;
+    }
+
+  sweepRetired();
+  auto PL = std::make_unique<PreparedLoop>();
+  // Vector moves steal heap buffers, so the CascadeStage pointers inside
+  // Cascades (into Plan.Arrays[i].*.Stages) stay valid across the move.
+  PL->Plan = std::move(SL.Plan);
+  PL->Plan.Loop = &Loop;
+  for (size_t I = 0; I < SL.JoinIfIndex.size(); ++I)
+    PL->Plan.Civ.Joins[I].At = Ifs[SL.JoinIfIndex[I]];
+  PL->FactorStats = SL.FStats;
+  PL->Cascades = std::move(SL.Cascades);
+  PL->AOpts = Opts.Analyzer;
+  StagedPlans.erase(SIt);
+  // Same compiled-USR warm-up as prepareWith (pure cache hits here: the
+  // load already compiled them).
+  if (Opts.UseCompiledUSRs && PL->Plan.Hoistable)
+    for (const analysis::ArrayPlan &AP : PL->Plan.Arrays)
+      for (const usr::USR *S : {AP.FlowUSR, AP.OutputUSR, AP.ExtRedUSR})
+        if (S)
+          (void)UsrCompile.get(S);
+  auto &Slot = Plans[&Loop];
+  if (Slot)
+    Retired.push_back(std::move(Slot));
+  Slot = std::move(PL);
+  ++PlansWarmStarted;
+  return Slot.get();
 }
 
 size_t Session::numPooledFrames() const {

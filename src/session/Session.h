@@ -35,6 +35,7 @@
 #define HALO_SESSION_SESSION_H
 
 #include "analysis/Analyzer.h"
+#include "plan/Plan.h"
 #include "rt/Executor.h"
 
 #include <atomic>
@@ -42,6 +43,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -82,6 +84,9 @@ struct PreparedLoop {
   analysis::LoopPlan Plan;
   rt::PlanCascades Cascades;
   factor::FactorStats FactorStats;
+  /// The analyzer options the plan was produced under — folded into the
+  /// plan key when the session serializes this loop (savePlans).
+  analysis::AnalyzerOptions AOpts;
   /// Total executions against this plan (reporting).
   std::atomic<uint64_t> Executions{0};
   /// Executions running against this plan right now — the lifetime
@@ -221,6 +226,45 @@ public:
   bool computeBounds(const usr::USR *S, sym::Bindings &B, int64_t &Lo,
                      int64_t &Hi);
 
+  /// Serializes every currently prepared plan to \p Out as a versioned
+  /// .hplan stream (plan/Plan.h). Loops in deterministic (label) order;
+  /// probe-analyzed plans are skipped. Analysis-exclusive (may compile
+  /// through the shared caches). Returns the number of loops written.
+  size_t savePlans(std::ostream &Out);
+
+  /// Loads a .hplan stream and *stages* its verified plans: the next
+  /// prepare(Loop) (default-options path) whose loop label matches a
+  /// staged plan re-derives the plan key from its own loop and options
+  /// and, when both the primary and the verify key match, adopts the
+  /// staged plan instead of re-analyzing — the warm-start fast path.
+  /// Any mismatch falls back to full analysis with a recorded Diag;
+  /// loaded bytes are never trusted over re-derivation. Loading
+  /// re-interns tables and compiles through the shared caches, so this
+  /// is analysis-exclusive. Throws support::ValidationError on stream
+  /// integrity anomalies (the session state is unchanged in that case
+  /// except for interned-but-unreferenced table nodes).
+  plan::LoadResult loadPlans(std::istream &In);
+
+  /// Plans adopted from a loaded stream instead of analyzed (warm starts).
+  size_t numPlansWarmStarted() const { return PlansWarmStarted; }
+  /// Staged plans whose primary key matched a live loop but whose verify
+  /// key did not — detected primary-hash collisions (never adopted).
+  size_t numPlanKeyCollisions() const { return PlanKeyCollisions; }
+  /// Staged plans not yet adopted by a prepare() call.
+  size_t numStagedPlans() const { return StagedPlans.size(); }
+  /// Structured diagnostics recorded by loadPlans and by rejected
+  /// adoptions (stale keys, collisions, unresolvable join anchors).
+  const std::vector<support::Diag> &planDiags() const { return PlanDiags; }
+
+  /// The codegen-affecting session toggles, as folded into plan keys.
+  plan::CodegenKey codegenKey() const {
+    plan::CodegenKey CG;
+    CG.UseCompiledPredicates = Opts.UseCompiledPredicates;
+    CG.UseCompiledUSRs = Opts.UseCompiledUSRs;
+    CG.UseBlockEval = Opts.UseBlockEval;
+    return CG;
+  }
+
   /// The session-owned worker pool (sized by SessionOptions::Threads).
   ThreadPool &pool() { return Pool; }
   /// The governor executing plans for this session.
@@ -256,6 +300,12 @@ private:
 
   PreparedLoop &prepareWith(const ir::DoLoop &Loop,
                             const analysis::AnalyzerOptions &Opts);
+  /// Adoption fast path of prepare(Loop): returns the adopted plan when a
+  /// staged plan matches \p Loop by label AND by both re-derived plan
+  /// keys, nullptr otherwise (caller falls back to full analysis). A
+  /// matching-label staged plan is consumed either way — stale entries
+  /// don't get retried on every prepare.
+  PreparedLoop *tryAdoptStaged(const ir::DoLoop &Loop);
   /// Frees retired plans no execution references anymore. Called from
   /// the analysis-exclusive entry points only.
   void sweepRetired();
@@ -280,6 +330,14 @@ private:
   /// Re-prepared / invalidated plans kept alive for in-flight executions
   /// and stale references; swept by the next exclusive phase.
   std::vector<std::unique_ptr<PreparedLoop>> Retired;
+
+  /// Loaded-and-verified plans waiting for a matching live loop, keyed by
+  /// loop label (the serving layer's loop id). Mutated only on the
+  /// analysis-exclusive paths (loadPlans / prepare).
+  std::unordered_map<std::string, plan::StagedLoop> StagedPlans;
+  std::vector<support::Diag> PlanDiags;
+  size_t PlansWarmStarted = 0;
+  size_t PlanKeyCollisions = 0;
 
   /// Execution-context pool: Contexts owns every context ever created
   /// (so stats can walk them), Free lists the ones available for lease.

@@ -36,6 +36,14 @@ const char *diagCodeName(Diag::Code C) {
     return "PredTooDeep";
   case Diag::Code::MalformedAccess:
     return "MalformedAccess";
+  case Diag::Code::PlanBadMagic:
+    return "PlanBadMagic";
+  case Diag::Code::PlanVersionSkew:
+    return "PlanVersionSkew";
+  case Diag::Code::PlanCorrupt:
+    return "PlanCorrupt";
+  case Diag::Code::PlanKeyMismatch:
+    return "PlanKeyMismatch";
   }
   halo_unreachable("unknown Diag::Code");
 }

@@ -54,6 +54,10 @@ struct Diag {
     ExprTooDeep,      ///< Expression nesting beyond the structural cap.
     PredTooDeep,      ///< Predicate nesting beyond the structural cap.
     MalformedAccess,  ///< Array access with a null offset expression.
+    PlanBadMagic,     ///< Plan-cache stream does not start with "HPLN".
+    PlanVersionSkew,  ///< Plan-cache format version differs from ours.
+    PlanCorrupt,      ///< Plan-cache CRC/length/index integrity failure.
+    PlanKeyMismatch,  ///< Serialized plan key does not match the live loop.
   };
 
   Code Kind;

@@ -162,6 +162,14 @@ const Symbol &Context::symbolInfo(SymbolId Id) const {
   return Symbols[Id];
 }
 
+bool Context::findSymbol(const std::string &Name, SymbolId &Out) const {
+  auto It = SymbolByName.find(Name);
+  if (It == SymbolByName.end())
+    return false;
+  Out = It->second;
+  return true;
+}
+
 void Context::setDefLevel(SymbolId Id, int DefLevel) {
   assert(Id < Symbols.size() && "invalid symbol id");
   Symbols[Id].DefLevel = DefLevel;

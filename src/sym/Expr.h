@@ -270,6 +270,12 @@ public:
   /// bound variables, CIV instances, ...).
   SymbolId freshSymbol(const std::string &Base, int DefLevel = 0);
   const Symbol &symbolInfo(SymbolId Id) const;
+  /// Looks up an existing symbol by name; returns false when absent (never
+  /// creates). Used by the plan loader to re-resolve serialized names
+  /// against a live context before deciding to adopt.
+  bool findSymbol(const std::string &Name, SymbolId &Out) const;
+  /// Number of symbols interned so far.
+  size_t numSymbols() const { return Symbols.size(); }
   /// Updates the definition level of an existing symbol.
   void setDefLevel(SymbolId Id, int DefLevel);
   /// Marks an index array as value-monotone (non-decreasing in subscript).

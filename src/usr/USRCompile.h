@@ -59,6 +59,9 @@
 #include <vector>
 
 namespace halo {
+namespace plan {
+struct PlanCodec;
+} // namespace plan
 namespace usr {
 
 /// One interval run: the arithmetic progression {Lo, Lo+Stride, ..., Hi}.
@@ -317,6 +320,9 @@ private:
   int32_t RootRecur = -1;
 
   friend class USRCompiler;
+  /// Plan serialization encodes the compiled tables for the verify-only
+  /// bytecode records of the .hplan format (src/plan/).
+  friend struct halo::plan::PlanCodec;
 };
 
 } // namespace usr
