@@ -308,6 +308,7 @@ const Pred *Factorizer::factorImpl(const USR *S, int Depth) {
 //===----------------------------------------------------------------------===//
 
 const Pred *Factorizer::tryMonotonicity(const RecurUSR *R, int Depth) {
+  (void)Depth; // Kept for symmetry with the other rule entry points.
   // Pattern: U_{i=lo..hi} ( S_i  n  U_{k=lo..i-1} S_k ), possibly under
   // gates (stripping gates overestimates, which is sound here).
   const USR *Body = peelGates(R->getBody());

@@ -20,7 +20,7 @@ const pdag::CompiledPred *PredCompileCache::get(const pdag::Pred *P) {
   // Compilation runs under the lock: simple, and write traffic only
   // exists at plan time (config-exclusive under the serving layer), so
   // the serving path pays one uncontended lock per lookup at most.
-  std::lock_guard<std::mutex> L(M);
+  support::MutexLock L(M);
   auto It = Cache.find(P);
   if (It != Cache.end())
     return It->second.get();
@@ -34,14 +34,17 @@ USRCompileCache::Entry &USRCompileCache::entryForLocked(const usr::USR *S) {
   if (It != Cache.end())
     return It->second;
   support::faultAt("rt.compile.usr");
-  Entry E;
-  E.Code = usr::CompiledUSR::compile(
+  // Compile before inserting so a throwing compilation leaves no
+  // half-made entry; Entry itself is pinned in place (it owns a mutex).
+  auto Code = usr::CompiledUSR::compile(
       S, Sym, [this](const pdag::Pred *P) { return Preds.get(P); });
-  return Cache.emplace(S, std::move(E)).first->second;
+  Entry &E = Cache[S];
+  E.Code = std::move(Code);
+  return E;
 }
 
 const usr::CompiledUSR *USRCompileCache::get(const usr::USR *S) {
-  std::lock_guard<std::mutex> L(M);
+  support::MutexLock L(M);
   return entryForLocked(S).Code.get();
 }
 
@@ -53,16 +56,15 @@ std::optional<bool> USRCompileCache::emptiness(const usr::USR *S,
                                                const support::CancelToken
                                                    *Cancel,
                                                bool BlockGates) {
-  const usr::CompiledUSR *Code;
-  usr::CompiledUSR::PooledFrame *F;
+  Entry *E;
   {
-    std::lock_guard<std::mutex> L(M);
-    Entry &E = entryForLocked(S);
-    Code = E.Code.get();
-    // The per-entry fallback frame is shared cache state: only sound for
-    // single-threaded callers. Concurrent callers must pass a pool.
-    F = Frames ? nullptr : &E.Frame;
+    // Probe/insert under the cache mutex; everything below (the
+    // evaluation) runs outside it. Entry references are stable
+    // (node-based map).
+    support::MutexLock L(M);
+    E = &entryForLocked(S);
   }
+  const usr::CompiledUSR *Code = E->Code.get();
   if (!Code) {
     // Lowering tripped a resource guard (CompiledUSR::compile returned
     // null — nesting or bytecode-size cap): demote this exact test to the
@@ -75,14 +77,23 @@ std::optional<bool> USRCompileCache::emptiness(const usr::USR *S,
     sym::Bindings Local(B);
     return usr::evalUSREmpty(S, Local, 1u << 22, Stats);
   }
-  if (Frames)
-    F = &Frames->frameFor(Code);
   if (support::stopRequested(Cancel))
     return std::nullopt; // No answer for an aborted evaluation.
-  if (Pool && Pool->numThreads() > 1 && Code->hasParallelRoot())
-    return Code->evalEmptyParallel(*F, B, *Pool, 1u << 22, Stats, 2048,
-                                   Cancel, BlockGates);
-  return Code->evalEmptyPooled(*F, B, 1u << 22, Stats, BlockGates);
+  auto Eval =
+      [&](usr::CompiledUSR::PooledFrame &F) -> std::optional<bool> {
+    if (Pool && Pool->numThreads() > 1 && Code->hasParallelRoot())
+      return Code->evalEmptyParallel(F, B, *Pool, 1u << 22, Stats, 2048,
+                                     Cancel, BlockGates);
+    return Code->evalEmptyPooled(F, B, 1u << 22, Stats, BlockGates);
+  };
+  if (Frames)
+    return Eval(Frames->frameFor(Code));
+  // Frameless callers share the entry's fallback frame (mutable bind
+  // stamps and prefix caches): hold its mutex across the whole
+  // evaluation so two concurrent frameless callers serialize instead of
+  // racing on frame state. Pool-carrying callers never touch this path.
+  support::MutexLock FL(E->FallbackM);
+  return Eval(E->Frame);
 }
 
 CompiledCascade CompiledCascade::build(const analysis::TestCascade &C,

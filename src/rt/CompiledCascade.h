@@ -36,8 +36,14 @@
 ///    tables and recurrence prefix caches, so two concurrent executions
 ///    must check out two distinct contexts (session::Session pools and
 ///    leases them). USRCompileCache's internal per-entry fallback frame is
-///    only used when the caller does not supply a USRFramePool, which is
-///    only sound single-threaded (standalone executors).
+///    only used when the caller does not supply a USRFramePool (standalone
+///    executors); frameless callers serialize on the entry's fallback
+///    mutex, so misuse degrades to sequential evaluation, never a race.
+///
+/// These contracts are machine-checked: the locks are support/Sync.h
+/// capabilities, the fields carry HALO_GUARDED_BY, and CI's thread-safety
+/// job compiles the tree with -Werror=thread-safety (docs/CONCURRENCY.md
+/// has the full capability map).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,11 +53,11 @@
 #include "analysis/Analyzer.h"
 #include "pdag/PredCompile.h"
 #include "support/CancelToken.h"
+#include "support/Sync.h"
 #include "usr/USRCompile.h"
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -67,17 +73,20 @@ class PredCompileCache {
 public:
   explicit PredCompileCache(const sym::Context &Sym) : Sym(Sym) {}
 
-  const pdag::CompiledPred *get(const pdag::Pred *P);
-  size_t size() const {
-    std::lock_guard<std::mutex> L(M);
+  const pdag::CompiledPred *get(const pdag::Pred *P) HALO_EXCLUDES(M);
+  size_t size() const HALO_EXCLUDES(M) {
+    support::MutexLock L(M);
     return Cache.size();
   }
 
 private:
   const sym::Context &Sym;
-  mutable std::mutex M;
+  mutable support::Mutex M;
+  /// Entries are immutable once published; the map itself is the guarded
+  /// state (probe/insert under M — the compiled bytecode is then
+  /// evaluated by any thread without it).
   std::unordered_map<const pdag::Pred *, std::unique_ptr<pdag::CompiledPred>>
-      Cache;
+      Cache HALO_GUARDED_BY(M);
 };
 
 /// One TestCascade lowered to bytecode with the stage vector cost-ordered
@@ -182,41 +191,50 @@ public:
 
   /// Compiles \p S on first use (plan-time warmup calls this eagerly).
   /// Safe to call concurrently.
-  const usr::CompiledUSR *get(const usr::USR *S);
+  const usr::CompiledUSR *get(const usr::USR *S) HALO_EXCLUDES(M);
 
   /// Compiles (once) and evaluates emptiness; a root recurrence is
   /// chunked across \p Pool when one is given. The pooled evaluation
   /// frame comes from \p Frames when provided — required for concurrent
-  /// callers — and from the cache entry's single fallback frame
-  /// otherwise (single-threaded callers only). A fired \p Cancel token
-  /// aborts the evaluation and yields nullopt (no answer — never a
-  /// cacheable one). \p BlockGates selects the batched gate tier
-  /// (usr::CompiledUSR::evalEmpty).
+  /// callers to stay parallel — and from the cache entry's fallback
+  /// frame otherwise. Frameless calls serialize on the entry's fallback
+  /// mutex for the whole evaluation (shared mutable frame state), so
+  /// concurrent frameless callers are correct, merely sequential. A
+  /// fired \p Cancel token aborts the evaluation and yields nullopt (no
+  /// answer — never a cacheable one). \p BlockGates selects the batched
+  /// gate tier (usr::CompiledUSR::evalEmpty). The cache mutex M covers
+  /// only the probe/insert; evaluation runs outside it.
   std::optional<bool> emptiness(const usr::USR *S, const sym::Bindings &B,
                                 ThreadPool *Pool = nullptr,
                                 usr::USREvalStats *Stats = nullptr,
                                 USRFramePool *Frames = nullptr,
                                 const support::CancelToken *Cancel = nullptr,
-                                bool BlockGates = true);
+                                bool BlockGates = true) HALO_EXCLUDES(M);
 
-  size_t size() const {
-    std::lock_guard<std::mutex> L(M);
+  size_t size() const HALO_EXCLUDES(M) {
+    support::MutexLock L(M);
     return Cache.size();
   }
 
 private:
   struct Entry {
+    /// Set once at insertion (under the cache mutex) and immutable
+    /// afterwards; evaluated lock-free from any thread.
     std::unique_ptr<usr::CompiledUSR> Code;
-    /// Fallback frame for frameless (single-threaded) callers.
-    usr::CompiledUSR::PooledFrame Frame;
+    /// Serializes frameless callers over the shared fallback frame.
+    support::Mutex FallbackM;
+    /// Fallback frame for frameless callers (standalone executors):
+    /// mutable bind stamps and prefix caches, shared cache state — held
+    /// under FallbackM for the whole evaluation.
+    usr::CompiledUSR::PooledFrame Frame HALO_GUARDED_BY(FallbackM);
   };
-  /// Requires M held. The returned reference is stable (node-based map).
-  Entry &entryForLocked(const usr::USR *S);
+  /// The returned reference is stable (node-based map).
+  Entry &entryForLocked(const usr::USR *S) HALO_REQUIRES(M);
 
   const sym::Context &Sym;
   PredCompileCache &Preds;
-  mutable std::mutex M;
-  std::unordered_map<const usr::USR *, Entry> Cache;
+  mutable support::Mutex M;
+  std::unordered_map<const usr::USR *, Entry> Cache HALO_GUARDED_BY(M);
 };
 
 } // namespace rt

@@ -115,7 +115,7 @@ std::optional<bool> HoistCache::emptiness(const usr::USR *S,
     // Probe under the lock; the (expensive) miss evaluation runs outside
     // it so concurrent executions never serialize on each other's exact
     // tests.
-    std::lock_guard<std::mutex> L(M);
+    support::MutexLock L(M);
     auto It = Cache.find(K);
     if (It != Cache.end() && It->second.Verify == H2) {
       WasHit = true;
@@ -136,7 +136,7 @@ std::optional<bool> HoistCache::emptiness(const usr::USR *S,
   if (support::stopRequested(Cancel))
     return std::nullopt;
   if (V) {
-    std::lock_guard<std::mutex> L(M);
+    support::MutexLock L(M);
     Cache[K] = Entry{H2, *V}; // Most recent inputs win the slot.
   }
   return V;

@@ -37,7 +37,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -176,16 +175,16 @@ public:
                                 usr::USREvalStats *Stats = nullptr,
                                 USRFramePool *Frames = nullptr,
                                 const support::CancelToken *Cancel = nullptr,
-                                bool BlockGates = true);
+                                bool BlockGates = true) HALO_EXCLUDES(M);
 
-  size_t size() const {
-    std::lock_guard<std::mutex> L(M);
+  size_t size() const HALO_EXCLUDES(M) {
+    support::MutexLock L(M);
     return Cache.size();
   }
   /// Primary-hash collisions detected via the verification hash (the
   /// silent-wrong-answer case before it carried one).
-  uint64_t collisions() const {
-    std::lock_guard<std::mutex> L(M);
+  uint64_t collisions() const HALO_EXCLUDES(M) {
+    support::MutexLock L(M);
     return Collisions;
   }
 
@@ -208,9 +207,12 @@ private:
     uint64_t Verify; ///< Independent hash of the same inputs.
     bool Empty;
   };
-  mutable std::mutex M;
-  std::unordered_map<Key, Entry, KeyHasher> Cache;
-  uint64_t Collisions = 0;
+  mutable support::Mutex M;
+  /// Probe/insert under M; miss evaluation runs outside it (two
+  /// simultaneous first requests may both evaluate — duplicated work,
+  /// same inserted answer, never a wrong one).
+  std::unordered_map<Key, Entry, KeyHasher> Cache HALO_GUARDED_BY(M);
+  uint64_t Collisions HALO_GUARDED_BY(M) = 0;
 };
 
 /// Executes analyzed loops under their plans (and plain programs through

@@ -74,21 +74,21 @@ thread_local unsigned TlWorker = 0;
 /// gate, burning no CPU) and holds the config lock exclusively. The gate
 /// stays raised until release so a stream of back-to-back exclusive
 /// sections keeps its writer preference.
-class Engine::ExclusiveSection {
+class HALO_SCOPED_CAPABILITY Engine::ExclusiveSection {
 public:
-  explicit ExclusiveSection(Engine &E) : E(E) {
+  explicit ExclusiveSection(Engine &E) HALO_ACQUIRE(E.ConfigLock) : E(E) {
     // Raising needs no GateM: it only makes workers (start to) wait,
     // it never wakes one.
     E.PendingExclusive.fetch_add(1, std::memory_order_release);
-    Lock = std::unique_lock<std::shared_mutex>(E.ConfigLock);
+    E.ConfigLock.lock();
   }
-  ~ExclusiveSection() {
-    Lock.unlock();
+  ~ExclusiveSection() HALO_RELEASE() {
+    E.ConfigLock.unlock();
     {
       // Decrement under GateM: a worker between its predicate check and
       // its sleep holds GateM, so this transition cannot slip past it
       // (no lost wakeup).
-      std::lock_guard<std::mutex> G(E.GateM);
+      support::MutexLock G(E.GateM);
       E.PendingExclusive.fetch_sub(1, std::memory_order_release);
     }
     E.GateCv.notify_all();
@@ -98,11 +98,15 @@ public:
 
 private:
   Engine &E;
-  std::unique_lock<std::shared_mutex> Lock;
 };
 
 struct Engine::ExclusiveHold::Impl {
-  explicit Impl(Engine &E) : Section(E) {}
+  // A scoped capability stored as a member outlives the constructor's
+  // scope, which the analysis cannot track (it models scoped locks as
+  // strictly block-scoped) — the one deliberate escape hatch in the
+  // serving plane. The capability is still released exactly once, by
+  // ~Impl running ~ExclusiveSection.
+  explicit Impl(Engine &E) HALO_NO_THREAD_SAFETY_ANALYSIS : Section(E) {}
   ExclusiveSection Section;
 };
 
@@ -125,7 +129,9 @@ Engine::Engine(EngineOptions O)
   PerWorker.reserve(Opts.Workers);
   for (unsigned W = 0; W != Opts.Workers; ++W) {
     PerWorker.push_back(std::make_unique<WorkerCounters>());
-    PerWorker.back()->Shards.resize(Opts.Shards);
+    WorkerCounters &WC = *PerWorker.back();
+    support::MutexLock L(WC.M);
+    WC.Shards.resize(Opts.Shards);
   }
   // Every worker becomes a drainer of the request queue for the engine's
   // whole lifetime; the pool is dedicated to that (one drainLoop per
@@ -192,10 +198,19 @@ Engine::prepareImpl(ProgramId Program, const ir::DoLoop &Loop,
         "duplicate loop label '" + Loop.getLabel() +
         "': a different loop of this program is already prepared under it");
   Shard &S = *Shards[shardOf(Program, Loop)];
-  std::unique_ptr<session::Session> &Sess = S.Sessions[Program];
+  session::Session *Sess;
+  {
+    support::MutexLock SL(S.M);
+    auto It = S.Sessions.find(Program);
+    Sess = It == S.Sessions.end() ? nullptr : It->second.get();
+  }
   if (!Sess) {
-    Sess = std::make_unique<session::Session>(*PE.Prog, *PE.Ctx,
-                                              Opts.Session);
+    // Build and warm-start the session outside the shard mutex (the
+    // config-exclusive phase already serializes prepares), then publish
+    // it under S.M — the shard mutex covers map access only and is never
+    // held across analysis or execution.
+    auto NewSess = std::make_unique<session::Session>(*PE.Prog, *PE.Ctx,
+                                                      Opts.Session);
     // Warm-start: stage the plan cache into the fresh session while we
     // hold the exclusive gate (loading interns into the shared contexts).
     // Every failure mode — absent file, version skew, corruption — lands
@@ -205,13 +220,16 @@ Engine::prepareImpl(ProgramId Program, const ir::DoLoop &Loop,
       std::ifstream PlanIn(Opts.PlanCachePath, std::ios::binary);
       if (PlanIn) {
         try {
-          (void)Sess->loadPlans(PlanIn);
+          (void)NewSess->loadPlans(PlanIn);
         } catch (const support::ValidationError &) {
           // Degraded cold start; the session records nothing and the
           // next savePlans simply regenerates the cache.
         }
       }
     }
+    Sess = NewSess.get();
+    support::MutexLock SL(S.M);
+    S.Sessions[Program] = std::move(NewSess);
   }
   const session::PreparedLoop &PL =
       AOpts ? Sess->prepare(Loop, *AOpts) : Sess->prepare(Loop);
@@ -243,7 +261,7 @@ const session::PreparedLoop &Engine::prepare(ProgramId Program,
 
 const ir::DoLoop *Engine::findLoop(ProgramId Program,
                                    std::string_view Label) const {
-  std::shared_lock<std::shared_mutex> Cfg(ConfigLock);
+  support::SharedLock Cfg(ConfigLock);
   auto It = Labels.find({Program, std::string(Label)});
   return It == Labels.end() ? nullptr : It->second;
 }
@@ -263,7 +281,7 @@ unsigned Engine::shardOf(ProgramId Program, const ir::DoLoop &Loop) const {
 
 void Engine::finishOne() {
   {
-    std::lock_guard<std::mutex> L(FinMutex);
+    support::MutexLock L(FinMutex);
     ++Finished;
   }
   FinCv.notify_all();
@@ -296,7 +314,7 @@ Response Engine::process(const Request &R) {
     const unsigned SI = R.Loop ? shardOf(R.Program, *R.Loop) : 0;
     if (R.Loop)
       Resp.Shard = SI;
-    std::lock_guard<std::mutex> L(WC.M);
+    support::MutexLock L(WC.M);
     ShardCounters &SC = WC.Shards[SI];
     ++(Exp ? SC.Expired : SC.Cancelled);
     return Resp;
@@ -308,17 +326,16 @@ Response Engine::process(const Request &R) {
   // gate a saturated serving plane would starve prepare() forever. The
   // steady state pays one atomic load; only a raised gate touches GateM.
   if (PendingExclusive.load(std::memory_order_acquire) != 0) {
-    std::unique_lock<std::mutex> G(GateM);
-    GateCv.wait(G, [this] {
-      return PendingExclusive.load(std::memory_order_acquire) == 0;
-    });
+    support::MutexLock G(GateM);
+    while (PendingExclusive.load(std::memory_order_acquire) != 0)
+      GateCv.wait(GateM);
   }
   // Shared: excludes addProgram/prepare (which intern into the shared
   // contexts) but runs concurrently with every other request — including
   // requests for the same loop on the same shard.
-  std::shared_lock<std::shared_mutex> Cfg(ConfigLock);
+  support::SharedLock Cfg(ConfigLock);
   if (R.Program >= Programs.size() || !R.Loop) {
-    std::lock_guard<std::mutex> L(FinMutex);
+    support::MutexLock L(FinMutex);
     ++UnroutableCount;
     Resp.Error = R.Loop ? "unknown program id" : "null loop";
     return Resp;
@@ -327,7 +344,7 @@ Response Engine::process(const Request &R) {
   Resp.Shard = SI;
   Shard &S = *Shards[SI];
   auto CountFailed = [&] {
-    std::lock_guard<std::mutex> L(WC.M);
+    support::MutexLock L(WC.M);
     ++WC.Shards[SI].Failed;
   };
   session::Session *Sess;
@@ -336,7 +353,7 @@ Response Engine::process(const Request &R) {
     // session-map lookup (the map mutates only under the exclusive
     // config lock; the narrow mutex keeps the lookup defensive and
     // documents the boundary).
-    std::lock_guard<std::mutex> SL(S.M);
+    support::MutexLock SL(S.M);
     auto It = S.Sessions.find(R.Program);
     Sess = It == S.Sessions.end() ? nullptr : It->second.get();
   }
@@ -362,7 +379,7 @@ Response Engine::process(const Request &R) {
       if (support::stopRequested(Tok)) {
         const bool Exp =
             Tok->state() == support::CancelToken::State::Expired;
-        std::lock_guard<std::mutex> L(WC.M);
+        support::MutexLock L(WC.M);
         ShardCounters &SC = WC.Shards[SI];
         ++(Exp ? SC.Expired : SC.Cancelled);
         SC.DegradedExecs += E;
@@ -379,7 +396,7 @@ Response Engine::process(const Request &R) {
       Resp.Stats.push_back(St);
     }
     {
-      std::lock_guard<std::mutex> L(WC.M);
+      support::MutexLock L(WC.M);
       ShardCounters &SC = WC.Shards[SI];
       ++SC.Completed;
       SC.DegradedExecs += Repeats;
@@ -480,7 +497,7 @@ Response Engine::process(const Request &R) {
   auto FinishAborted = [&](bool Exp, bool MidRun) -> Response {
     FeedBreaker(MidRun && Exp ? BrOutcome::Failure
                               : BrOutcome::Inconclusive);
-    std::lock_guard<std::mutex> L(WC.M);
+    support::MutexLock L(WC.M);
     ShardCounters &SC = WC.Shards[SI];
     ++(Exp ? SC.Expired : SC.Cancelled);
     SC.Executions += ExecsDone;
@@ -550,7 +567,7 @@ Response Engine::process(const Request &R) {
     // Publish once per request into this worker's own accumulator row —
     // never a shard-shared counter, so N workers on one hot loop do not
     // contend.
-    std::lock_guard<std::mutex> L(WC.M);
+    support::MutexLock L(WC.M);
     ShardCounters &SC = WC.Shards[SI];
     SC.Executions += ExecsDone;
     SC.Exec += Acc;
@@ -593,7 +610,7 @@ void Engine::serveTask(const Request &R,
     // The task failed before process() could attribute a shard; account
     // it on row/shard 0 so chaos-run stats stay coherent.
     WorkerCounters &WC = myCounters();
-    std::lock_guard<std::mutex> L(WC.M);
+    support::MutexLock L(WC.M);
     ++WC.Shards[0].Failed;
     ++WC.Shards[0].ExecErrors;
   }
@@ -605,7 +622,7 @@ std::future<Response> Engine::submit(Request R) {
   auto Prom = std::make_shared<std::promise<Response>>();
   std::future<Response> Fut = Prom->get_future();
   {
-    std::lock_guard<std::mutex> L(FinMutex);
+    support::MutexLock L(FinMutex);
     ++Accepted;
   }
   const bool Queued = Queue.push([this, R, Prom] { serveTask(R, Prom); });
@@ -614,7 +631,7 @@ std::future<Response> Engine::submit(Request R) {
     // the future instead of abandoning it. Nothing was admitted, so this
     // counts as rejected, not submitted.
     {
-      std::lock_guard<std::mutex> L(FinMutex);
+      support::MutexLock L(FinMutex);
       --Accepted;
       ++RejectedCount;
     }
@@ -630,14 +647,14 @@ bool Engine::trySubmit(Request R, std::future<Response> &Out) {
   auto Prom = std::make_shared<std::promise<Response>>();
   std::future<Response> Fut = Prom->get_future();
   {
-    std::lock_guard<std::mutex> L(FinMutex);
+    support::MutexLock L(FinMutex);
     ++Accepted;
   }
   const bool Queued =
       Queue.tryPush([this, R, Prom] { serveTask(R, Prom); });
   if (!Queued) {
     {
-      std::lock_guard<std::mutex> L(FinMutex);
+      support::MutexLock L(FinMutex);
       --Accepted; // Nothing admitted; undo for drain accounting.
       ++RejectedCount;
     }
@@ -659,15 +676,16 @@ std::vector<std::future<Response>> Engine::submitBatch(
 }
 
 void Engine::drain() {
-  std::unique_lock<std::mutex> L(FinMutex);
-  FinCv.wait(L, [this] { return Finished >= Accepted; });
+  support::MutexLock L(FinMutex);
+  while (Finished < Accepted)
+    FinCv.wait(FinMutex);
 }
 
 ServeStats Engine::stats() const {
-  std::shared_lock<std::shared_mutex> Cfg(ConfigLock);
+  support::SharedLock Cfg(ConfigLock);
   ServeStats Out;
   {
-    std::lock_guard<std::mutex> L(FinMutex);
+    support::MutexLock L(FinMutex);
     Out.Submitted = Accepted;
     Out.Rejected = RejectedCount;
     Out.Unroutable = UnroutableCount;
@@ -679,7 +697,7 @@ ServeStats Engine::stats() const {
     Shard &S = *SP;
     ShardStats SS;
     {
-      std::lock_guard<std::mutex> SL(S.M);
+      support::MutexLock SL(S.M);
       SS.Programs = S.Sessions.size();
       for (const auto &KV : S.Sessions) {
         SS.PreparedLoops += KV.second->numPreparedLoops();
@@ -697,7 +715,7 @@ ServeStats Engine::stats() const {
   // blocks nor skews serving.
   for (const std::unique_ptr<WorkerCounters> &WCP : PerWorker) {
     WorkerCounters &WC = *WCP;
-    std::lock_guard<std::mutex> L(WC.M);
+    support::MutexLock L(WC.M);
     for (size_t SI = 0; SI < WC.Shards.size(); ++SI) {
       const ShardCounters &SC = WC.Shards[SI];
       ShardStats &SS = Out.Shards[SI];

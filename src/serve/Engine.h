@@ -27,7 +27,11 @@
 ///  - ServeStats aggregates the per-execution rt::ExecStats into
 ///    per-shard and engine-wide totals.
 ///
-/// Concurrency contract (enforced, not just documented):
+/// Concurrency contract (machine-checked: the locks below are
+/// support/Sync.h capabilities, the guarded fields carry HALO_GUARDED_BY,
+/// and CI's thread-safety job compiles the tree with
+/// -Werror=thread-safety — see docs/CONCURRENCY.md for the full
+/// capability map):
 ///
 ///  1. addProgram()/prepare() take the engine's config lock *exclusively*
 ///     — analysis interns into the program's shared symbol/predicate/USR
@@ -68,15 +72,13 @@
 
 #include "session/Session.h"
 #include "support/CancelToken.h"
+#include "support/Sync.h"
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -303,7 +305,8 @@ public:
   /// Registers a program for serving and returns its handle. \p Prog and
   /// \p Ctx must outlive the engine. Takes the config lock exclusively
   /// (waits for in-flight requests; see the concurrency contract).
-  ProgramId addProgram(ir::Program &Prog, usr::USRContext &Ctx);
+  ProgramId addProgram(ir::Program &Prog, usr::USRContext &Ctx)
+      HALO_EXCLUDES(ConfigLock);
 
   /// Analyzes \p Loop once, in the session of its owning shard, and
   /// registers it for serving (the warm-up step: plans, compiled
@@ -315,17 +318,18 @@ public:
   /// re-routing the label's traffic.
   const session::PreparedLoop &
   prepare(ProgramId Program, const ir::DoLoop &Loop,
-          const analysis::AnalyzerOptions &Opts);
+          const analysis::AnalyzerOptions &Opts) HALO_EXCLUDES(ConfigLock);
   /// Same with the shard session's default analyzer options.
-  const session::PreparedLoop &prepare(ProgramId Program,
-                                       const ir::DoLoop &Loop);
+  const session::PreparedLoop &
+  prepare(ProgramId Program, const ir::DoLoop &Loop)
+      HALO_EXCLUDES(ConfigLock);
 
   /// Finds a prepared loop by (program, IR label) — the engine's loop-id
   /// addressing for clients that do not hold IR pointers. Returns nullptr
   /// for unknown ids. Labels are collision-checked at prepare time, so a
   /// non-null result is the unique loop serving that label.
-  const ir::DoLoop *findLoop(ProgramId Program,
-                             std::string_view Label) const;
+  const ir::DoLoop *findLoop(ProgramId Program, std::string_view Label)
+      const HALO_EXCLUDES(ConfigLock);
 
   /// Shard that requests for (\p Program, \p Loop) are routed to.
   unsigned shardOf(ProgramId Program, const ir::DoLoop &Loop) const;
@@ -334,12 +338,13 @@ public:
   /// Enqueues \p R, blocking while the queue is at capacity
   /// (backpressure). The future resolves once a worker served the
   /// request; an engine being destroyed resolves it with an error.
-  std::future<Response> submit(Request R);
+  std::future<Response> submit(Request R) HALO_EXCLUDES(FinMutex);
 
   /// Non-blocking submit: refuses (returns false, counts a rejection)
   /// when the queue is full instead of waiting. On success \p Out is the
   /// response future.
-  bool trySubmit(Request R, std::future<Response> &Out);
+  bool trySubmit(Request R, std::future<Response> &Out)
+      HALO_EXCLUDES(FinMutex);
 
   /// Enqueues every request in order (blocking semantics of submit()).
   std::vector<std::future<Response>> submitBatch(std::vector<Request> Rs);
@@ -347,7 +352,7 @@ public:
   /// Blocks until every accepted request has been served. Must not be
   /// called from a worker (i.e. from inside a response future chain) or
   /// while holding an ExclusiveHold.
-  void drain();
+  void drain() HALO_EXCLUDES(FinMutex);
 
   /// RAII handle over an exclusive pause of the serving plane, as
   /// prepare()'s warm-up critical section takes one: while it lives,
@@ -373,10 +378,10 @@ public:
   /// Pauses serving (exclusive config lock + parked workers) until the
   /// returned hold is destroyed. Do not submit-and-wait, drain(), or call
   /// stats() while holding it.
-  ExclusiveHold quiesce();
+  ExclusiveHold quiesce() HALO_EXCLUDES(ConfigLock);
 
   /// Snapshot of the serving counters, per shard and engine-wide.
-  ServeStats stats() const;
+  ServeStats stats() const HALO_EXCLUDES(ConfigLock);
 
 private:
   /// One shard: per-program sessions. The mutex guards only the map
@@ -384,8 +389,9 @@ private:
   /// concurrent runPrepared). The map itself is only mutated during
   /// config-exclusive phases.
   struct Shard {
-    std::mutex M;
-    std::map<ProgramId, std::unique_ptr<session::Session>> Sessions;
+    support::Mutex M;
+    std::map<ProgramId, std::unique_ptr<session::Session>> Sessions
+        HALO_GUARDED_BY(M);
   };
   struct ProgramEntry {
     ir::Program *Prog = nullptr;
@@ -408,12 +414,12 @@ private:
   /// that worker in practice (contention-free on the serving path) and
   /// taken by stats() snapshots only.
   struct WorkerCounters {
-    std::mutex M;
-    std::vector<ShardCounters> Shards;
+    support::Mutex M;
+    std::vector<ShardCounters> Shards HALO_GUARDED_BY(M);
   };
   /// RAII writer-preference section: raises the gate (parking workers),
   /// takes the config lock exclusively, releases both on destruction.
-  class ExclusiveSection;
+  class HALO_SCOPED_CAPABILITY ExclusiveSection;
 
   /// Per-prepared-loop health: the closed -> open -> half-open circuit
   /// breaker demoting a misbehaving loop to the sequential tier. Entries
@@ -430,18 +436,18 @@ private:
     std::atomic<uint32_t> OpenServed{0};
   };
 
-  const session::PreparedLoop &prepareImpl(ProgramId Program,
-                                           const ir::DoLoop &Loop,
-                                           const analysis::AnalyzerOptions
-                                               *AOpts);
-  Response process(const Request &R);
+  const session::PreparedLoop &
+  prepareImpl(ProgramId Program, const ir::DoLoop &Loop,
+              const analysis::AnalyzerOptions *AOpts)
+      HALO_EXCLUDES(ConfigLock);
+  Response process(const Request &R) HALO_EXCLUDES(ConfigLock);
   /// The unit of work a worker dequeues: process() under a top-level
   /// catch-all so no exception can cross the drained-task boundary and
   /// kill the worker; always resolves the promise and always counts the
   /// request finished.
   void serveTask(const Request &R,
                  const std::shared_ptr<std::promise<Response>> &Prom);
-  void finishOne();
+  void finishOne() HALO_EXCLUDES(FinMutex);
   /// The long-running per-worker drain loop (records worker identity so
   /// process() can find its accumulator without shared state).
   void drainLoop(unsigned Worker);
@@ -451,7 +457,7 @@ private:
   EngineOptions Opts;
   /// Exclusive for addProgram/prepare (analysis mutates shared contexts),
   /// shared for request processing and stats snapshots.
-  mutable std::shared_mutex ConfigLock;
+  mutable support::SharedMutex ConfigLock;
   /// Writer-preference gate for ConfigLock: PendingExclusive is nonzero
   /// while an exclusive section is pending or active; workers park on
   /// GateCv before taking new shared locks. Without the gate, glibc's
@@ -461,19 +467,20 @@ private:
   /// the steady-state fast path is one relaxed-cost load with no mutex;
   /// decrements happen under GateM (a waiter between its predicate check
   /// and its sleep holds GateM, so the wakeup cannot be lost).
-  mutable std::mutex GateM;
-  mutable std::condition_variable GateCv;
+  mutable support::Mutex GateM;
+  mutable support::CondVar GateCv;
   std::atomic<unsigned> PendingExclusive{0};
-  std::vector<ProgramEntry> Programs;
+  std::vector<ProgramEntry> Programs HALO_GUARDED_BY(ConfigLock);
   /// (program, loop label) -> prepared loop, for id-based addressing.
   /// Collision-checked at prepare time.
-  std::map<std::pair<ProgramId, std::string>, const ir::DoLoop *> Labels;
+  std::map<std::pair<ProgramId, std::string>, const ir::DoLoop *> Labels
+      HALO_GUARDED_BY(ConfigLock);
   /// (program, loop) -> circuit breaker. Like Labels: inserted/reset only
   /// under the exclusive config lock (prepare), looked up under the
   /// shared lock; the Breaker's own fields are atomics.
   std::map<std::pair<ProgramId, const ir::DoLoop *>,
            std::unique_ptr<Breaker>>
-      Breakers;
+      Breakers HALO_GUARDED_BY(ConfigLock);
   std::vector<std::unique_ptr<Shard>> Shards;
   /// One accumulator set per worker, created up front (index == worker).
   std::vector<std::unique_ptr<WorkerCounters>> PerWorker;
@@ -481,12 +488,12 @@ private:
 
   /// Request accounting for drain(): Accepted counts queue admissions,
   /// Finished counts fulfilled futures (served or shed after admission).
-  mutable std::mutex FinMutex;
-  std::condition_variable FinCv;
-  uint64_t Accepted = 0;
-  uint64_t Finished = 0;
-  uint64_t RejectedCount = 0;
-  uint64_t UnroutableCount = 0;
+  mutable support::Mutex FinMutex;
+  support::CondVar FinCv;
+  uint64_t Accepted HALO_GUARDED_BY(FinMutex) = 0;
+  uint64_t Finished HALO_GUARDED_BY(FinMutex) = 0;
+  uint64_t RejectedCount HALO_GUARDED_BY(FinMutex) = 0;
+  uint64_t UnroutableCount HALO_GUARDED_BY(FinMutex) = 0;
 
   /// Declared last: destroyed (joined) first, while Queue still exists.
   ThreadPool Workers;

@@ -26,7 +26,7 @@ namespace session {
 class ContextLease {
 public:
   explicit ContextLease(Session &S) : S(S) {
-    std::lock_guard<std::mutex> L(S.CtxMutex);
+    support::MutexLock L(S.CtxMutex);
     if (!S.Free.empty()) {
       C = S.Free.back();
       S.Free.pop_back();
@@ -39,7 +39,7 @@ public:
     // Never return a context carrying the (stack-lived) token of the
     // execution that just ended — also on the exception path.
     C->Cancel = nullptr;
-    std::lock_guard<std::mutex> L(S.CtxMutex);
+    support::MutexLock L(S.CtxMutex);
     S.Free.push_back(C);
   }
   ContextLease(const ContextLease &) = delete;
@@ -361,7 +361,7 @@ PreparedLoop *Session::tryAdoptStaged(const ir::DoLoop &Loop) {
 }
 
 size_t Session::numPooledFrames() const {
-  std::lock_guard<std::mutex> L(CtxMutex);
+  support::MutexLock L(CtxMutex);
   size_t N = 0;
   for (const std::unique_ptr<rt::ExecContext> &C : Contexts)
     N += C->Frames.size();
@@ -369,7 +369,7 @@ size_t Session::numPooledFrames() const {
 }
 
 size_t Session::pooledFrameSlotsSaved() const {
-  std::lock_guard<std::mutex> L(CtxMutex);
+  support::MutexLock L(CtxMutex);
   size_t N = 0;
   for (const std::unique_ptr<rt::ExecContext> &C : Contexts)
     N += C->Frames.stackSlotsSaved() + C->UsrFrames.stackSlotsSaved();
@@ -377,6 +377,6 @@ size_t Session::pooledFrameSlotsSaved() const {
 }
 
 size_t Session::numExecContexts() const {
-  std::lock_guard<std::mutex> L(CtxMutex);
+  support::MutexLock L(CtxMutex);
   return Contexts.size();
 }

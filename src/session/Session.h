@@ -37,11 +37,11 @@
 #include "analysis/Analyzer.h"
 #include "plan/Plan.h"
 #include "rt/Executor.h"
+#include "support/Sync.h"
 
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -284,14 +284,14 @@ public:
   size_t numCompiledUSRs() const { return UsrCompile.size(); }
   /// Number of pooled per-predicate evaluation frames, summed over every
   /// execution context the session has created.
-  size_t numPooledFrames() const;
+  size_t numPooledFrames() const HALO_EXCLUDES(CtxMutex);
   /// Stack slots the exact-depth frame sizing saved across every pooled
   /// predicate and USR frame (vs. the old code-length-based bound),
   /// summed over every execution context.
-  size_t pooledFrameSlotsSaved() const;
+  size_t pooledFrameSlotsSaved() const HALO_EXCLUDES(CtxMutex);
   /// Number of rt::ExecContexts created so far — its high-water mark is
   /// the session's peak execution concurrency.
-  size_t numExecContexts() const;
+  size_t numExecContexts() const HALO_EXCLUDES(CtxMutex);
   /// Retired (re-prepared / invalidated) plans not yet reclaimed.
   size_t numRetiredPlans() const { return Retired.size(); }
 
@@ -344,9 +344,10 @@ private:
   /// CtxMutex is the only lock an execution takes inside the session —
   /// held for the two pointer swaps of checkout/return, never across the
   /// execution itself.
-  mutable std::mutex CtxMutex;
-  std::vector<std::unique_ptr<rt::ExecContext>> Contexts;
-  std::vector<rt::ExecContext *> Free;
+  mutable support::Mutex CtxMutex;
+  std::vector<std::unique_ptr<rt::ExecContext>> Contexts
+      HALO_GUARDED_BY(CtxMutex);
+  std::vector<rt::ExecContext *> Free HALO_GUARDED_BY(CtxMutex);
 };
 
 } // namespace session

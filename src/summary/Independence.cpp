@@ -64,7 +64,6 @@ const USR *summary::buildFlowIndepUSR(usr::USRContext &Ctx,
 
 SLVPair summary::buildSLVPair(usr::USRContext &Ctx, const LoopSpace &L,
                               const USR *WFi) {
-  sym::Context &Sym = Ctx.symCtx();
   const USR *All = Ctx.recur(L.Var, L.Lo, L.Hi, WFi);
   std::map<SymbolId, const Expr *> IToN{{L.Var, L.Hi}};
   const USR *Last = Ctx.substitute(WFi, IToN);

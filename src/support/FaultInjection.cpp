@@ -36,7 +36,7 @@ FaultInjector &FaultInjector::instance() {
 }
 
 void FaultInjector::arm(uint64_t NewSeed, double Rate) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(InjMutex);
   Seed = NewSeed;
   DefaultRate = Rate;
   Points.clear();
@@ -44,7 +44,7 @@ void FaultInjector::arm(uint64_t NewSeed, double Rate) {
 }
 
 void FaultInjector::armPoint(const std::string &Name, double Rate) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(InjMutex);
   Point &P = Points[Name];
   P.Rate = Rate;
   P.FailNext = 0;
@@ -52,7 +52,7 @@ void FaultInjector::armPoint(const std::string &Name, double Rate) {
 }
 
 void FaultInjector::failNext(const std::string &Name, uint64_t N) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(InjMutex);
   Point &P = Points[Name];
   P.Rate = 0.0;
   P.FailNext = N;
@@ -60,14 +60,14 @@ void FaultInjector::failNext(const std::string &Name, uint64_t N) {
 }
 
 void FaultInjector::disarm() {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(InjMutex);
   Armed.store(false, std::memory_order_relaxed);
   Points.clear();
   DefaultRate = 0.0;
 }
 
 bool FaultInjector::shouldFail(const char *Name) {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(InjMutex);
   if (!Armed.load(std::memory_order_relaxed))
     return false;
   auto It = Points.find(Name);
@@ -100,7 +100,7 @@ bool FaultInjector::shouldFail(const char *Name) {
 }
 
 std::map<std::string, FaultInjector::PointStats> FaultInjector::stats() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
+  MutexLock Lock(InjMutex);
   std::map<std::string, PointStats> Out;
   for (const auto &KV : Points)
     Out[KV.first] = PointStats{KV.second.Checked, KV.second.Fired};

@@ -26,10 +26,11 @@
 #ifndef HALO_SUPPORT_FAULTINJECTION_H
 #define HALO_SUPPORT_FAULTINJECTION_H
 
+#include "support/Sync.h"
+
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -103,11 +104,12 @@ private:
     uint64_t Fired = 0;
   };
 
+  /// The disarmed fast path reads only this; everything else is guarded.
   std::atomic<bool> Armed{false};
-  mutable std::mutex Mutex;
-  uint64_t Seed = 0;
-  double DefaultRate = 0.0;
-  std::map<std::string, Point> Points;
+  mutable Mutex InjMutex;
+  uint64_t Seed HALO_GUARDED_BY(InjMutex) = 0;
+  double DefaultRate HALO_GUARDED_BY(InjMutex) = 0.0;
+  std::map<std::string, Point> Points HALO_GUARDED_BY(InjMutex);
 };
 
 /// Throwing injection point: throws FaultInjectedError when the armed

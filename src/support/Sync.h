@@ -1,0 +1,298 @@
+//===- support/Sync.h - Annotated synchronization primitives ---*- C++ -*-===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Clang Thread Safety Analysis capability wrappers over the std
+/// synchronization primitives, plus the annotation macro set the rest of
+/// the tree uses to state its lock-discipline contracts in a
+/// machine-checkable form.
+///
+/// Every concurrency contract that used to live only in prose (which
+/// mutex guards which fields, which functions require or forbid which
+/// locks) is expressed through these types and macros and checked at
+/// compile time by CI's `thread-safety` job (clang++ with
+/// `-Werror=thread-safety -Wthread-safety-beta`). On non-Clang compilers
+/// (and on Clang builds without the analysis enabled) every macro expands
+/// to nothing and every wrapper is a zero-cost veneer, so the annotation
+/// layer costs the gcc tier-1 build exactly nothing.
+///
+/// The capability map — which Mutex/SharedMutex guards which fields
+/// across ThreadPool, FaultInjection, the rt caches, Session and the
+/// serving Engine — is documented in docs/CONCURRENCY.md; the negative
+/// battery proving the annotations reject the contract-violation classes
+/// lives in tests/compile_fail/.
+///
+/// Usage notes:
+///  - Guard fields with HALO_GUARDED_BY(M) / HALO_PT_GUARDED_BY(M) and
+///    take locks through MutexLock / SharedLock / ExclusiveLock (scoped
+///    capabilities) so the analysis can track acquisition through scopes.
+///  - Condition waits name their mutex: `CV.wait(M)` requires M held and
+///    is written as an explicit predicate re-check loop
+///    (`while (!pred) CV.wait(M);`) — predicate lambdas are opaque to the
+///    analysis, re-check loops are not.
+///  - Functions that evaluate outside a cache lock (the probe-under-
+///    mutex / evaluate-outside contract of rt/CompiledCascade.h) say so
+///    with HALO_EXCLUDES(M).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HALO_SUPPORT_SYNC_H
+#define HALO_SUPPORT_SYNC_H
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+//===----------------------------------------------------------------------===//
+// Annotation macros
+//===----------------------------------------------------------------------===//
+
+// Clang exposes the analysis through attributes; everything else compiles
+// them away. (The attribute spellings below are the stable set from the
+// Clang Thread Safety Analysis documentation.)
+#if defined(__clang__) && (!defined(SWIG))
+#define HALO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HALO_THREAD_ANNOTATION(x) // no-op outside Clang
+#endif
+
+/// Marks a type as a capability (a lock). The string names the capability
+/// kind in diagnostics ("mutex").
+#define HALO_CAPABILITY(x) HALO_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases
+/// a capability, so the analysis tracks the capability through the
+/// object's scope.
+#define HALO_SCOPED_CAPABILITY HALO_THREAD_ANNOTATION(scoped_lockable)
+
+/// The field may only be accessed while holding the given capability
+/// (shared suffices for reads, exclusive is required for writes).
+#define HALO_GUARDED_BY(x) HALO_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointee of this pointer field may only be accessed while holding
+/// the given capability.
+#define HALO_PT_GUARDED_BY(x) HALO_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while holding the given capabilities
+/// exclusively; it neither acquires nor releases them.
+#define HALO_REQUIRES(...) \
+  HALO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Shared-hold variant of HALO_REQUIRES.
+#define HALO_REQUIRES_SHARED(...) \
+  HALO_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability exclusively and holds it on
+/// return.
+#define HALO_ACQUIRE(...) \
+  HALO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Shared-acquisition variant of HALO_ACQUIRE.
+#define HALO_ACQUIRE_SHARED(...) \
+  HALO_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases an exclusively-held capability.
+#define HALO_RELEASE(...) \
+  HALO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function releases a shared-held capability.
+#define HALO_RELEASE_SHARED(...) \
+  HALO_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// The function releases a capability held in either mode (the scoped-
+/// guard destructor annotation).
+#define HALO_RELEASE_GENERIC(...) \
+  HALO_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// The function attempts the acquisition and reports success with the
+/// given boolean value.
+#define HALO_TRY_ACQUIRE(...) \
+  HALO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Shared variant of HALO_TRY_ACQUIRE.
+#define HALO_TRY_ACQUIRE_SHARED(...) \
+  HALO_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The function must NOT be called while holding the given capabilities
+/// (deadlock prevention, and the "evaluation runs outside the cache
+/// lock" contracts).
+#define HALO_EXCLUDES(...) HALO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the given capability (accessor
+/// annotations).
+#define HALO_RETURN_CAPABILITY(x) HALO_THREAD_ANNOTATION(lock_returned(x))
+
+/// Asserts (at runtime, from the analysis' point of view) that the
+/// calling thread already holds the capability.
+#define HALO_ASSERT_CAPABILITY(x) \
+  HALO_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch: turns the analysis off for one function whose locking is
+/// deliberately too dynamic to annotate. Every use must carry a comment
+/// justifying it; the repo linter and reviewers treat bare uses as bugs.
+#define HALO_NO_THREAD_SAFETY_ANALYSIS \
+  HALO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace halo {
+namespace support {
+
+//===----------------------------------------------------------------------===//
+// Capability types
+//===----------------------------------------------------------------------===//
+
+/// std::mutex as an annotated capability. Prefer MutexLock over manual
+/// lock()/unlock() pairs so scopes stay exception-safe and the analysis
+/// can follow them.
+class HALO_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex &) = delete;
+  Mutex &operator=(const Mutex &) = delete;
+
+  void lock() HALO_ACQUIRE() { M.lock(); }
+  void unlock() HALO_RELEASE() { M.unlock(); }
+  bool try_lock() HALO_TRY_ACQUIRE(true) { return M.try_lock(); }
+
+private:
+  std::mutex M;
+};
+
+/// std::shared_mutex as an annotated capability: exclusive for writers
+/// (config/analysis phases), shared for readers (the serving path).
+class HALO_CAPABILITY("mutex") SharedMutex {
+public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex &) = delete;
+  SharedMutex &operator=(const SharedMutex &) = delete;
+
+  void lock() HALO_ACQUIRE() { M.lock(); }
+  void unlock() HALO_RELEASE() { M.unlock(); }
+  bool try_lock() HALO_TRY_ACQUIRE(true) { return M.try_lock(); }
+
+  void lock_shared() HALO_ACQUIRE_SHARED() { M.lock_shared(); }
+  void unlock_shared() HALO_RELEASE_SHARED() { M.unlock_shared(); }
+  bool try_lock_shared() HALO_TRY_ACQUIRE_SHARED(true) {
+    return M.try_lock_shared();
+  }
+
+private:
+  std::shared_mutex M;
+};
+
+//===----------------------------------------------------------------------===//
+// Scoped guards
+//===----------------------------------------------------------------------===//
+
+/// Scoped exclusive lock over a Mutex (the std::lock_guard replacement
+/// the analysis can track).
+class HALO_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex &M) HALO_ACQUIRE(M) : Mu(M) { Mu.lock(); }
+  ~MutexLock() HALO_RELEASE() { Mu.unlock(); }
+
+  MutexLock(const MutexLock &) = delete;
+  MutexLock &operator=(const MutexLock &) = delete;
+
+private:
+  Mutex &Mu;
+};
+
+/// Scoped exclusive lock over a SharedMutex (writer side).
+class HALO_SCOPED_CAPABILITY ExclusiveLock {
+public:
+  explicit ExclusiveLock(SharedMutex &M) HALO_ACQUIRE(M) : Mu(M) {
+    Mu.lock();
+  }
+  ~ExclusiveLock() HALO_RELEASE() { Mu.unlock(); }
+
+  ExclusiveLock(const ExclusiveLock &) = delete;
+  ExclusiveLock &operator=(const ExclusiveLock &) = delete;
+
+private:
+  SharedMutex &Mu;
+};
+
+/// Scoped shared lock over a SharedMutex (reader side).
+class HALO_SCOPED_CAPABILITY SharedLock {
+public:
+  explicit SharedLock(SharedMutex &M) HALO_ACQUIRE_SHARED(M) : Mu(M) {
+    Mu.lock_shared();
+  }
+  ~SharedLock() HALO_RELEASE_GENERIC() { Mu.unlock_shared(); }
+
+  SharedLock(const SharedLock &) = delete;
+  SharedLock &operator=(const SharedLock &) = delete;
+
+private:
+  SharedMutex &Mu;
+};
+
+/// Scoped try-lock over a Mutex: query owns() before touching guarded
+/// state. The destructor releases only on successful acquisition.
+class HALO_SCOPED_CAPABILITY TryMutexLock {
+public:
+  explicit TryMutexLock(Mutex &M) HALO_TRY_ACQUIRE(true, M)
+      : Mu(M), Owned(M.try_lock()) {}
+  ~TryMutexLock() HALO_RELEASE() {
+    if (Owned)
+      Mu.unlock();
+  }
+
+  /// Whether the constructor acquired the capability.
+  bool owns() const { return Owned; }
+
+  TryMutexLock(const TryMutexLock &) = delete;
+  TryMutexLock &operator=(const TryMutexLock &) = delete;
+
+private:
+  Mutex &Mu;
+  bool Owned;
+};
+
+//===----------------------------------------------------------------------===//
+// Condition variable
+//===----------------------------------------------------------------------===//
+
+/// Condition variable waiting directly on an annotated Mutex, so the
+/// "the gate mutex must be held across the wait" contract is stated in
+/// the signature and enforced by the analysis (compile_fail:
+/// condvar_wait_without_gate).
+///
+/// There is deliberately no predicate-lambda overload: waits are written
+/// as explicit re-check loops under the held mutex,
+///
+///   MutexLock L(M);
+///   while (!pred)
+///     CV.wait(M);
+///
+/// which keeps the guarded predicate reads visible to the analysis (a
+/// lambda body would be analyzed without the caller's lock set).
+class CondVar {
+public:
+  CondVar() = default;
+  CondVar(const CondVar &) = delete;
+  CondVar &operator=(const CondVar &) = delete;
+
+  /// Atomically releases \p M, sleeps, and re-acquires \p M before
+  /// returning. Spurious wakeups happen; always re-check the predicate.
+  void wait(Mutex &M) HALO_REQUIRES(M) { CV.wait(M); }
+
+  void notify_one() noexcept { CV.notify_one(); }
+  void notify_all() noexcept { CV.notify_all(); }
+
+private:
+  // condition_variable_any waits on any BasicLockable — here the
+  // annotated Mutex itself, which keeps the capability visible to the
+  // analysis across the wait (a std::condition_variable would need the
+  // raw std::mutex and lose it).
+  std::condition_variable_any CV;
+};
+
+} // namespace support
+} // namespace halo
+
+#endif // HALO_SUPPORT_SYNC_H

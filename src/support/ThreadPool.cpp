@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 using namespace halo;
 
@@ -25,8 +26,9 @@ bool BoundedWorkQueue::push(std::function<void()> Task) {
   if (support::faultHit("queue.push"))
     return false; // Injected spurious rejection (reads as closed/full).
   {
-    std::unique_lock<std::mutex> Lock(Mutex);
-    NotFull.wait(Lock, [this] { return Closed || Tasks.size() < Capacity; });
+    support::MutexLock Lock(Mutex);
+    while (!Closed && Tasks.size() >= Capacity)
+      NotFull.wait(Mutex);
     if (Closed)
       return false;
     Tasks.push(std::move(Task));
@@ -40,7 +42,7 @@ bool BoundedWorkQueue::tryPush(std::function<void()> Task) {
   if (support::faultHit("queue.push"))
     return false; // Injected spurious rejection (reads as closed/full).
   {
-    std::unique_lock<std::mutex> Lock(Mutex);
+    support::MutexLock Lock(Mutex);
     if (Closed || Tasks.size() >= Capacity)
       return false;
     Tasks.push(std::move(Task));
@@ -53,8 +55,9 @@ bool BoundedWorkQueue::tryPush(std::function<void()> Task) {
 std::function<void()> BoundedWorkQueue::pop() {
   std::function<void()> Task;
   {
-    std::unique_lock<std::mutex> Lock(Mutex);
-    NotEmpty.wait(Lock, [this] { return Closed || !Tasks.empty(); });
+    support::MutexLock Lock(Mutex);
+    while (!Closed && Tasks.empty())
+      NotEmpty.wait(Mutex);
     if (Tasks.empty())
       return nullptr; // Closed and drained.
     Task = std::move(Tasks.front());
@@ -66,7 +69,7 @@ std::function<void()> BoundedWorkQueue::pop() {
 
 void BoundedWorkQueue::close() {
   {
-    std::unique_lock<std::mutex> Lock(Mutex);
+    support::MutexLock Lock(Mutex);
     // Idempotent: a second (possibly racing) close() must not re-notify —
     // consumers between "saw Closed+empty" and returning rely on no
     // further wakeups arriving once the first close() has run.
@@ -79,17 +82,17 @@ void BoundedWorkQueue::close() {
 }
 
 bool BoundedWorkQueue::closed() const {
-  std::unique_lock<std::mutex> Lock(Mutex);
+  support::MutexLock Lock(Mutex);
   return Closed;
 }
 
 size_t BoundedWorkQueue::size() const {
-  std::unique_lock<std::mutex> Lock(Mutex);
+  support::MutexLock Lock(Mutex);
   return Tasks.size();
 }
 
 size_t BoundedWorkQueue::peakDepth() const {
-  std::unique_lock<std::mutex> Lock(Mutex);
+  support::MutexLock Lock(Mutex);
   return Peak;
 }
 
@@ -110,7 +113,7 @@ ThreadPool::ThreadPool(unsigned NumThreads, SingleThread Mode) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> Lock(Mutex);
+    support::MutexLock Lock(Mutex);
     ShuttingDown = true;
   }
   TaskAvailable.notify_all();
@@ -122,9 +125,9 @@ void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> Task;
     {
-      std::unique_lock<std::mutex> Lock(Mutex);
-      TaskAvailable.wait(Lock,
-                         [this] { return ShuttingDown || !Tasks.empty(); });
+      support::MutexLock Lock(Mutex);
+      while (!ShuttingDown && Tasks.empty())
+        TaskAvailable.wait(Mutex);
       if (Tasks.empty())
         return;
       Task = std::move(Tasks.front());
@@ -133,7 +136,7 @@ void ThreadPool::workerLoop() {
     }
     Task();
     {
-      std::unique_lock<std::mutex> Lock(Mutex);
+      support::MutexLock Lock(Mutex);
       --Active;
       if (Tasks.empty() && Active == 0)
         AllDone.notify_all();
@@ -147,15 +150,18 @@ void ThreadPool::run(std::function<void()> Task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> Lock(Mutex);
+    support::MutexLock Lock(Mutex);
     Tasks.push(std::move(Task));
   }
   TaskAvailable.notify_one();
 }
 
 void ThreadPool::drainQueue(BoundedWorkQueue &Q) {
-  assert(!Workers.empty() &&
-         "drainQueue needs real workers (SingleThread::Spawn)");
+  // Misuse guard kept in release builds too: an inline pool would run the
+  // drain loop on the caller and never return.
+  if (Workers.empty())
+    throw std::logic_error(
+        "drainQueue needs real workers (SingleThread::Spawn)");
   for (unsigned I = 0; I != NumWorkers; ++I)
     run([&Q] {
       while (std::function<void()> Task = Q.pop())
@@ -166,8 +172,9 @@ void ThreadPool::drainQueue(BoundedWorkQueue &Q) {
 void ThreadPool::wait() {
   if (Workers.empty())
     return;
-  std::unique_lock<std::mutex> Lock(Mutex);
-  AllDone.wait(Lock, [this] { return Tasks.empty() && Active == 0; });
+  support::MutexLock Lock(Mutex);
+  while (!Tasks.empty() || Active != 0)
+    AllDone.wait(Mutex);
 }
 
 void ThreadPool::parallelFor(int64_t Lo, int64_t Hi,

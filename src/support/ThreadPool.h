@@ -18,12 +18,11 @@
 #define HALO_SUPPORT_THREADPOOL_H
 
 #include "support/CancelToken.h"
+#include "support/Sync.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
@@ -83,12 +82,13 @@ public:
 
 private:
   const size_t Capacity;
-  mutable std::mutex Mutex;
-  std::condition_variable NotFull;
-  std::condition_variable NotEmpty;
-  std::queue<std::function<void()>> Tasks;
-  size_t Peak = 0;
-  bool Closed = false;
+  /// Guards every mutable field below (the queue is one monitor).
+  mutable support::Mutex Mutex;
+  support::CondVar NotFull;
+  support::CondVar NotEmpty;
+  std::queue<std::function<void()>> Tasks HALO_GUARDED_BY(Mutex);
+  size_t Peak HALO_GUARDED_BY(Mutex) = 0;
+  bool Closed HALO_GUARDED_BY(Mutex) = false;
 };
 
 /// Fixed-size pool of worker threads.
@@ -173,13 +173,16 @@ private:
   void workerLoop();
 
   unsigned NumWorkers = 1;
+  /// Immutable after the constructor returns (worker threads are spawned
+  /// once and joined in the destructor), so reads need no lock.
   std::vector<std::thread> Workers;
-  std::queue<std::function<void()>> Tasks;
-  std::mutex Mutex;
-  std::condition_variable TaskAvailable;
-  std::condition_variable AllDone;
-  unsigned Active = 0;
-  bool ShuttingDown = false;
+  /// Guards the task queue and its idle accounting (one monitor).
+  support::Mutex Mutex;
+  std::queue<std::function<void()>> Tasks HALO_GUARDED_BY(Mutex);
+  support::CondVar TaskAvailable;
+  support::CondVar AllDone;
+  unsigned Active HALO_GUARDED_BY(Mutex) = 0;
+  bool ShuttingDown HALO_GUARDED_BY(Mutex) = false;
 };
 
 } // namespace halo

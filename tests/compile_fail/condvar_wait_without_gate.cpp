@@ -1,0 +1,50 @@
+//===- compile_fail/condvar_wait_without_gate.cpp - TSA negative case -----===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+// Violation class: waiting on the writer-preference gate's condition
+// variable without holding the gate mutex (the lost-wakeup bug: a waiter
+// between its predicate check and its sleep must hold GateM or the
+// exclusive section's decrement can slip past it). support::CondVar::wait
+// requires its mutex by signature, so the bad wait must not compile.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Sync.h"
+
+namespace {
+
+using namespace halo::support;
+
+struct Gate {
+  Mutex GateM;
+  CondVar GateCv;
+  bool Open HALO_GUARDED_BY(GateM) = false;
+
+  void waitOpen() HALO_EXCLUDES(GateM) {
+#ifdef HALO_EXPECT_TSA_VIOLATION
+    GateCv.wait(GateM); // Wait without holding the gate mutex.
+#else
+    MutexLock L(GateM);
+    while (!Open)
+      GateCv.wait(GateM);
+#endif
+  }
+
+  void open() HALO_EXCLUDES(GateM) {
+    {
+      MutexLock L(GateM);
+      Open = true;
+    }
+    GateCv.notify_all();
+  }
+};
+
+} // namespace
+
+int main() {
+  Gate G;
+  G.open(); // Never actually wait: try_compile only builds this.
+  return 0;
+}

@@ -1,0 +1,39 @@
+//===- compile_fail/double_release.cpp - TSA negative case ----------------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+// Violation class: releasing a mutex that is no longer held (the classic
+// unlock-twice on an error path — undefined behavior on std::mutex). The
+// annotated Mutex makes the second unlock a compile error instead of a
+// runtime lottery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Sync.h"
+
+namespace {
+
+using namespace halo::support;
+
+struct Counter {
+  Mutex M;
+  int N HALO_GUARDED_BY(M) = 0;
+
+  void bump() HALO_EXCLUDES(M) {
+    M.lock();
+    ++N;
+    M.unlock();
+#ifdef HALO_EXPECT_TSA_VIOLATION
+    M.unlock(); // Releasing a mutex that is not held.
+#endif
+  }
+};
+
+} // namespace
+
+int main() {
+  Counter C;
+  C.bump();
+  return 0;
+}

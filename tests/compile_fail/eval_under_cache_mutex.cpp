@@ -1,0 +1,47 @@
+//===- compile_fail/eval_under_cache_mutex.cpp - TSA negative case --------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+// Violation class: running the (expensive) evaluation while still holding
+// the cache mutex. The probe-under-mutex / evaluate-outside contract
+// (USRCompileCache::emptiness, HoistCache::emptiness) exists so concurrent
+// executions never serialize on each other's exact tests; evaluate() says
+// so with HALO_EXCLUDES(M), and calling it under M must not compile.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Sync.h"
+
+namespace {
+
+using namespace halo::support;
+
+struct EmptinessCache {
+  mutable Mutex M;
+  int Probes HALO_GUARDED_BY(M) = 0;
+
+  /// The expensive tier: must never run under the cache mutex.
+  bool evaluate() HALO_EXCLUDES(M) { return true; }
+
+  bool emptiness() HALO_EXCLUDES(M) {
+#ifdef HALO_EXPECT_TSA_VIOLATION
+    MutexLock L(M);
+    ++Probes;
+    return evaluate(); // Evaluation under the cache mutex.
+#else
+    {
+      MutexLock L(M);
+      ++Probes;
+    }
+    return evaluate();
+#endif
+  }
+};
+
+} // namespace
+
+int main() {
+  EmptinessCache C;
+  return C.emptiness() ? 0 : 1;
+}

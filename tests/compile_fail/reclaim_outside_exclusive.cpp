@@ -1,0 +1,46 @@
+//===- compile_fail/reclaim_outside_exclusive.cpp - TSA negative case -----===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+// Violation class: mutating the retired-plan reclaim list outside an
+// exclusive phase. Retired plans are kept alive for in-flight executions
+// and swept only while the config lock is held exclusively (no request in
+// flight); sweeping under a shared hold would free plans a concurrent
+// request is executing. reclaim() requires the exclusive capability, so a
+// shared-held caller must not compile.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Sync.h"
+
+#include <vector>
+
+namespace {
+
+using namespace halo::support;
+
+struct PlanRegistry {
+  SharedMutex ConfigLock;
+  std::vector<int> Retired HALO_GUARDED_BY(ConfigLock);
+
+  void reclaim() HALO_REQUIRES(ConfigLock) { Retired.clear(); }
+
+  void sweep() HALO_EXCLUDES(ConfigLock) {
+#ifdef HALO_EXPECT_TSA_VIOLATION
+    SharedLock L(ConfigLock); // Shared hold only…
+    reclaim();                // …but the sweep needs exclusivity.
+#else
+    ExclusiveLock L(ConfigLock);
+    reclaim();
+#endif
+  }
+};
+
+} // namespace
+
+int main() {
+  PlanRegistry R;
+  R.sweep();
+  return 0;
+}

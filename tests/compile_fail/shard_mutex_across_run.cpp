@@ -1,0 +1,56 @@
+//===- compile_fail/shard_mutex_across_run.cpp - TSA negative case --------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+// Violation class: holding a shard's session-map mutex across the request
+// execution. serve::Engine's contract is that Shard::M covers exactly the
+// session-map lookup — the execution runs with no shard-wide lock held, so
+// one hot loop is served by every worker at once. runPrepared() states
+// that with HALO_EXCLUDES(M); serving under the shard mutex must not
+// compile.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Sync.h"
+
+#include <map>
+
+namespace {
+
+using namespace halo::support;
+
+struct Session {
+  int Served = 0;
+};
+
+struct Shard {
+  Mutex M;
+  std::map<int, Session> Sessions HALO_GUARDED_BY(M);
+
+  /// Long-running execution: must not run under the shard mutex.
+  void runPrepared(Session &S) HALO_EXCLUDES(M) { ++S.Served; }
+
+  void serve(int Program) HALO_EXCLUDES(M) {
+#ifdef HALO_EXPECT_TSA_VIOLATION
+    MutexLock SL(M);
+    Session &S = Sessions[Program];
+    runPrepared(S); // Shard mutex held across the execution.
+#else
+    Session *S;
+    {
+      MutexLock SL(M);
+      S = &Sessions[Program];
+    }
+    runPrepared(*S);
+#endif
+  }
+};
+
+} // namespace
+
+int main() {
+  Shard S;
+  S.serve(3);
+  return 0;
+}

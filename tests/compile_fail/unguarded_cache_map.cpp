@@ -1,0 +1,40 @@
+//===- compile_fail/unguarded_cache_map.cpp - TSA negative case -----------===//
+//
+// Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+// Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+//
+// Violation class: touching a mutex-guarded cache map without holding the
+// cache mutex — the PredCompileCache/USRCompileCache probe contract
+// (rt/CompiledCascade.h). As written this file compiles clean; with
+// HALO_EXPECT_TSA_VIOLATION the probe drops the lock and the thread-safety
+// analysis must reject it (the driver in CMakeLists.txt checks both).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Sync.h"
+
+#include <unordered_map>
+
+namespace {
+
+using namespace halo::support;
+
+struct CompileCache {
+  mutable Mutex M;
+  std::unordered_map<int, int> Cache HALO_GUARDED_BY(M);
+
+  int get(int Key) HALO_EXCLUDES(M) {
+#ifndef HALO_EXPECT_TSA_VIOLATION
+    MutexLock L(M);
+#endif
+    auto It = Cache.find(Key);
+    return It == Cache.end() ? -1 : It->second;
+  }
+};
+
+} // namespace
+
+int main() {
+  CompileCache C;
+  return C.get(7) == -1 ? 0 : 1;
+}

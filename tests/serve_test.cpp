@@ -666,6 +666,134 @@ TEST(ServeEngineTest, RePrepareWhileServingKeepsServedPlansAlive) {
   }
 }
 
+TEST(ServeEngineTest, PrepareStatsTrafficStormKeepsSessionMapConsistent) {
+  // Regression for a guard gap surfaced by the thread-safety
+  // annotations: Engine::prepareImpl used to create and insert a
+  // program's lazily-built Session into Shard::Sessions without holding
+  // the shard mutex, leaning on the exclusive config phase alone — a
+  // contract the annotations could not express and stats()' map walks
+  // did not share. The map is now HALO_GUARDED_BY(Shard::M) and the
+  // probe/publish happens under it (session construction and warm-start
+  // stay outside, per the never-hold-Shard::M-across-prepare rule).
+  // This storm drives the fixed path from every direction at once:
+  // lazy first-prepare of fresh programs, re-prepare of a served loop,
+  // stats() snapshots walking the session maps, and live traffic.
+  // TSan in CI pins the synchronization; the parity check pins results.
+  serve::EngineOptions EO;
+  EO.Shards = 2;
+  EO.Workers = 3;
+  EO.QueueCapacity = 32;
+
+  std::vector<ServedProgram> Progs(1);
+  ServedProgram &P = Progs[0];
+  std::vector<serve::ProgramId> Ids;
+  serve::Engine E(EO);
+  prepareAll(E, Progs, Ids);
+
+  // Fresh programs the operator thread registers and first-prepares
+  // mid-traffic (each first prepare publishes a new session).
+  const int FreshPrograms = 4;
+  std::vector<ServedProgram> Fresh(FreshPrograms);
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Snapshots{0};
+
+  // Stats threads: walk the shard session maps while they grow.
+  std::vector<std::thread> StatsTs;
+  for (int T = 0; T < 2; ++T)
+    StatsTs.emplace_back([&] {
+      size_t LastPrograms = 0;
+      while (!Stop.load(std::memory_order_acquire)) {
+        serve::ServeStats St = E.stats();
+        size_t NumPrograms = 0;
+        for (const serve::ShardStats &SS : St.Shards)
+          NumPrograms += SS.Programs;
+        // The session count only ever grows (sessions are retired in
+        // place, never removed) — a torn map walk would break this.
+        EXPECT_GE(NumPrograms, LastPrograms);
+        LastPrograms = NumPrograms;
+        ++Snapshots;
+      }
+    });
+
+  // Client threads: steady traffic against the pre-storm program.
+  struct Slot {
+    rt::Memory M;
+    sym::Bindings B;
+    std::future<serve::Response> Fut;
+    uint64_t Seed = 0;
+  };
+  const unsigned Clients = 3;
+  const size_t PerClient = 10;
+  std::vector<Slot> Slots(Clients * PerClient);
+  std::vector<std::thread> Cs;
+  for (unsigned C = 0; C < Clients; ++C)
+    Cs.emplace_back([&, C] {
+      for (size_t I = C; I < Slots.size(); I += Clients) {
+        Slots[I].Seed = 7700 + (I % 5);
+        P.dataset(Slots[I].Seed, Slots[I].M, Slots[I].B);
+        serve::Request Req;
+        Req.Program = Ids[0];
+        Req.Loop = P.Irregular;
+        Req.M = &Slots[I].M;
+        Req.B = &Slots[I].B;
+        Slots[I].Fut = E.submit(Req);
+      }
+    });
+
+  // Operator: register fresh programs (lazy session publish on first
+  // prepare) interleaved with re-prepares of the served loop.
+  std::vector<serve::ProgramId> FreshIds;
+  for (int F = 0; F < FreshPrograms; ++F) {
+    serve::ProgramId Id = E.addProgram(Fresh[F].B.prog(), Fresh[F].B.usr());
+    FreshIds.push_back(Id);
+    E.prepare(Id, *Fresh[F].Strided, Fresh[F].optsFor(Fresh[F].Strided));
+    E.prepare(Ids[0], *P.Irregular, P.optsFor(P.Irregular));
+  }
+
+  for (std::thread &T : Cs)
+    T.join();
+  E.drain();
+  Stop.store(true, std::memory_order_release);
+  for (std::thread &T : StatsTs)
+    T.join();
+  EXPECT_GT(Snapshots.load(), 0u);
+
+  // Fresh programs must be fully served after their mid-storm publish.
+  for (int F = 0; F < FreshPrograms; ++F) {
+    rt::Memory M;
+    sym::Bindings B;
+    Fresh[F].dataset(7600 + F, M, B);
+    serve::Request Req;
+    Req.Program = FreshIds[F];
+    Req.Loop = Fresh[F].Strided;
+    Req.M = &M;
+    Req.B = &B;
+    serve::Response Resp = E.submit(Req).get();
+    EXPECT_TRUE(Resp.OK) << Resp.Error;
+  }
+
+  // And the storm traffic stayed exact: parity against a lone session.
+  session::Session Ref(P.B.prog(), P.B.usr(), EO.Session);
+  Ref.prepare(*P.Irregular, P.optsFor(P.Irregular));
+  for (Slot &S : Slots) {
+    ASSERT_TRUE(S.Fut.valid());
+    serve::Response Resp = S.Fut.get();
+    ASSERT_TRUE(Resp.OK) << Resp.Error;
+    rt::Memory MR;
+    sym::Bindings BR;
+    P.dataset(S.Seed, MR, BR);
+    ASSERT_TRUE(Ref.runPrepared(*P.Irregular, MR, BR).has_value());
+    expectMemoryEq(S.M, MR, "prepare-stats-traffic-storm");
+  }
+
+  serve::ServeStats St = E.stats();
+  size_t TotalPrograms = 0;
+  for (const serve::ShardStats &SS : St.Shards)
+    TotalPrograms += SS.Programs;
+  EXPECT_EQ(TotalPrograms, 1u + FreshPrograms);
+}
+
 TEST(ServeEngineTest, TrySubmitAcceptsWithRoomAndCountsSheds) {
   std::vector<ServedProgram> Progs(1);
   ServedProgram &P = Progs[0];

@@ -15,12 +15,15 @@
 #include "usr/USRCompile.h"
 
 #include "pdag/PredCompile.h"
+#include "rt/CompiledCascade.h"
 #include "support/Rng.h"
 #include "usr/USREval.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
+#include <vector>
 
 using namespace halo;
 using namespace halo::usr;
@@ -569,6 +572,86 @@ TEST_F(UsrCompileTest, StatsReportRunsAndAvoidedPoints) {
   EXPECT_EQ(St.RunsProduced, 1u);
   EXPECT_EQ(St.PointsAvoided, 127u);
   EXPECT_EQ(St.PointsMaterialized, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// USRCompileCache frameless-caller serialization (regression)
+//===----------------------------------------------------------------------===//
+
+TEST_F(UsrCompileTest, FramelessConcurrentEmptinessSerializesOnFallback) {
+  // Regression for a guard gap surfaced by the thread-safety
+  // annotations: frameless USRCompileCache::emptiness() callers all
+  // share the cache entry's fallback evaluation frame (mutable bind
+  // stamps and recurrence prefix caches). They used to touch it with no
+  // synchronization — a data race under concurrency, with the prefix
+  // cache of one dataset poisoning another's evaluation. The entry now
+  // carries a fallback mutex held for the whole frameless evaluation,
+  // so concurrent frameless callers serialize and stay exact. TSan (CI)
+  // pins the race half; the per-dataset answers pin the poisoning half.
+  sym::SymbolId I = Sym.symbol("i", 1);
+  sym::SymbolId IB = Sym.symbol("IB", 0, true);
+  const int64_t N = 4096;
+  const USR *Body =
+      U.intersect(U.interval(Sym.arrayRef(IB, Sym.symRef(I)), c(2)),
+                  U.interval(c(5000), c(2)));
+  const USR *R = U.recur(I, c(1), c(N), Body);
+
+  rt::PredCompileCache Preds(Sym);
+  rt::USRCompileCache Cache(Sym, Preds);
+
+  // Per-thread datasets with different answers: even threads see a hit
+  // (non-empty), odd threads never do (empty). Re-binding the same
+  // shared fallback frame between datasets is exactly the state the old
+  // code raced on.
+  constexpr int Threads = 8, Rounds = 25;
+  auto MakeBindings = [&](bool Hit) {
+    sym::Bindings B;
+    sym::ArrayBinding A;
+    A.Lo = 1;
+    for (int64_t X = 0; X < N; ++X)
+      A.Vals.push_back(10 + (X % 997) * 4);
+    if (Hit)
+      A.Vals[N / 2] = 5000;
+    B.setArray(IB, A);
+    return B;
+  };
+  std::atomic<int> Wrong{0};
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      const bool Hit = (T % 2) == 0;
+      sym::Bindings B = MakeBindings(Hit);
+      for (int Rd = 0; Rd < Rounds; ++Rd) {
+        // Frameless: no USRFramePool argument — the fallback-frame path.
+        auto E = Cache.emptiness(R, B);
+        if (E != std::make_optional(!Hit))
+          ++Wrong;
+      }
+    });
+  for (std::thread &Th : Ts)
+    Th.join();
+  EXPECT_EQ(Wrong.load(), 0);
+
+  // Mixed mode: framed callers must stay parallel (they never touch the
+  // fallback frame) while frameless callers serialize beside them.
+  std::atomic<int> WrongMixed{0};
+  std::vector<std::thread> Ms;
+  for (int T = 0; T < Threads; ++T)
+    Ms.emplace_back([&, T] {
+      const bool Hit = (T % 2) == 0;
+      const bool Framed = T < Threads / 2;
+      sym::Bindings B = MakeBindings(Hit);
+      rt::USRFramePool Pool;
+      for (int Rd = 0; Rd < Rounds; ++Rd) {
+        auto E = Cache.emptiness(R, B, nullptr, nullptr,
+                                 Framed ? &Pool : nullptr);
+        if (E != std::make_optional(!Hit))
+          ++WrongMixed;
+      }
+    });
+  for (std::thread &Th : Ms)
+    Th.join();
+  EXPECT_EQ(WrongMixed.load(), 0);
 }
 
 } // namespace

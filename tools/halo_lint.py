@@ -1,0 +1,308 @@
+#!/usr/bin/env python3
+"""HALO repo-contract linter.
+
+Part of HALO, a reproduction of "Logical Inference Techniques for Loop
+Parallelization" (Oancea & Rauchwerger, PLDI 2012).
+
+Machine-checks the repo conventions that CMake and the compiler cannot:
+
+  R1  every src/**/*.cpp is listed in CMakeLists.txt's HALO_WERROR_NEW
+      set_source_files_properties block (new sources must be -Werror-clean
+      and say so; a file missing from the list silently dodges CI's
+      warnings-as-errors tier),
+  R2  the tests/*.cpp registration loop in CMakeLists.txt registers every
+      test with a ctest TIMEOUT (a deadlocked condvar gate must fail fast
+      in CI, not hang the job) and filters none of them out,
+  R3  every file in tests/corpus/ is a .repro with a valid replay header
+      (fuzz_regression_test replays the directory by extension; a typo'd
+      extension or header silently drops the regression),
+  R4  every src/ subsystem directory carries a README.md (the documented-
+      architecture contract ARCHITECTURE.md links into),
+  R5  every HALO_NO_THREAD_SAFETY_ANALYSIS use in src/ carries an adjacent
+      justification comment (support/Sync.h declares bare uses bugs).
+
+Exit status: 0 clean, 1 violations found, 2 usage/internal error.
+--self-test seeds one violation per rule into scratch trees and requires
+the linter to catch each one (and to pass a clean tree), so CI proves the
+linter itself works before trusting its green.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import sys
+import tempfile
+
+RULES = ("R1", "R2", "R3", "R4", "R5")
+
+
+def find_violations(repo):
+    """Returns a list of (rule, message) violations for the tree at repo."""
+    out = []
+    cmake_path = os.path.join(repo, "CMakeLists.txt")
+    try:
+        with open(cmake_path, encoding="utf-8") as f:
+            cmake = f.read()
+    except OSError as ex:
+        return [("R1", "cannot read CMakeLists.txt: %s" % ex)]
+
+    # R1: every src/**/*.cpp in the HALO_WERROR_NEW block. The block is
+    # the set_source_files_properties(...) call guarded by the option.
+    block = re.search(
+        r"if\(HALO_WERROR_NEW\)\s*set_source_files_properties\((.*?)"
+        r"PROPERTIES\s+COMPILE_OPTIONS",
+        cmake,
+        re.S,
+    )
+    if not block:
+        out.append(("R1", "CMakeLists.txt: HALO_WERROR_NEW "
+                          "set_source_files_properties block not found"))
+    else:
+        listed = set(re.findall(r"\S+\.cpp", block.group(1)))
+        for root, _dirs, files in os.walk(os.path.join(repo, "src")):
+            for name in sorted(files):
+                if not name.endswith(".cpp"):
+                    continue
+                rel = os.path.relpath(os.path.join(root, name), repo)
+                rel = rel.replace(os.sep, "/")
+                if rel not in listed:
+                    out.append(("R1", "%s is not in the HALO_WERROR_NEW "
+                                      "-Werror list" % rel))
+
+    # R2: the test loop registers every tests/*.cpp with a TIMEOUT.
+    loop = re.search(
+        r"file\(GLOB HALO_TEST_SOURCES [^)]*tests/\*\.cpp\)(.*?)endforeach",
+        cmake,
+        re.S,
+    )
+    if not loop:
+        out.append(("R2", "CMakeLists.txt: tests/*.cpp glob loop not found"))
+    else:
+        body = loop.group(1)
+        if "list(REMOVE_ITEM HALO_TEST_SOURCES" in body or \
+           "list(REMOVE_ITEM HALO_TEST_SOURCES" in cmake:
+            out.append(("R2", "CMakeLists.txt filters test sources out of "
+                              "the registration glob"))
+        if not re.search(r"add_test\(NAME \$\{TEST_NAME\}", body):
+            out.append(("R2", "test loop does not add_test every "
+                              "tests/*.cpp"))
+        if not re.search(
+                r"set_tests_properties\(\$\{TEST_NAME\}\s+PROPERTIES\s+"
+                r"TIMEOUT", body):
+            out.append(("R2", "test loop does not set a ctest TIMEOUT on "
+                              "every test"))
+
+    # R3: corpus entries are .repro files with a valid replay header.
+    corpus = os.path.join(repo, "tests", "corpus")
+    if os.path.isdir(corpus):
+        for name in sorted(os.listdir(corpus)):
+            path = os.path.join(corpus, name)
+            if not os.path.isfile(path):
+                continue
+            rel = "tests/corpus/" + name
+            if not name.endswith(".repro"):
+                out.append(("R3", "%s is not a .repro file — "
+                                  "fuzz_regression_test will not replay it"
+                            % rel))
+                continue
+            try:
+                with open(path, encoding="utf-8") as f:
+                    lines = f.read().splitlines()
+            except (OSError, UnicodeDecodeError) as ex:
+                out.append(("R3", "%s is unreadable: %s" % (rel, ex)))
+                continue
+            if not lines or lines[0].strip() != "# halo_fuzz corpus entry":
+                out.append(("R3", "%s lacks the '# halo_fuzz corpus entry' "
+                                  "header line" % rel))
+                continue
+            keys = {ln.split()[0] for ln in lines
+                    if ln and not ln.startswith("#") and ln.split()}
+            missing = sorted({"seed", "expect"} - keys)
+            if missing:
+                out.append(("R3", "%s is missing replay field(s): %s"
+                            % (rel, ", ".join(missing))))
+
+    # R4: every src/ subsystem has a README.md.
+    srcdir = os.path.join(repo, "src")
+    if os.path.isdir(srcdir):
+        for name in sorted(os.listdir(srcdir)):
+            sub = os.path.join(srcdir, name)
+            if not os.path.isdir(sub):
+                continue
+            if not os.path.isfile(os.path.join(sub, "README.md")):
+                out.append(("R4", "src/%s/ has no README.md" % name))
+
+    # R5: HALO_NO_THREAD_SAFETY_ANALYSIS uses carry a justification. The
+    # macro's own definition (support/Sync.h) is exempt; every other use
+    # must have a comment within the three preceding lines.
+    for root, _dirs, files in os.walk(srcdir) if os.path.isdir(srcdir) \
+            else []:
+        for name in sorted(files):
+            if not name.endswith((".h", ".cpp")):
+                continue
+            path = os.path.join(root, name)
+            rel = os.path.relpath(path, repo).replace(os.sep, "/")
+            if rel == "src/support/Sync.h":
+                continue
+            try:
+                with open(path, encoding="utf-8") as f:
+                    lines = f.read().splitlines()
+            except (OSError, UnicodeDecodeError):
+                continue
+            for i, line in enumerate(lines):
+                if "HALO_NO_THREAD_SAFETY_ANALYSIS" not in line:
+                    continue
+                context = lines[max(0, i - 3):i]
+                if not any("//" in c for c in context):
+                    out.append(("R5", "%s:%d: bare "
+                                      "HALO_NO_THREAD_SAFETY_ANALYSIS "
+                                      "(no justification comment above)"
+                                % (rel, i + 1)))
+    return out
+
+
+def run_lint(repo):
+    violations = find_violations(repo)
+    for rule, msg in violations:
+        print("halo_lint %s: %s" % (rule, msg))
+    if violations:
+        print("halo_lint: %d violation(s)" % len(violations))
+        return 1
+    print("halo_lint: clean")
+    return 0
+
+
+#===---------------------------------------------------------------------===//
+# Self-test: seed one violation per rule, require the linter to catch it.
+#===---------------------------------------------------------------------===//
+
+CLEAN_CMAKE = """\
+cmake_minimum_required(VERSION 3.16)
+project(halo CXX)
+option(HALO_WERROR_NEW "werror" OFF)
+if(HALO_WERROR_NEW)
+  set_source_files_properties(
+    src/support/Good.cpp
+    PROPERTIES COMPILE_OPTIONS "-Werror")
+endif()
+file(GLOB HALO_TEST_SOURCES CONFIGURE_DEPENDS tests/*.cpp)
+foreach(TEST_SRC ${HALO_TEST_SOURCES})
+  get_filename_component(TEST_NAME ${TEST_SRC} NAME_WE)
+  add_executable(${TEST_NAME} ${TEST_SRC})
+  add_test(NAME ${TEST_NAME} COMMAND ${TEST_NAME})
+  set_tests_properties(${TEST_NAME} PROPERTIES TIMEOUT 300)
+endforeach()
+"""
+
+CLEAN_REPRO = """\
+# halo_fuzz corpus entry
+# minimal self-test entry
+seed 1
+body 2
+trip 8
+hostile 0
+expect clean
+"""
+
+
+def make_clean_tree(root):
+    os.makedirs(os.path.join(root, "src", "support"))
+    os.makedirs(os.path.join(root, "tests", "corpus"))
+    with open(os.path.join(root, "CMakeLists.txt"), "w",
+              encoding="utf-8") as f:
+        f.write(CLEAN_CMAKE)
+    with open(os.path.join(root, "src", "support", "Good.cpp"), "w",
+              encoding="utf-8") as f:
+        f.write("// Deliberately dynamic locking, justified here.\n"
+                "void f() HALO_NO_THREAD_SAFETY_ANALYSIS {}\n")
+    with open(os.path.join(root, "src", "support", "README.md"), "w",
+              encoding="utf-8") as f:
+        f.write("# support\n")
+    with open(os.path.join(root, "tests", "corpus", "ok.repro"), "w",
+              encoding="utf-8") as f:
+        f.write(CLEAN_REPRO)
+
+
+def seed_violation(root, rule):
+    """Mutates a clean tree at root to violate exactly one rule."""
+    if rule == "R1":
+        with open(os.path.join(root, "src", "support", "Rogue.cpp"), "w",
+                  encoding="utf-8") as f:
+            f.write("// not in the -Werror list\n")
+    elif rule == "R2":
+        path = os.path.join(root, "CMakeLists.txt")
+        with open(path, encoding="utf-8") as f:
+            cmake = f.read()
+        cmake = cmake.replace(
+            "  set_tests_properties(${TEST_NAME} PROPERTIES TIMEOUT 300)\n",
+            "")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(cmake)
+    elif rule == "R3":
+        with open(os.path.join(root, "tests", "corpus", "typo.repr"), "w",
+                  encoding="utf-8") as f:
+            f.write(CLEAN_REPRO)
+    elif rule == "R4":
+        os.makedirs(os.path.join(root, "src", "undocumented"))
+    elif rule == "R5":
+        # A header: .cpp files would also trip R1 (not in the -Werror
+        # list) and make the seeded violation ambiguous.
+        with open(os.path.join(root, "src", "support", "Bare.h"), "w",
+                  encoding="utf-8") as f:
+            f.write("\n\n\n\nvoid g() HALO_NO_THREAD_SAFETY_ANALYSIS {}\n")
+    else:
+        raise ValueError(rule)
+
+
+def self_test():
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="halo_lint_") as tmp:
+        clean = os.path.join(tmp, "clean")
+        make_clean_tree(clean)
+        got = find_violations(clean)
+        if got:
+            failures.append("clean tree not clean: %s" % got)
+
+        for rule in RULES:
+            tree = os.path.join(tmp, rule)
+            shutil.copytree(clean, tree)
+            seed_violation(tree, rule)
+            got = find_violations(tree)
+            hit = [r for r, _ in got]
+            if rule not in hit:
+                failures.append("seeded %s violation not caught (got %s)"
+                                % (rule, got))
+            if set(hit) - {rule}:
+                failures.append("seeded %s tripped unrelated rule(s): %s"
+                                % (rule, got))
+
+    for f in failures:
+        print("halo_lint self-test FAIL: %s" % f)
+    if failures:
+        return 1
+    print("halo_lint self-test: all %d rules catch their seeded violation"
+          % len(RULES))
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--repo", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repository root to lint (default: this script's repo)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="seed one violation per rule and require the "
+                         "linter to catch each")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    if not os.path.isdir(args.repo):
+        print("halo_lint: no such directory: %s" % args.repo,
+              file=sys.stderr)
+        return 2
+    return run_lint(args.repo)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
